@@ -1,0 +1,220 @@
+//! The comparison harness (§4.4.2): run every tool and our solution over
+//! the representative per-class charts and classify the outcomes.
+
+use crate::tools::{all_tools, Tool};
+use ij_chart::Release;
+use ij_cluster::{Cluster, ClusterConfig};
+use ij_core::{chart_defines_network_policies, Analyzer, MisconfigId, StaticModel};
+use ij_datasets::{build_app, representative_charts, CorpusOptions};
+use ij_probe::{HostBaseline, RuntimeAnalyzer};
+use std::collections::BTreeMap;
+
+/// Table 3 cell values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detection {
+    /// The tool pinpointed the misconfiguration (●).
+    Found,
+    /// A generic or incomplete signal (◐).
+    Partial,
+    /// The tool could have seen it but did not (×).
+    Missed,
+    /// Outside the tool's observational envelope (—).
+    NotApplicable,
+}
+
+impl Detection {
+    /// Table 3 glyph.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Detection::Found => "●",
+            Detection::Partial => "◐",
+            Detection::Missed => "×",
+            Detection::NotApplicable => "—",
+        }
+    }
+}
+
+/// Evidence handed to a tool for one case.
+pub struct ToolInput<'a> {
+    /// Static model of the rendered manifests (for tools that parse them).
+    pub statics: &'a StaticModel,
+    /// The running cluster (for tools that query the API).
+    pub cluster: &'a Cluster,
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Tool name (or "Our solution").
+    pub tool: String,
+    /// Version string.
+    pub version: String,
+    /// Type label.
+    pub kind: String,
+    /// Per-class outcome, in `MisconfigId::ALL` order.
+    pub cells: BTreeMap<MisconfigId, Detection>,
+}
+
+impl ComparisonRow {
+    /// The cell for one class.
+    pub fn cell(&self, id: MisconfigId) -> Detection {
+        self.cells.get(&id).copied().unwrap_or(Detection::Missed)
+    }
+}
+
+/// Runs the full §4.4 comparison: every representative case through every
+/// tool, plus our hybrid analyzer, producing the Table 3 matrix.
+pub fn run_comparison() -> Vec<ComparisonRow> {
+    let cases = representative_charts();
+    let opts = CorpusOptions::default();
+    let tools = all_tools();
+    let mut rows: Vec<ComparisonRow> = tools
+        .iter()
+        .map(|t| ComparisonRow {
+            tool: t.name.to_string(),
+            version: t.version.to_string(),
+            kind: format!("{:?}", t.kind),
+            cells: BTreeMap::new(),
+        })
+        .collect();
+    let mut ours = ComparisonRow {
+        tool: "Our solution".to_string(),
+        version: "—".to_string(),
+        kind: "Hybrid".to_string(),
+        cells: BTreeMap::new(),
+    };
+
+    for case in &cases {
+        // Install every app of the case into one cluster (the M4* case
+        // needs both apps co-resident for API-reading tools).
+        let builts: Vec<_> = case.apps.iter().map(build_app).collect();
+        let mut registry = ij_cluster::BehaviorRegistry::new();
+        for b in &builts {
+            for (image, behavior) in &b.behaviors {
+                registry.register(image.clone(), behavior.clone());
+            }
+        }
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            seed: 9,
+            behaviors: registry,
+        });
+        let baseline = HostBaseline::capture(&cluster);
+        let mut objects = Vec::new();
+        for b in &builts {
+            let rendered = b
+                .chart
+                .render(&Release::new(&b.spec.name, "default"))
+                .expect("representative charts render");
+            cluster.install(&rendered).expect("no admission");
+            objects.extend(rendered.objects);
+        }
+        let statics = StaticModel::from_objects(&objects);
+        let runtime = RuntimeAnalyzer::new(opts.probe.clone()).analyze(&mut cluster, &baseline);
+
+        // Baseline tools.
+        let input = ToolInput { statics: &statics, cluster: &cluster };
+        for (tool, row) in tools.iter().zip(rows.iter_mut()) {
+            row.cells.insert(case.id, classify_tool(tool, &input, case.id));
+        }
+
+        // Our solution: per-app analysis plus the cluster-wide pass.
+        let mut found = Vec::new();
+        let mut statics_per_app = Vec::new();
+        for b in &builts {
+            let rendered = b
+                .chart
+                .render(&Release::new(&b.spec.name, "default"))
+                .expect("already rendered once");
+            let findings = Analyzer::hybrid().analyze_app(
+                &b.spec.name,
+                &rendered.objects,
+                &cluster,
+                Some(&runtime),
+                chart_defines_network_policies(&b.chart),
+            );
+            found.extend(findings);
+            statics_per_app.push((b.spec.name.clone(), StaticModel::from_objects(&rendered.objects)));
+        }
+        found.extend(Analyzer::hybrid().analyze_global(&statics_per_app));
+        let hit = found.iter().any(|f| f.id == case.id);
+        ours.cells.insert(
+            case.id,
+            if hit { Detection::Found } else { Detection::Missed },
+        );
+    }
+
+    rows.push(ours);
+    rows
+}
+
+fn classify_tool(tool: &Tool, input: &ToolInput<'_>, case_id: MisconfigId) -> Detection {
+    if tool.not_applicable(case_id) {
+        return Detection::NotApplicable;
+    }
+    tool.run(input)
+        .into_iter()
+        .find(|(id, _)| *id == case_id)
+        .map(|(_, d)| d)
+        .unwrap_or(Detection::Missed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3 of the paper, verbatim, in `MisconfigId::ALL` column order.
+    /// F = found, P = partial, M = missed, N = not applicable.
+    /// One deliberate difference: the paper scores its own M3 as *partial*
+    /// because real probes can miss traffic-triggered listeners; the
+    /// simulator has no such listeners, so our M3 lands as fully found
+    /// (documented in EXPERIMENTS.md).
+    const EXPECTED: [(&str, [char; 13]); 12] = [
+        ("Checkov",      ['N','N','N','M','M','M','N','N','M','M','M','F','F']),
+        ("Kubeaudit",    ['N','N','N','M','M','M','N','N','M','M','M','F','F']),
+        ("KubeLinter",   ['N','N','N','M','M','M','N','N','M','M','F','M','F']),
+        ("Kube-score",   ['N','N','N','M','M','M','N','N','M','M','F','F','M']),
+        ("Kubesec",      ['N','N','N','M','M','M','N','N','M','M','M','M','F']),
+        ("SLI-KUBE",     ['N','N','N','M','M','M','N','N','M','M','M','M','F']),
+        ("Kube-bench",   ['M','M','M','M','M','M','N','M','M','M','M','M','F']),
+        ("Kubescape",    ['M','M','M','P','P','P','M','M','M','M','M','F','F']),
+        ("Trivy",        ['M','M','M','M','M','M','M','M','M','M','M','M','F']),
+        ("NeuVector",    ['M','M','M','M','M','M','M','M','M','M','M','M','F']),
+        ("StackRox",     ['M','M','M','M','M','M','M','M','M','M','M','M','F']),
+        ("Our solution", ['F','F','F','F','F','F','F','F','F','F','F','F','F']),
+    ];
+
+    fn to_detection(c: char) -> Detection {
+        match c {
+            'F' => Detection::Found,
+            'P' => Detection::Partial,
+            'M' => Detection::Missed,
+            'N' => Detection::NotApplicable,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn comparison_reproduces_table3() {
+        let rows = run_comparison();
+        assert_eq!(rows.len(), 12);
+        for ((name, expected), row) in EXPECTED.iter().zip(&rows) {
+            assert_eq!(&row.tool, name);
+            for (id, want) in MisconfigId::ALL.iter().zip(expected) {
+                assert_eq!(
+                    row.cell(*id),
+                    to_detection(*want),
+                    "{name} on {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(Detection::Found.symbol(), "●");
+        assert_eq!(Detection::Partial.symbol(), "◐");
+        assert_eq!(Detection::Missed.symbol(), "×");
+        assert_eq!(Detection::NotApplicable.symbol(), "—");
+    }
+}

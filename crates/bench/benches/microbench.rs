@@ -1,0 +1,184 @@
+//! Component microbenchmarks: the hot paths of the pipeline
+//! (parse → render → install → probe → analyze) plus the policy engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ij_chart::Release;
+use ij_cluster::{Cluster, ClusterConfig, PolicyEngine};
+use ij_core::{chart_defines_network_policies, Analyzer};
+use ij_datasets::{build_app, AppSpec, CorpusOptions, NetpolSpec, Org, Plan};
+use ij_probe::{HostBaseline, RuntimeAnalyzer};
+use std::hint::black_box;
+
+const SERVICE_YAML: &str = "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: web
+  labels:
+    app.kubernetes.io/name: web
+spec:
+  type: ClusterIP
+  selector:
+    app.kubernetes.io/name: web
+  ports:
+    - name: http
+      port: 80
+      targetPort: 8080
+    - name: metrics
+      port: 9102
+      targetPort: metrics
+";
+
+fn busy_spec() -> AppSpec {
+    AppSpec::new(
+        "bench-app",
+        Org::Bitnami,
+        "1.0.0",
+        Plan {
+            m1: 3,
+            m2: 1,
+            m3: 2,
+            m4a: 1,
+            m4b: 1,
+            m5a: 1,
+            m5b: 1,
+            m7: 1,
+            netpol: NetpolSpec::DefinedDisabled { loose: false },
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_yaml_parse(c: &mut Criterion) {
+    c.bench_function("yaml_parse_service", |b| {
+        b.iter(|| black_box(ij_yaml::parse(SERVICE_YAML).unwrap()))
+    });
+}
+
+fn bench_model_decode(c: &mut Criterion) {
+    c.bench_function("model_decode_service", |b| {
+        b.iter(|| black_box(ij_model::decode_manifest(SERVICE_YAML).unwrap()))
+    });
+}
+
+fn bench_chart_render(c: &mut Criterion) {
+    let built = build_app(&busy_spec());
+    let release = Release::new("bench-app", "default");
+    c.bench_function("chart_render_busy_app", |b| {
+        b.iter(|| black_box(built.chart.render(&release).unwrap().objects.len()))
+    });
+}
+
+fn bench_cluster_install(c: &mut Criterion) {
+    let built = build_app(&busy_spec());
+    let rendered = built.chart.render(&Release::new("bench-app", "default")).unwrap();
+    c.bench_function("cluster_install_reconcile", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(ClusterConfig {
+                nodes: 3,
+                seed: 1,
+                behaviors: built.registry(),
+            });
+            cluster.install(&rendered).unwrap();
+            black_box(cluster.pods().len())
+        })
+    });
+}
+
+fn bench_policy_engine(c: &mut Criterion) {
+    let built = build_app(&busy_spec());
+    let rendered = built
+        .chart
+        .render(
+            &Release::new("bench-app", "default")
+                .with_values_yaml("networkPolicy:\n  enabled: true\n")
+                .unwrap(),
+        )
+        .unwrap();
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: 1,
+        behaviors: built.registry(),
+    });
+    cluster.install(&rendered).unwrap();
+    let policies: Vec<ij_model::NetworkPolicy> =
+        cluster.network_policies().into_iter().cloned().collect();
+    let pods = cluster.pods().to_vec();
+    c.bench_function("policy_engine_full_mesh", |b| {
+        b.iter(|| {
+            let engine = PolicyEngine::new(&policies, cluster.namespace_labels());
+            let mut allowed = 0usize;
+            for src in &pods {
+                for dst in &pods {
+                    if engine.verdict(src, dst, 8080, ij_model::Protocol::Tcp).is_allowed() {
+                        allowed += 1;
+                    }
+                }
+            }
+            black_box(allowed)
+        })
+    });
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let built = build_app(&busy_spec());
+    let rendered = built.chart.render(&Release::new("bench-app", "default")).unwrap();
+    c.bench_function("probe_double_run", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(ClusterConfig {
+                nodes: 3,
+                seed: 1,
+                behaviors: built.registry(),
+            });
+            let baseline = HostBaseline::capture(&cluster);
+            cluster.install(&rendered).unwrap();
+            let report = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
+            black_box(report.stable_count() + report.dynamic_count())
+        })
+    });
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let built = build_app(&busy_spec());
+    let rendered = built.chart.render(&Release::new("bench-app", "default")).unwrap();
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: 1,
+        behaviors: built.registry(),
+    });
+    let baseline = HostBaseline::capture(&cluster);
+    cluster.install(&rendered).unwrap();
+    let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
+    let defines = chart_defines_network_policies(&built.chart);
+    c.bench_function("analyzer_hybrid_app", |b| {
+        b.iter(|| {
+            black_box(
+                Analyzer::hybrid()
+                    .analyze_app("bench-app", &rendered.objects, &cluster, Some(&runtime), defines)
+                    .len(),
+            )
+        })
+    });
+}
+
+fn bench_end_to_end_app(c: &mut Criterion) {
+    let app_spec = busy_spec();
+    let built = build_app(&app_spec);
+    let opts = CorpusOptions::default();
+    c.bench_function("end_to_end_single_app", |b| {
+        b.iter(|| black_box(ij_datasets::analyze_one(&built, &opts).findings.len()))
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_yaml_parse,
+    bench_model_decode,
+    bench_chart_render,
+    bench_cluster_install,
+    bench_policy_engine,
+    bench_probe,
+    bench_analyzer,
+    bench_end_to_end_app
+);
+criterion_main!(micro);

@@ -1,0 +1,93 @@
+//! Criterion benches, one per paper artifact: each bench times the full
+//! pipeline that regenerates the corresponding table or figure and prints
+//! the artifact once so `cargo bench` output doubles as a reproduction log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ij_bench::{averages, defense, fig3a, fig3b, fig4a, fig4b, full_census, table2, table3};
+use std::hint::black_box;
+
+fn bench_table2_census(c: &mut Criterion) {
+    let census = full_census();
+    println!("{}", table2(&census));
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.bench_function("table2_census", |b| {
+        b.iter(|| black_box(full_census().total_misconfigurations()))
+    });
+    group.finish();
+}
+
+fn bench_table3_tools(c: &mut Criterion) {
+    println!("{}", table3());
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.bench_function("table3_tools", |b| {
+        b.iter(|| black_box(ij_baselines::run_comparison().len()))
+    });
+    group.finish();
+}
+
+fn bench_fig3_rankings(c: &mut Criterion) {
+    let census = full_census();
+    println!("{}", fig3a(&census));
+    println!("{}", fig3b(&census));
+    let mut group = c.benchmark_group("paper");
+    group.bench_function("fig3_rankings", |b| {
+        b.iter(|| {
+            let a = census.top_by_count(10).len();
+            let t = census.top_by_types(10).len();
+            black_box(a + t)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig4a_distribution(c: &mut Criterion) {
+    let census = full_census();
+    println!("{}", fig4a(&census));
+    println!("{}", averages(&census));
+    let mut group = c.benchmark_group("paper");
+    group.bench_function("fig4a_distribution", |b| {
+        b.iter(|| black_box(census.distribution().len() + census.concentration(10).threshold))
+    });
+    group.finish();
+}
+
+fn bench_fig4b_policy_impact(c: &mut Criterion) {
+    println!("{}", fig4b());
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.bench_function("fig4b_policy_impact", |b| {
+        b.iter(|| {
+            black_box(
+                ij_datasets::policy_impact(
+                    &ij_datasets::corpus(),
+                    &ij_datasets::CorpusOptions::default(),
+                )
+                .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_defense_ablation(c: &mut Criterion) {
+    println!("{}", defense());
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.bench_function("defense_ablation", |b| {
+        b.iter(|| black_box(ij_bench::defense_outcomes().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    artifacts,
+    bench_table2_census,
+    bench_table3_tools,
+    bench_fig3_rankings,
+    bench_fig4a_distribution,
+    bench_fig4b_policy_impact,
+    bench_defense_ablation
+);
+criterion_main!(artifacts);

@@ -1,0 +1,58 @@
+//! Chart and template errors.
+
+use std::fmt;
+
+/// Result alias for chart operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An error raised while building or rendering a chart.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Template syntax error.
+    Template {
+        /// Template file name.
+        template: String,
+        /// Description with position information.
+        message: String,
+    },
+    /// A rendered template failed to parse as YAML.
+    RenderedYaml {
+        /// Template file name.
+        template: String,
+        /// Underlying YAML error.
+        source: ij_yaml::Error,
+        /// The rendered text, kept for diagnostics.
+        rendered: String,
+    },
+    /// A rendered document failed to decode as a Kubernetes object.
+    Decode {
+        /// Template file name.
+        template: String,
+        /// Underlying model error message.
+        message: String,
+    },
+    /// Values file problems.
+    Values(String),
+    /// A `required` template function fired.
+    Required(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Template { template, message } => {
+                write!(f, "template `{template}`: {message}")
+            }
+            Error::RenderedYaml { template, source, .. } => {
+                write!(f, "template `{template}` rendered invalid YAML: {source}")
+            }
+            Error::Decode { template, message } => {
+                write!(f, "template `{template}` produced an invalid object: {message}")
+            }
+            Error::Values(m) => write!(f, "invalid values: {m}"),
+            Error::Required(m) => write!(f, "required value missing: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

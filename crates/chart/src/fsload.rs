@@ -1,0 +1,237 @@
+//! Loading charts from disk, Helm layout:
+//!
+//! ```text
+//! mychart/
+//!   Chart.yaml        # name, version, description, dependencies
+//!   values.yaml       # defaults
+//!   templates/*.yaml  # templates (rendered in sorted order)
+//!   charts/<dep>/     # unpacked subcharts
+//! ```
+//!
+//! Dependency conditions come from `Chart.yaml`'s `dependencies:` entries
+//! (`name` + optional `condition`), matching unpacked directories under
+//! `charts/`.
+
+use crate::chart::{Chart, Dependency};
+use crate::error::{Error, Result};
+use std::fs;
+use std::path::Path;
+
+impl Chart {
+    /// Loads a chart directory (recursively including `charts/` subcharts).
+    pub fn from_dir(dir: &Path) -> Result<Chart> {
+        let io = |e: std::io::Error| Error::Values(format!("{}: {e}", dir.display()));
+
+        // Chart.yaml
+        let meta_path = dir.join("Chart.yaml");
+        let meta_src = fs::read_to_string(&meta_path)
+            .map_err(|e| Error::Values(format!("{}: {e}", meta_path.display())))?;
+        let meta = ij_yaml::parse(&meta_src).map_err(|e| Error::Values(e.to_string()))?;
+        let name = meta
+            .get("name")
+            .and_then(ij_yaml::Value::as_str)
+            .map(str::to_string)
+            .or_else(|| dir.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .ok_or_else(|| Error::Values("chart has no name".into()))?;
+        let version = meta
+            .get("version")
+            .map(|v| v.render_scalar())
+            .unwrap_or_else(|| "0.1.0".to_string());
+        let description = meta
+            .get("description")
+            .map(|v| v.render_scalar())
+            .unwrap_or_default();
+
+        // values.yaml (optional)
+        let values_path = dir.join("values.yaml");
+        let values = if values_path.exists() {
+            let src = fs::read_to_string(&values_path)
+                .map_err(|e| Error::Values(format!("{}: {e}", values_path.display())))?;
+            ij_yaml::parse(&src).map_err(|e| Error::Values(e.to_string()))?
+        } else {
+            ij_yaml::Value::Map(ij_yaml::Map::new())
+        };
+
+        // templates/*.yaml, sorted for deterministic render order.
+        let mut templates = Vec::new();
+        let tpl_dir = dir.join("templates");
+        if tpl_dir.is_dir() {
+            let mut entries: Vec<_> = fs::read_dir(&tpl_dir)
+                .map_err(io)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.extension()
+                        .is_some_and(|ext| ext == "yaml" || ext == "yml" || ext == "tpl")
+                })
+                .collect();
+            entries.sort();
+            for path in entries {
+                let file_name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                // `_helpers.tpl`-style partial files are loaded too: the
+                // renderer skips them for output but their `define` blocks
+                // are visible to every template of the chart.
+                let src = fs::read_to_string(&path)
+                    .map_err(|e| Error::Values(format!("{}: {e}", path.display())))?;
+                templates.push((file_name, src));
+            }
+        }
+
+        // charts/<dep>/ subcharts, with conditions from Chart.yaml.
+        let mut dependencies = Vec::new();
+        let charts_dir = dir.join("charts");
+        if charts_dir.is_dir() {
+            let declared: Vec<(String, Option<String>)> = meta
+                .get("dependencies")
+                .and_then(ij_yaml::Value::as_seq)
+                .map(|deps| {
+                    deps.iter()
+                        .filter_map(|d| {
+                            let name = d.get("name")?.as_str()?.to_string();
+                            let condition =
+                                d.get("condition").and_then(ij_yaml::Value::as_str).map(str::to_string);
+                            Some((name, condition))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut sub_dirs: Vec<_> = fs::read_dir(&charts_dir)
+                .map_err(io)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            sub_dirs.sort();
+            for sub in sub_dirs {
+                let chart = Chart::from_dir(&sub)?;
+                let condition = declared
+                    .iter()
+                    .find(|(n, _)| *n == chart.name)
+                    .and_then(|(_, c)| c.clone());
+                dependencies.push(Dependency { chart, condition });
+            }
+        }
+
+        Ok(Chart {
+            name,
+            version,
+            description,
+            values,
+            templates,
+            dependencies,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::Release;
+    use std::path::PathBuf;
+
+    fn write(path: &Path, content: &str) {
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, content).expect("write");
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ij-chart-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir scratch");
+        dir
+    }
+
+    #[test]
+    fn loads_chart_with_subchart_and_condition() {
+        let dir = scratch("load");
+        write(&dir.join("Chart.yaml"), "\
+name: parent
+version: 1.2.3
+description: test chart
+dependencies:
+  - name: child
+    condition: child.enabled
+");
+        write(&dir.join("values.yaml"), "replicas: 2\nchild:\n  enabled: false\n");
+        write(&dir.join("templates/00-deploy.yaml"), "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-app
+spec:
+  replicas: {{ .Values.replicas }}
+  selector:
+    matchLabels:
+      app: parent
+  template:
+    metadata:
+      labels:
+        app: parent
+    spec:
+      containers:
+        - name: app
+          image: img/app
+");
+        write(
+            &dir.join("templates/_helpers.tpl"),
+            "{{ define \"parent.labels\" }}app: parent{{ end }}",
+        );
+        write(&dir.join("charts/child/Chart.yaml"), "name: child\nversion: 0.1.0\n");
+        write(&dir.join("charts/child/values.yaml"), "port: 9000\n");
+        write(&dir.join("charts/child/templates/svc.yaml"), "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}-child
+spec:
+  selector:
+    app: child
+  ports:
+    - port: {{ .Values.port }}
+");
+
+        let chart = Chart::from_dir(&dir).expect("loads");
+        assert_eq!(chart.name, "parent");
+        assert_eq!(chart.version, "1.2.3");
+        assert_eq!(chart.templates.len(), 2, "_helpers.tpl loaded for its defines");
+        assert_eq!(chart.dependencies.len(), 1);
+        assert_eq!(chart.dependencies[0].condition.as_deref(), Some("child.enabled"));
+
+        // Condition off by default.
+        let rendered = chart.render(&Release::new("r", "default")).expect("renders");
+        assert_eq!(rendered.objects.len(), 1);
+
+        // Enable the child via overrides.
+        let rel = Release::new("r", "default")
+            .with_values_yaml("child:\n  enabled: true\n")
+            .unwrap();
+        let rendered = chart.render(&rel).expect("renders");
+        assert_eq!(rendered.objects.len(), 2);
+        let svc = rendered.of_kind("Service").next().expect("child service");
+        assert_eq!(svc.meta().name, "r-child");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_chart_yaml_is_an_error() {
+        let dir = scratch("missing");
+        assert!(Chart::from_dir(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chart_without_values_or_templates_loads_empty() {
+        let dir = scratch("empty");
+        write(&dir.join("Chart.yaml"), "name: bare\nversion: 0.0.1\n");
+        let chart = Chart::from_dir(&dir).expect("loads");
+        assert_eq!(chart.name, "bare");
+        assert!(chart.templates.is_empty());
+        let rendered = chart.render(&Release::new("r", "default")).expect("renders");
+        assert!(rendered.objects.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

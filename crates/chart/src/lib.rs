@@ -1,0 +1,51 @@
+//! # ij-chart — a Helm-like chart engine
+//!
+//! Kubernetes applications are rarely deployed from raw manifests; they ship
+//! as *charts*: parameterized template bundles with default values,
+//! dependencies, and optional resources. The paper's whole evaluation operates
+//! on Helm charts, and several misconfiguration classes (most notably M6,
+//! "policies present but not enabled") only exist at the chart level.
+//!
+//! This crate implements the subset of Helm needed to express real-world
+//! charts faithfully:
+//!
+//! * a template language with `{{ .Values.* }}` interpolation, `if`/`else`,
+//!   `range`, pipelines (`|`) and the common helper functions (`default`,
+//!   `quote`, `toYaml`, `indent`/`nindent`, `eq`, `not`, …), including
+//!   whitespace-control markers (`{{-`, `-}}`);
+//! * chart packaging: default values, templates, subchart dependencies with
+//!   enable conditions, deep value overlays;
+//! * a render pipeline producing typed [`ij_model::Object`]s for a release.
+//!
+//! ```
+//! use ij_chart::{Chart, Release};
+//!
+//! let chart = Chart::builder("demo")
+//!     .values_yaml("service:\n  port: 8080\n").unwrap()
+//!     .template("svc.yaml", "\
+//! apiVersion: v1
+//! kind: Service
+//! metadata:
+//!   name: {{ .Release.Name }}-demo
+//! spec:
+//!   selector:
+//!     app: demo
+//!   ports:
+//!     - port: {{ .Values.service.port }}
+//! ")
+//!     .build();
+//! let release = chart.render(&Release::new("test", "default")).unwrap();
+//! assert_eq!(release.objects.len(), 1);
+//! assert_eq!(release.objects[0].meta().name, "test-demo");
+//! ```
+
+mod chart;
+mod error;
+mod fsload;
+mod template;
+
+pub use chart::{Chart, ChartBuilder, Dependency, Release, RenderedRelease};
+pub use error::{Error, Result};
+pub use template::{
+    merge_defines, parse_template, render_parsed, render_template, Context, Node, ParsedTemplate,
+};

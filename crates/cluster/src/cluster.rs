@@ -1,0 +1,1082 @@
+//! The cluster facade: API server, controllers, scheduler, data plane.
+
+use crate::admission::{AdmissionController, AdmissionOutcome, AdmissionReview};
+use crate::behavior::{BehaviorRegistry, PortSpec};
+use crate::netpol::{ConnectionVerdict, PolicyEngine};
+use crate::node::Node;
+use ij_chart::RenderedRelease;
+use ij_model::{
+    Endpoints, EndpointAddress, Labels, NetworkPolicy, Object, Pod, Protocol, Service,
+    TargetPort, Workload, WorkloadKind,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Seed for all randomness (ephemeral port draws).
+    pub seed: u64,
+    /// Container behaviour registry.
+    pub behaviors: BehaviorRegistry,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 3,
+            seed: 42,
+            behaviors: BehaviorRegistry::new(),
+        }
+    }
+}
+
+/// A socket held open by a container, as the ground truth the probe observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenSocket {
+    /// Port number.
+    pub port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Bound to the loopback adapter only (unreachable from the cluster).
+    pub loopback_only: bool,
+    /// Drawn from the ephemeral range at container start.
+    pub ephemeral: bool,
+    /// Name of the container holding the socket.
+    pub container: String,
+}
+
+/// A scheduled, started pod.
+#[derive(Debug, Clone)]
+pub struct RunningPod {
+    /// The pod object (labels, spec, …).
+    pub pod: Pod,
+    /// Node the pod runs on.
+    pub node: String,
+    /// Pod IP — a flat-network address, or the node IP for hostNetwork pods.
+    pub ip: String,
+    /// Sockets currently open inside the pod's network namespace.
+    pub sockets: Vec<OpenSocket>,
+    /// Qualified name of the owning workload, if any.
+    pub owner: Option<String>,
+}
+
+impl RunningPod {
+    /// Qualified `namespace/name`.
+    pub fn qualified_name(&self) -> String {
+        self.pod.meta.qualified_name()
+    }
+
+    /// True when a cluster-reachable socket is open on `(port, protocol)`.
+    pub fn listens_on(&self, port: u16, protocol: Protocol) -> bool {
+        self.sockets
+            .iter()
+            .any(|s| s.port == port && s.protocol == protocol && !s.loopback_only)
+    }
+}
+
+/// Why an install failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// An admission controller rejected an object.
+    Denied {
+        /// Controller that rejected.
+        controller: String,
+        /// Rejection reason.
+        reason: String,
+        /// Qualified name of the rejected object.
+        object: String,
+    },
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::Denied { controller, reason, object } => {
+                write!(f, "admission controller `{controller}` denied `{object}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// A change notification delivered to [`Cluster::watch`] subscribers —
+/// the equivalent of an API-server watch stream, which continuous-audit
+/// tooling uses to react to cluster changes instead of polling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchEvent {
+    /// An object passed admission and was persisted.
+    Applied {
+        /// Object kind.
+        kind: String,
+        /// Qualified `namespace/name`.
+        name: String,
+    },
+    /// An admission controller rejected an object.
+    Denied {
+        /// Qualified name of the rejected object.
+        name: String,
+        /// Rejection reason.
+        reason: String,
+    },
+    /// A pod was scheduled and started.
+    PodStarted {
+        /// Qualified pod name.
+        name: String,
+        /// Node it landed on.
+        node: String,
+    },
+    /// All pods were restarted (ephemeral ports re-drawn).
+    PodsRestarted,
+    /// The cluster was wiped.
+    Reset,
+}
+
+/// Result of a simulated connection attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectOutcome {
+    /// TCP handshake (or UDP delivery) succeeded.
+    Connected,
+    /// Policy allowed the packet but nothing listens there.
+    Refused,
+    /// Dropped by the destination's ingress policy.
+    DeniedIngress,
+    /// Dropped by the source's egress policy.
+    DeniedEgress,
+}
+
+/// Annotation key the installer stamps onto release objects.
+pub const RELEASE_ANNOTATION: &str = "inside-job/release";
+
+/// The cluster simulator.
+pub struct Cluster {
+    config: ClusterConfig,
+    nodes: Vec<Node>,
+    objects: Vec<Object>,
+    pods: Vec<RunningPod>,
+    admission: Vec<Box<dyn AdmissionController>>,
+    rng: StdRng,
+    next_pod_ip: u32,
+    cluster_ips: HashMap<String, String>,
+    next_cluster_ip: u32,
+    events: Vec<String>,
+    watchers: Vec<Sender<WatchEvent>>,
+}
+
+impl Cluster {
+    /// Boots a cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let nodes = (0..config.nodes.max(1)).map(Node::new).collect();
+        let rng = StdRng::seed_from_u64(config.seed);
+        Cluster {
+            config,
+            nodes,
+            objects: Vec::new(),
+            pods: Vec::new(),
+            admission: Vec::new(),
+            rng,
+            next_pod_ip: 1,
+            cluster_ips: HashMap::new(),
+            next_cluster_ip: 1,
+            events: Vec::new(),
+            watchers: Vec::new(),
+        }
+    }
+
+    /// Boots a default three-node cluster with the given behaviour registry.
+    pub fn with_behaviors(behaviors: BehaviorRegistry) -> Self {
+        Cluster::new(ClusterConfig {
+            behaviors,
+            ..Default::default()
+        })
+    }
+
+    /// Installs an admission controller at the end of the chain.
+    pub fn push_admission(&mut self, controller: Box<dyn AdmissionController>) {
+        self.admission.push(controller);
+    }
+
+    /// Worker nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Event log (admission denials, pod starts, …).
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    /// Subscribes to change notifications (API-server watch semantics).
+    /// Dropped receivers are pruned automatically on the next event.
+    pub fn watch(&mut self) -> Receiver<WatchEvent> {
+        let (tx, rx) = unbounded();
+        self.watchers.push(tx);
+        rx
+    }
+
+    fn notify(&mut self, event: WatchEvent) {
+        self.watchers.retain(|w| w.send(event.clone()).is_ok());
+    }
+
+    /// All persisted objects.
+    pub fn objects(&self) -> &[Object] {
+        &self.objects
+    }
+
+    /// Running pods.
+    pub fn pods(&self) -> &[RunningPod] {
+        &self.pods
+    }
+
+    /// Looks up a running pod by qualified name.
+    pub fn pod(&self, qualified: &str) -> Option<&RunningPod> {
+        self.pods.iter().find(|p| p.qualified_name() == qualified)
+    }
+
+    /// Persisted services.
+    pub fn services(&self) -> impl Iterator<Item = &Service> {
+        self.objects.iter().filter_map(|o| match o {
+            Object::Service(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Persisted network policies.
+    pub fn network_policies(&self) -> Vec<&NetworkPolicy> {
+        self.objects
+            .iter()
+            .filter_map(|o| match o {
+                Object::NetworkPolicy(n) => Some(n),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Persisted workloads.
+    pub fn workloads(&self) -> impl Iterator<Item = &Workload> {
+        self.objects.iter().filter_map(|o| match o {
+            Object::Workload(w) => Some(w),
+            _ => None,
+        })
+    }
+
+    /// Namespace labels declared via Namespace objects.
+    pub fn namespace_labels(&self) -> Vec<(String, Labels)> {
+        self.objects
+            .iter()
+            .filter_map(|o| match o {
+                Object::Namespace(m) => Some((m.name.clone(), m.labels.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Applies one object through the admission chain.
+    pub fn apply(&mut self, object: Object) -> Result<Vec<String>, InstallError> {
+        let mut warnings = Vec::new();
+        for controller in &self.admission {
+            let review = AdmissionReview {
+                object: &object,
+                existing: &self.objects,
+            };
+            match controller.review(&review) {
+                AdmissionOutcome::Allow => {}
+                AdmissionOutcome::Warn(mut w) => warnings.append(&mut w),
+                AdmissionOutcome::Deny(reason) => {
+                    let err = InstallError::Denied {
+                        controller: controller.name().to_string(),
+                        reason: reason.clone(),
+                        object: object.qualified_name(),
+                    };
+                    self.events.push(format!("deny {}: {reason}", object.qualified_name()));
+                    self.notify(WatchEvent::Denied {
+                        name: object.qualified_name(),
+                        reason,
+                    });
+                    return Err(err);
+                }
+            }
+        }
+        self.events
+            .push(format!("apply {} {}", object.kind(), object.qualified_name()));
+        self.notify(WatchEvent::Applied {
+            kind: object.kind().to_string(),
+            name: object.qualified_name(),
+        });
+        // Services get a virtual IP at creation.
+        if let Object::Service(s) = &object {
+            if !s.is_headless() {
+                let ip = format!("10.96.{}.{}", self.next_cluster_ip / 254, self.next_cluster_ip % 254 + 1);
+                self.next_cluster_ip += 1;
+                self.cluster_ips.insert(s.meta.qualified_name(), ip);
+            }
+        }
+        self.objects.push(object);
+        Ok(warnings)
+    }
+
+    /// Installs a rendered release: applies every object (stamped with a
+    /// release annotation so [`Cluster::uninstall`] can find them later),
+    /// then reconciles. On an admission denial the release's
+    /// already-applied objects are rolled back (Helm-style atomic install).
+    pub fn install(&mut self, release: &RenderedRelease) -> Result<Vec<String>, InstallError> {
+        let checkpoint = self.objects.len();
+        let mut warnings = Vec::new();
+        for obj in &release.objects {
+            let mut obj = obj.clone();
+            obj.meta_mut()
+                .annotations
+                .insert(RELEASE_ANNOTATION.to_string(), release.release_name.clone());
+            match self.apply(obj) {
+                Ok(mut w) => warnings.append(&mut w),
+                Err(e) => {
+                    self.objects.truncate(checkpoint);
+                    return Err(e);
+                }
+            }
+        }
+        self.reconcile();
+        Ok(warnings)
+    }
+
+    /// Uninstalls a release: removes every object stamped with its name and
+    /// reaps the pods those objects owned. Other releases are untouched.
+    pub fn uninstall(&mut self, release_name: &str) {
+        self.objects.retain(|o| {
+            o.meta().annotations.get(RELEASE_ANNOTATION).map(String::as_str)
+                != Some(release_name)
+        });
+        // Reap pods whose defining object (owner workload or the bare pod
+        // itself) is gone.
+        let existing: HashSet<String> =
+            self.objects.iter().map(|o| o.qualified_name()).collect();
+        self.pods.retain(|rp| {
+            let definer = rp.owner.clone().unwrap_or_else(|| rp.qualified_name());
+            existing.contains(&definer)
+        });
+        self.events.push(format!("uninstall {release_name}"));
+    }
+
+    /// Removes everything — the paper's per-application fresh cluster.
+    pub fn reset(&mut self) {
+        self.objects.clear();
+        self.pods.clear();
+        self.cluster_ips.clear();
+        self.events.push("reset".to_string());
+        self.notify(WatchEvent::Reset);
+    }
+
+    /// Runs the controller loop: expands workloads into pods, schedules and
+    /// starts anything pending. Idempotent.
+    pub fn reconcile(&mut self) {
+        let mut desired: Vec<(Option<String>, Pod)> = Vec::new();
+        let workloads: Vec<Workload> = self.workloads().cloned().collect();
+        for w in &workloads {
+            desired.extend(self.expand_workload(w));
+        }
+        let bare: Vec<Pod> = self
+            .objects
+            .iter()
+            .filter_map(|o| match o {
+                Object::Pod(p) => Some(p.clone()),
+                _ => None,
+            })
+            .collect();
+        desired.extend(bare.into_iter().map(|p| (None, p)));
+
+        let running: HashSet<String> = self.pods.iter().map(|p| p.qualified_name()).collect();
+        for (owner, pod) in desired {
+            if running.contains(&pod.meta.qualified_name()) {
+                continue;
+            }
+            self.start_pod(pod, owner);
+        }
+    }
+
+    /// Restarts every pod: containers re-draw their ephemeral ports. This is
+    /// how the probe's second pass observes M2 (§4.2.2).
+    pub fn restart_pods(&mut self) {
+        let mut pods = std::mem::take(&mut self.pods);
+        for rp in &mut pods {
+            rp.sockets = self.open_sockets_for(&rp.pod);
+            self.events.push(format!("restart {}", rp.qualified_name()));
+        }
+        self.pods = pods;
+        self.notify(WatchEvent::PodsRestarted);
+    }
+
+    fn expand_workload(&self, w: &Workload) -> Vec<(Option<String>, Pod)> {
+        let owner = w.meta.qualified_name();
+        let mut out = Vec::new();
+        let make_pod = |name: String| {
+            let meta = ij_model::ObjectMeta {
+                name,
+                namespace: w.meta.namespace.clone(),
+                labels: w.template.labels.clone(),
+                annotations: Default::default(),
+            };
+            Pod::new(meta, w.template.spec.clone())
+        };
+        match w.kind {
+            WorkloadKind::DaemonSet => {
+                for node in &self.nodes {
+                    out.push((
+                        Some(owner.clone()),
+                        make_pod(format!("{}-{}", w.meta.name, node.name)),
+                    ));
+                }
+            }
+            _ => {
+                for i in 0..w.replicas.max(1) {
+                    out.push((Some(owner.clone()), make_pod(format!("{}-{}", w.meta.name, i))));
+                }
+            }
+        }
+        out
+    }
+
+    fn start_pod(&mut self, mut pod: Pod, owner: Option<String>) {
+        // Scheduler: round-robin by current pod count, honouring nodeName.
+        let node_idx = self.pods.len() % self.nodes.len();
+        let node = match &pod.spec.node_name {
+            Some(n) => self
+                .nodes
+                .iter()
+                .find(|node| &node.name == n)
+                .unwrap_or(&self.nodes[node_idx]),
+            None => &self.nodes[node_idx],
+        };
+        let node_name = node.name.clone();
+        let node_ip = node.ip.clone();
+        // IPAM: flat pod network, or the node IP under hostNetwork.
+        let ip = if pod.spec.host_network {
+            node_ip
+        } else {
+            let n = self.next_pod_ip;
+            self.next_pod_ip += 1;
+            format!("10.244.{}.{}", n / 254, n % 254 + 1)
+        };
+        pod.spec.node_name = Some(node_name.clone());
+        pod.status.pod_ip = Some(ip.clone());
+        pod.status.phase = "Running".to_string();
+        let sockets = self.open_sockets_for(&pod);
+        self.events.push(format!(
+            "start {} on {node_name} ip={ip} sockets={}",
+            pod.meta.qualified_name(),
+            sockets.len()
+        ));
+        self.notify(WatchEvent::PodStarted {
+            name: pod.meta.qualified_name(),
+            node: node_name.clone(),
+        });
+        self.pods.push(RunningPod {
+            pod,
+            node: node_name,
+            ip,
+            sockets,
+            owner,
+        });
+    }
+
+    /// Instantiates the behaviour model of every container in a pod.
+    fn open_sockets_for(&mut self, pod: &Pod) -> Vec<OpenSocket> {
+        let mut sockets = Vec::new();
+        let mut used: HashSet<(u16, Protocol)> = HashSet::new();
+        for container in &pod.spec.containers {
+            let behavior = self.config.behaviors.resolve(&container.image).clone();
+            for spec in behavior.listeners_for(container) {
+                let port = match &spec.port {
+                    PortSpec::Static(p) => Some(*p),
+                    PortSpec::Ephemeral => {
+                        // Draw until free within this pod (ranges are huge, so
+                        // this terminates immediately in practice).
+                        let mut p = self.rng.gen_range(32768..=60999u16);
+                        while used.contains(&(p, spec.protocol)) {
+                            p = self.rng.gen_range(32768..=60999u16);
+                        }
+                        Some(p)
+                    }
+                    PortSpec::FromEnv { var, default } => container
+                        .env_value(var)
+                        .and_then(|v| v.parse::<u16>().ok())
+                        .or(*default),
+                };
+                let Some(port) = port else { continue };
+                if !used.insert((port, spec.protocol)) {
+                    continue; // two containers racing for one port: first wins
+                }
+                sockets.push(OpenSocket {
+                    port,
+                    protocol: spec.protocol,
+                    loopback_only: spec.loopback_only,
+                    ephemeral: matches!(spec.port, PortSpec::Ephemeral),
+                    container: container.name.clone(),
+                });
+            }
+        }
+        sockets.sort_by_key(|s| (s.port, s.protocol));
+        sockets
+    }
+
+    /// The policy engine over the current policy set.
+    pub fn policy_engine(&self) -> PolicyEngine<'_> {
+        // Safety of lifetimes: engine borrows policies from object storage.
+        let policies: Vec<&NetworkPolicy> = self
+            .objects
+            .iter()
+            .filter_map(|o| match o {
+                Object::NetworkPolicy(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        // PolicyEngine wants a slice; keep a cached Vec inside self would
+        // complicate mutation, so we leak through an owned clone-free path:
+        // build from the stored objects each call.
+        PolicyEngine::from_refs(policies, self.namespace_labels())
+    }
+
+    /// Simulates a connection from one pod to another.
+    pub fn connect(
+        &self,
+        src: &str,
+        dst: &str,
+        port: u16,
+        protocol: Protocol,
+    ) -> Option<ConnectOutcome> {
+        let src = self.pod(src)?;
+        let dst = self.pod(dst)?;
+        let engine = self.policy_engine();
+        Some(match engine.verdict(src, dst, port, protocol) {
+            ConnectionVerdict::DeniedIngress => ConnectOutcome::DeniedIngress,
+            ConnectionVerdict::DeniedEgress => ConnectOutcome::DeniedEgress,
+            ConnectionVerdict::Allowed(_) => {
+                if dst.listens_on(port, protocol) {
+                    ConnectOutcome::Connected
+                } else {
+                    ConnectOutcome::Refused
+                }
+            }
+        })
+    }
+
+    /// Computes the endpoints object for every service, mirroring the
+    /// endpoints controller: label selection plus target-port resolution.
+    /// Numeric targets produce endpoints whether or not the port is open
+    /// (which is why M5A requests black-hole); named targets that no
+    /// container declares produce none.
+    pub fn endpoints(&self) -> Vec<Endpoints> {
+        self.services()
+            .map(|svc| {
+                let mut addresses = Vec::new();
+                if !svc.spec.selector.is_empty() {
+                    for rp in &self.pods {
+                        if rp.pod.meta.namespace != svc.meta.namespace {
+                            continue;
+                        }
+                        if !rp.pod.meta.labels.contains_all(&svc.spec.selector) {
+                            continue;
+                        }
+                        for sp in &svc.spec.ports {
+                            let target = match &sp.target_port {
+                                TargetPort::Number(n) => Some(*n),
+                                TargetPort::Name(name) => rp.pod.resolve_port_name(name),
+                            };
+                            let Some(target) = target else { continue };
+                            addresses.push(EndpointAddress {
+                                ip: rp.ip.clone(),
+                                pod: rp.qualified_name(),
+                                port: target,
+                                protocol: sp.protocol,
+                                port_name: sp.name.clone(),
+                            });
+                        }
+                    }
+                }
+                Endpoints {
+                    meta: svc.meta.clone(),
+                    addresses,
+                }
+            })
+            .collect()
+    }
+
+    /// Endpoints for one service.
+    pub fn endpoints_for(&self, namespace: &str, name: &str) -> Option<Endpoints> {
+        self.endpoints()
+            .into_iter()
+            .find(|e| e.meta.namespace == namespace && e.meta.name == name)
+    }
+
+    /// The virtual IP assigned to a (non-headless) service.
+    pub fn cluster_ip(&self, namespace: &str, name: &str) -> Option<&str> {
+        self.cluster_ips
+            .get(&format!("{namespace}/{name}"))
+            .map(String::as_str)
+    }
+
+    /// Cluster-DNS resolution: ClusterIP for normal services, the backing
+    /// pod IPs for headless ones.
+    pub fn resolve_dns(&self, namespace: &str, name: &str) -> Vec<String> {
+        let Some(svc) = self
+            .services()
+            .find(|s| s.meta.namespace == namespace && s.meta.name == name)
+        else {
+            return Vec::new();
+        };
+        if svc.is_headless() {
+            let mut ips: Vec<String> = self
+                .endpoints_for(namespace, name)
+                .map(|e| e.addresses.iter().map(|a| a.ip.clone()).collect())
+                .unwrap_or_default();
+            ips.sort();
+            ips.dedup();
+            ips
+        } else {
+            self.cluster_ip(namespace, name)
+                .map(|ip| vec![ip.to_string()])
+                .unwrap_or_default()
+        }
+    }
+
+    /// Simulates a request from `src` to service `namespace/name:port`,
+    /// returning the qualified names of the pods that would successfully
+    /// receive it (after policy evaluation and listener checks). kube-proxy
+    /// load-balances across these — which is precisely what makes the
+    /// Thanos-style impersonation (§2.1.2) work: a malicious pod matching
+    /// the selector joins this list.
+    pub fn send_to_service(
+        &self,
+        src: &str,
+        namespace: &str,
+        name: &str,
+        port: u16,
+    ) -> Vec<String> {
+        let Some(src_pod) = self.pod(src) else { return Vec::new() };
+        let Some(svc) = self
+            .services()
+            .find(|s| s.meta.namespace == namespace && s.meta.name == name)
+        else {
+            return Vec::new();
+        };
+        let Some(sp) = svc.spec.ports.iter().find(|p| p.port == port) else {
+            return Vec::new();
+        };
+        let endpoints = match self.endpoints_for(namespace, name) {
+            Some(e) => e,
+            None => return Vec::new(),
+        };
+        let engine = self.policy_engine();
+        let mut receivers = Vec::new();
+        for addr in &endpoints.addresses {
+            if addr.port_name != sp.name {
+                continue;
+            }
+            let Some(dst) = self.pod(&addr.pod) else { continue };
+            if !engine.verdict(src_pod, dst, addr.port, sp.protocol).is_allowed() {
+                continue;
+            }
+            if dst.listens_on(addr.port, sp.protocol) {
+                receivers.push(addr.pod.clone());
+            }
+        }
+        receivers.sort();
+        receivers.dedup();
+        receivers
+    }
+
+    /// Sockets visible in a node's host network namespace: the node's own
+    /// daemons plus every hostNetwork pod scheduled there. This is the M7
+    /// observation problem the probe must subtract a baseline from.
+    pub fn host_sockets(&self, node: &str) -> Vec<(u16, Protocol, Option<String>)> {
+        let mut out: Vec<(u16, Protocol, Option<String>)> = Vec::new();
+        if let Some(n) = self.nodes.iter().find(|n| n.name == node) {
+            for &(p, proto) in &n.baseline_ports {
+                out.push((p, proto, None));
+            }
+        }
+        for rp in &self.pods {
+            if rp.pod.spec.host_network && rp.node == node {
+                for s in &rp.sockets {
+                    if !s.loopback_only {
+                        out.push((s.port, s.protocol, Some(rp.qualified_name())));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{ContainerBehavior, ListenerSpec};
+    use ij_chart::{Chart, Release};
+
+    fn demo_chart() -> Chart {
+        Chart::builder("demo")
+            .values_yaml("replicas: 2\n")
+            .unwrap()
+            .template(
+                "deploy.yaml",
+                "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-web
+spec:
+  replicas: {{ .Values.replicas }}
+  selector:
+    matchLabels:
+      app: web
+  template:
+    metadata:
+      labels:
+        app: web
+    spec:
+      containers:
+        - name: web
+          image: demo/web
+          ports:
+            - name: http
+              containerPort: 8080
+",
+            )
+            .template(
+                "svc.yaml",
+                "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}-web
+spec:
+  selector:
+    app: web
+  ports:
+    - name: http
+      port: 80
+      targetPort: http
+",
+            )
+            .build()
+    }
+
+    fn install_demo(behaviors: BehaviorRegistry) -> Cluster {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            seed: 7,
+            behaviors,
+        });
+        let rendered = demo_chart().render(&Release::new("d", "default")).unwrap();
+        cluster.install(&rendered).unwrap();
+        cluster
+    }
+
+    #[test]
+    fn install_creates_pods_with_ips() {
+        let cluster = install_demo(BehaviorRegistry::new());
+        assert_eq!(cluster.pods().len(), 2);
+        let ips: HashSet<&str> = cluster.pods().iter().map(|p| p.ip.as_str()).collect();
+        assert_eq!(ips.len(), 2, "distinct pod IPs");
+        for p in cluster.pods() {
+            assert!(p.ip.starts_with("10.244."));
+            assert_eq!(p.pod.status.phase, "Running");
+            assert!(p.listens_on(8080, Protocol::Tcp), "default behaviour opens declared port");
+        }
+    }
+
+    #[test]
+    fn reconcile_is_idempotent() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        cluster.reconcile();
+        cluster.reconcile();
+        assert_eq!(cluster.pods().len(), 2);
+    }
+
+    #[test]
+    fn endpoints_resolve_named_target_port() {
+        let cluster = install_demo(BehaviorRegistry::new());
+        let ep = cluster.endpoints_for("default", "d-web").unwrap();
+        assert_eq!(ep.addresses.len(), 2);
+        assert!(ep.addresses.iter().all(|a| a.port == 8080));
+    }
+
+    #[test]
+    fn service_routing_hits_listening_backends() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        // An attacker pod, no special privileges, somewhere in the cluster.
+        let attacker = Pod::new(
+            ij_model::ObjectMeta::named("attacker"),
+            ij_model::PodSpec {
+                containers: vec![ij_model::Container::new("sh", "alpine")],
+                ..Default::default()
+            },
+        );
+        cluster.apply(Object::Pod(attacker)).unwrap();
+        cluster.reconcile();
+        let receivers = cluster.send_to_service("default/attacker", "default", "d-web", 80);
+        assert_eq!(receivers.len(), 2);
+    }
+
+    #[test]
+    fn impersonation_via_label_collision() {
+        // Thanos-style (§2.1.2): a malicious pod matching the service's
+        // selector starts receiving service traffic.
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        let imposter = Pod::new(
+            ij_model::ObjectMeta::named("imposter")
+                .with_labels(Labels::from_pairs([("app", "web")])),
+            ij_model::PodSpec {
+                containers: vec![ij_model::Container::new("sh", "attacker/listener")
+                    .with_ports(vec![ij_model::ContainerPort::named("http", 8080)])],
+                ..Default::default()
+            },
+        );
+        cluster.apply(Object::Pod(imposter)).unwrap();
+        cluster.reconcile();
+        let receivers = cluster.send_to_service("default/d-web-0", "default", "d-web", 80);
+        assert!(receivers.contains(&"default/imposter".to_string()));
+    }
+
+    #[test]
+    fn ephemeral_ports_differ_across_restart() {
+        let mut behaviors = BehaviorRegistry::new();
+        behaviors.register(
+            "demo/web",
+            ContainerBehavior::Listeners(vec![ListenerSpec::tcp(8080), ListenerSpec::ephemeral()]),
+        );
+        let mut cluster = install_demo(behaviors);
+        let before: Vec<u16> = cluster.pods()[0]
+            .sockets
+            .iter()
+            .filter(|s| s.ephemeral)
+            .map(|s| s.port)
+            .collect();
+        assert_eq!(before.len(), 1);
+        assert!((32768..=60999).contains(&before[0]));
+        cluster.restart_pods();
+        let after: Vec<u16> = cluster.pods()[0]
+            .sockets
+            .iter()
+            .filter(|s| s.ephemeral)
+            .map(|s| s.port)
+            .collect();
+        assert_ne!(before, after, "ephemeral port re-drawn on restart");
+        assert!(cluster.pods()[0].listens_on(8080, Protocol::Tcp), "static port stable");
+    }
+
+    #[test]
+    fn connect_honours_listeners_and_policies() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        let attacker = Pod::new(
+            ij_model::ObjectMeta::named("attacker"),
+            ij_model::PodSpec {
+                containers: vec![ij_model::Container::new("sh", "alpine")],
+                ..Default::default()
+            },
+        );
+        cluster.apply(Object::Pod(attacker)).unwrap();
+        cluster.reconcile();
+        // Default allow: open port connects, closed port refuses.
+        assert_eq!(
+            cluster.connect("default/attacker", "default/d-web-0", 8080, Protocol::Tcp),
+            Some(ConnectOutcome::Connected)
+        );
+        assert_eq!(
+            cluster.connect("default/attacker", "default/d-web-0", 9999, Protocol::Tcp),
+            Some(ConnectOutcome::Refused)
+        );
+        // A deny-all policy flips the verdict.
+        let deny = NetworkPolicy::deny_all_ingress(
+            ij_model::ObjectMeta::named("deny"),
+            ij_model::LabelSelector::from_labels(Labels::from_pairs([("app", "web")])),
+        );
+        cluster.apply(Object::NetworkPolicy(deny)).unwrap();
+        assert_eq!(
+            cluster.connect("default/attacker", "default/d-web-0", 8080, Protocol::Tcp),
+            Some(ConnectOutcome::DeniedIngress)
+        );
+    }
+
+    #[test]
+    fn loopback_sockets_unreachable() {
+        let mut behaviors = BehaviorRegistry::new();
+        behaviors.register(
+            "demo/web",
+            ContainerBehavior::Listeners(vec![ListenerSpec::tcp(2222).loopback()]),
+        );
+        let cluster = install_demo(behaviors);
+        assert!(!cluster.pods()[0].listens_on(2222, Protocol::Tcp));
+        assert!(cluster.pods()[0]
+            .sockets
+            .iter()
+            .any(|s| s.port == 2222 && s.loopback_only));
+    }
+
+    #[test]
+    fn daemonset_runs_on_every_node() {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let w = Workload::deployment(
+            ij_model::ObjectMeta::named("exporter"),
+            Labels::from_pairs([("app", "exporter")]),
+            ij_model::PodSpec {
+                containers: vec![ij_model::Container::new("e", "exporter")
+                    .with_ports(vec![ij_model::ContainerPort::tcp(9100)])],
+                host_network: true,
+                node_name: None,
+            },
+        )
+        .with_kind(WorkloadKind::DaemonSet);
+        cluster.apply(Object::Workload(w)).unwrap();
+        cluster.reconcile();
+        assert_eq!(cluster.pods().len(), 3);
+        // hostNetwork pods take their node's IP and appear in host sockets.
+        for p in cluster.pods() {
+            assert!(p.ip.starts_with("192.168.49."));
+        }
+        let host = cluster.host_sockets("node-0");
+        assert!(host.iter().any(|(p, _, owner)| *p == 9100 && owner.is_some()));
+        assert!(host.iter().any(|(p, _, owner)| *p == 10250 && owner.is_none()));
+    }
+
+    #[test]
+    fn headless_dns_returns_pod_ips() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        let headless = Service::headless(
+            ij_model::ObjectMeta::named("web-headless"),
+            Labels::from_pairs([("app", "web")]),
+            vec![ij_model::ServicePort::tcp(8080)],
+        );
+        cluster.apply(Object::Service(headless)).unwrap();
+        let ips = cluster.resolve_dns("default", "web-headless");
+        assert_eq!(ips.len(), 2);
+        assert!(ips.iter().all(|ip| ip.starts_with("10.244.")));
+        // Normal service resolves to one virtual IP.
+        let vip = cluster.resolve_dns("default", "d-web");
+        assert_eq!(vip.len(), 1);
+        assert!(vip[0].starts_with("10.96."));
+    }
+
+    #[test]
+    fn admission_denial_rolls_back_release() {
+        struct DenyServices;
+        impl AdmissionController for DenyServices {
+            fn name(&self) -> &str {
+                "deny-services"
+            }
+            fn review(&self, review: &AdmissionReview<'_>) -> AdmissionOutcome {
+                if review.object.kind() == "Service" {
+                    AdmissionOutcome::Deny("services are forbidden".into())
+                } else {
+                    AdmissionOutcome::Allow
+                }
+            }
+        }
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        cluster.push_admission(Box::new(DenyServices));
+        let rendered = demo_chart().render(&Release::new("d", "default")).unwrap();
+        let err = cluster.install(&rendered).unwrap_err();
+        assert!(matches!(err, InstallError::Denied { .. }));
+        assert!(cluster.objects().is_empty(), "rolled back");
+        assert!(cluster.pods().is_empty());
+    }
+
+    #[test]
+    fn watch_stream_delivers_lifecycle_events() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        let rx = cluster.watch();
+        let pod = Pod::new(
+            ij_model::ObjectMeta::named("late"),
+            ij_model::PodSpec {
+                containers: vec![ij_model::Container::new("c", "img")],
+                ..Default::default()
+            },
+        );
+        cluster.apply(Object::Pod(pod)).unwrap();
+        cluster.reconcile();
+        cluster.restart_pods();
+        cluster.reset();
+        let events: Vec<WatchEvent> = rx.try_iter().collect();
+        assert!(events.contains(&WatchEvent::Applied {
+            kind: "Pod".into(),
+            name: "default/late".into()
+        }));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, WatchEvent::PodStarted { name, .. } if name == "default/late")));
+        assert!(events.contains(&WatchEvent::PodsRestarted));
+        assert!(events.contains(&WatchEvent::Reset));
+    }
+
+    #[test]
+    fn dropped_watchers_are_pruned() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        {
+            let _rx = cluster.watch();
+        } // receiver dropped immediately
+        let rx2 = cluster.watch();
+        cluster.reset();
+        assert!(rx2.try_iter().any(|e| e == WatchEvent::Reset));
+    }
+
+    #[test]
+    fn watch_sees_admission_denials() {
+        struct DenyPods;
+        impl AdmissionController for DenyPods {
+            fn name(&self) -> &str {
+                "deny-pods"
+            }
+            fn review(&self, review: &AdmissionReview<'_>) -> AdmissionOutcome {
+                if review.object.kind() == "Pod" {
+                    AdmissionOutcome::Deny("no pods".into())
+                } else {
+                    AdmissionOutcome::Allow
+                }
+            }
+        }
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        cluster.push_admission(Box::new(DenyPods));
+        let rx = cluster.watch();
+        let pod = Pod::new(ij_model::ObjectMeta::named("p"), ij_model::PodSpec::default());
+        let _ = cluster.apply(Object::Pod(pod));
+        assert!(rx
+            .try_iter()
+            .any(|e| matches!(e, WatchEvent::Denied { reason, .. } if reason == "no pods")));
+    }
+
+    #[test]
+    fn uninstall_removes_only_the_release() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        let second = demo_chart().render(&Release::new("e", "default")).unwrap();
+        cluster.install(&second).unwrap();
+        assert_eq!(cluster.pods().len(), 4);
+        cluster.uninstall("d");
+        assert_eq!(cluster.pods().len(), 2, "only release e's pods remain");
+        assert!(cluster.pods().iter().all(|p| p.qualified_name().contains("e-web")));
+        assert!(cluster.services().all(|s| s.meta.name == "e-web"));
+        // Endpoints follow: the removed release's service is gone.
+        assert!(cluster.endpoints_for("default", "d-web").is_none());
+        assert!(cluster.endpoints_for("default", "e-web").is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut behaviors = BehaviorRegistry::new();
+            behaviors.register(
+                "demo/web",
+                ContainerBehavior::Listeners(vec![ListenerSpec::ephemeral()]),
+            );
+            let cluster = install_demo(behaviors);
+            cluster.pods()[0].sockets[0].port
+        };
+        assert_eq!(mk(), mk());
+    }
+}

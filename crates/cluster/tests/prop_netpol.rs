@@ -1,0 +1,162 @@
+//! Property tests for the NetworkPolicy engine's core semantics.
+
+use ij_cluster::{Cluster, ClusterConfig, PolicyEngine, RunningPod};
+use ij_model::{
+    Container, ContainerPort, LabelSelector, Labels, NetworkPolicy, NetworkPolicyPeer, Object,
+    ObjectMeta, Pod, PodSpec, PolicyPort, Protocol,
+};
+use proptest::prelude::*;
+
+fn arb_labels() -> impl Strategy<Value = Labels> {
+    prop::collection::btree_map("[ab]", "[xy]", 1..3).prop_map(Labels)
+}
+
+/// Builds running pods through the real cluster machinery so IPs and nodes
+/// are realistic.
+fn running_pods(specs: Vec<(String, Labels, bool)>) -> Vec<RunningPod> {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        seed: 1,
+        behaviors: Default::default(),
+    });
+    for (name, labels, host_network) in specs {
+        cluster
+            .apply(Object::Pod(Pod::new(
+                ObjectMeta::named(name).with_labels(labels),
+                PodSpec {
+                    containers: vec![
+                        Container::new("c", "img").with_ports(vec![ContainerPort::tcp(8080)]),
+                    ],
+                    host_network,
+                    node_name: None,
+                },
+            )))
+            .expect("apply");
+    }
+    cluster.reconcile();
+    cluster.pods().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With no policies, every pod-to-pod connection is allowed.
+    #[test]
+    fn default_allow_is_total(
+        labels in prop::collection::vec(arb_labels(), 2..5),
+        port in 1u16..=65535,
+    ) {
+        let pods = running_pods(
+            labels
+                .into_iter()
+                .enumerate()
+                .map(|(i, l)| (format!("p{i}"), l, false))
+                .collect(),
+        );
+        let engine = PolicyEngine::new(&[], []);
+        for src in &pods {
+            for dst in &pods {
+                prop_assert!(engine.verdict(src, dst, port, Protocol::Tcp).is_allowed());
+            }
+        }
+    }
+
+    /// A deny-all-ingress policy blocks every non-hostNetwork destination,
+    /// and hostNetwork destinations bypass it regardless of labels.
+    #[test]
+    fn deny_all_blocks_exactly_pod_network_destinations(
+        labels in prop::collection::vec(arb_labels(), 2..5),
+        host_flags in prop::collection::vec(any::<bool>(), 2..5),
+    ) {
+        let n = labels.len().min(host_flags.len());
+        let pods = running_pods(
+            labels
+                .into_iter()
+                .take(n)
+                .zip(host_flags.into_iter().take(n))
+                .enumerate()
+                .map(|(i, (l, h))| (format!("p{i}"), l, h))
+                .collect(),
+        );
+        let deny = [NetworkPolicy::deny_all_ingress(
+            ObjectMeta::named("deny"),
+            LabelSelector::everything(),
+        )];
+        let engine = PolicyEngine::new(&deny, []);
+        for src in &pods {
+            for dst in &pods {
+                let verdict = engine.verdict(src, dst, 8080, Protocol::Tcp);
+                prop_assert_eq!(
+                    verdict.is_allowed(),
+                    dst.pod.spec.host_network,
+                    "src={} dst={} host={}",
+                    src.qualified_name(),
+                    dst.qualified_name(),
+                    dst.pod.spec.host_network
+                );
+            }
+        }
+    }
+
+    /// Policies are additive allow-lists: adding an allow policy on top of a
+    /// deny-all never shrinks the allowed set.
+    #[test]
+    fn allow_rules_are_monotonic(
+        src_labels in arb_labels(),
+        dst_labels in arb_labels(),
+        peer_sel in arb_labels(),
+        port in prop::sample::select(vec![8080u16, 9090]),
+    ) {
+        let pods = running_pods(vec![
+            ("src".to_string(), src_labels, false),
+            ("dst".to_string(), dst_labels, false),
+        ]);
+        let (src, dst) = (&pods[0], &pods[1]);
+
+        let base = vec![NetworkPolicy::deny_all_ingress(
+            ObjectMeta::named("deny"),
+            LabelSelector::everything(),
+        )];
+        let mut extended = base.clone();
+        extended.push(NetworkPolicy::allow_ingress(
+            ObjectMeta::named("allow"),
+            LabelSelector::everything(),
+            vec![NetworkPolicyPeer::pods(LabelSelector::from_labels(peer_sel))],
+            vec![PolicyPort::tcp(port)],
+        ));
+
+        let base_engine = PolicyEngine::new(&base, []);
+        let ext_engine = PolicyEngine::new(&extended, []);
+        for probe in [8080u16, 9090] {
+            let before = base_engine.verdict(src, dst, probe, Protocol::Tcp).is_allowed();
+            let after = ext_engine.verdict(src, dst, probe, Protocol::Tcp).is_allowed();
+            prop_assert!(
+                !before || after,
+                "adding an allow policy removed {probe} (before={before}, after={after})"
+            );
+        }
+    }
+
+    /// The engine is a pure function: same inputs, same verdicts.
+    #[test]
+    fn verdicts_are_deterministic(
+        src_labels in arb_labels(),
+        dst_labels in arb_labels(),
+        sel in arb_labels(),
+    ) {
+        let pods = running_pods(vec![
+            ("src".to_string(), src_labels, false),
+            ("dst".to_string(), dst_labels, false),
+        ]);
+        let policies = [NetworkPolicy::allow_ingress(
+            ObjectMeta::named("p"),
+            LabelSelector::from_labels(sel),
+            vec![],
+            vec![PolicyPort::tcp(8080)],
+        )];
+        let engine = PolicyEngine::new(&policies, []);
+        let a = engine.verdict(&pods[0], &pods[1], 8080, Protocol::Tcp);
+        let b = engine.verdict(&pods[0], &pods[1], 8080, Protocol::Tcp);
+        prop_assert_eq!(a, b);
+    }
+}

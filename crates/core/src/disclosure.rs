@@ -1,0 +1,168 @@
+//! Responsible-disclosure report generation (§5 and Appendix A.1).
+//!
+//! The paper's disclosure to each organization included: the list of
+//! identified misconfigurations and affected charts, the threat model, a
+//! description of each misconfiguration type with suggested mitigations —
+//! followed by an anonymous questionnaire (Figure 5). This module renders
+//! exactly that package from a [`Census`], so a user of this library can
+//! take its findings to the affected teams the same way the authors did.
+
+use crate::finding::MisconfigId;
+use crate::report::Census;
+use std::collections::BTreeSet;
+
+/// The threat-model paragraph included in every disclosure (§3.1).
+pub const THREAT_MODEL: &str = "\
+Threat model: we consider the lateral-movement tactic (cluster-internal \
+networking technique) of the Microsoft Threat Matrix for Kubernetes. The \
+attacker controls one container in a pod, with legitimate access to the \
+cluster network but no other privileges (no root, no Kubernetes API). The \
+cluster itself is assumed hardened according to security best practices.";
+
+/// Renders the disclosure report for one organization (dataset).
+pub fn disclosure_report(census: &Census, dataset: &str) -> String {
+    let apps: Vec<_> = census
+        .apps
+        .iter()
+        .filter(|a| a.dataset == dataset && a.is_affected())
+        .collect();
+    let classes: BTreeSet<MisconfigId> =
+        apps.iter().flat_map(|a| a.findings.iter().map(|f| f.id)).collect();
+    let total: usize = apps.iter().map(|a| a.total()).sum();
+
+    let mut out = String::new();
+    out.push_str(&format!("# Security disclosure — network misconfigurations in {dataset} charts\n\n"));
+    out.push_str(THREAT_MODEL);
+    out.push_str("\n\n");
+    out.push_str(&format!(
+        "## Summary\n\nWe analyzed your publicly available Helm charts by installing each \
+         into an isolated cluster and comparing declared configuration against observed \
+         runtime behaviour. {} of your charts exhibit a total of {} network \
+         misconfigurations across {} classes.\n\n",
+        apps.len(),
+        total,
+        classes.len()
+    ));
+
+    out.push_str("## Misconfiguration classes found\n\n");
+    for id in MisconfigId::ALL {
+        if !classes.contains(&id) {
+            continue;
+        }
+        let count: usize = apps.iter().map(|a| a.count_of(id)).sum();
+        out.push_str(&format!(
+            "### {} — {} ({} instance(s), severity {:?})\n\n{}.\nPossible attacks: {}.\n\n**Suggested mitigation:** {}.\n\n",
+            id.as_str(),
+            id.description(),
+            count,
+            id.severity(),
+            id.issue(),
+            id.possible_attacks().join(", "),
+            id.mitigation()
+        ));
+    }
+
+    out.push_str("## Affected charts\n\n");
+    for app in &apps {
+        out.push_str(&format!("### {} {}\n\n", app.app, app.version));
+        for f in &app.findings {
+            out.push_str(&format!("* [{}] `{}` — {}\n", f.id, f.object, f.detail));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("## Follow-up\n\nWe would appreciate your assessment of these findings. \
+                  A short anonymous questionnaire is attached below; we are happy to \
+                  discuss mitigations for any specific chart.\n\n");
+    out.push_str(questionnaire());
+    out
+}
+
+/// The Figure 5 feedback questionnaire, rendered as markdown.
+pub fn questionnaire() -> &'static str {
+    "\
+## Questionnaire
+
+1. What is the size of your organization, if applicable? (1-99 / 100-999 / \
+1,000-4,999 / 5,000+ / N.A.)
+2. What is your current role?
+3. How long have you been using Helm? (less than a year / 1-2 years / more)
+4. Do you follow any guidelines to secure Helm Charts? If so, what are the main steps?
+5. Do you use any software tools or services to check the security of Helm Charts?
+6. Compared to Charts created by your organization, do you handle third-party \
+Helm Charts differently?
+7. Rate your agreement: (a) detecting lateral movement in a Kubernetes cluster \
+is a critical issue; (b) I trust the port information in Helm Charts.
+8. Do you use network policies with your cloud applications? (yes/no)
+9. If yes: why, and what are their advantages and disadvantages?
+10. If no: why not, and what are their disadvantages?
+11. Rate your agreement: (a) undeclared ports are a critical security risk; \
+(b) unused ports are a critical security risk; (c) label collision is a \
+critical security risk.
+12. If any rated non-critical: why are they not a critical security risk?
+13. Did you receive a security report about Helm misconfigurations, including \
+undeclared ports, unused ports and/or label collisions? (yes/no)
+14. Are there false positives in the reported misconfigurations?
+15. Rate your agreement: (a) the proposed mitigations are useful; (b) I will \
+use a tool to detect the reported misconfigurations.
+16. If the proposed mitigations were not useful, what would be a better option?
+17. Does the report reflect the status of your project? Leave your feedback here.
+18. Please leave any other feedback you may consider useful for our research.
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finding::Finding;
+    use crate::report::AppReport;
+
+    fn census() -> Census {
+        Census {
+            apps: vec![
+                AppReport {
+                    app: "rabbitmq".into(),
+                    dataset: "Bitnami".into(),
+                    version: "11.9.1".into(),
+                    findings: vec![
+                        Finding::new(MisconfigId::M1, "rabbitmq", "default/rabbitmq-server", "port 9200/TCP open, undeclared"),
+                        Finding::new(MisconfigId::M6, "rabbitmq", "rabbitmq", "no NetworkPolicy"),
+                    ],
+                },
+                AppReport {
+                    app: "clean-app".into(),
+                    dataset: "Bitnami".into(),
+                    version: "1.0.0".into(),
+                    findings: vec![],
+                },
+                AppReport {
+                    app: "other-org".into(),
+                    dataset: "CNCF".into(),
+                    version: "1.0.0".into(),
+                    findings: vec![Finding::new(MisconfigId::M7, "other-org", "default/x", "hostNetwork")],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_contains_required_sections() {
+        let text = disclosure_report(&census(), "Bitnami");
+        assert!(text.contains("Threat model"));
+        assert!(text.contains("M1 — Port open on container is not declared"));
+        assert!(text.contains("Suggested mitigation"));
+        assert!(text.contains("rabbitmq 11.9.1"));
+        assert!(text.contains("Questionnaire"));
+        // Only affected charts of the addressed dataset appear.
+        assert!(!text.contains("clean-app"));
+        assert!(!text.contains("other-org"));
+    }
+
+    #[test]
+    fn questionnaire_has_all_eighteen_items() {
+        let q = questionnaire();
+        for i in 1..=18 {
+            assert!(q.contains(&format!("{i}. ")), "missing question {i}");
+        }
+    }
+}

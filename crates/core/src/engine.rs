@@ -1,0 +1,427 @@
+//! The analysis engine: combines static extraction and runtime observation
+//! and evaluates the rules (§4.2.1).
+
+use crate::finding::Finding;
+use crate::model::StaticModel;
+use crate::rules::{self, RuleContext};
+use ij_chart::Chart;
+use ij_cluster::Cluster;
+use ij_model::Object;
+use ij_probe::RuntimeReport;
+
+/// Which halves of the hybrid pipeline run — the Table 3 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzerOptions {
+    /// Evaluate rules over the rendered configuration (M4, M5B/M5D, M6, M7,
+    /// and the static half of M5A/M5C).
+    pub static_rules: bool,
+    /// Evaluate rules over runtime observations (M1, M2, M3, and the
+    /// runtime half of M5A/M5C).
+    pub runtime_rules: bool,
+}
+
+impl Default for AnalyzerOptions {
+    fn default() -> Self {
+        AnalyzerOptions {
+            static_rules: true,
+            runtime_rules: true,
+        }
+    }
+}
+
+/// The misconfiguration analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    /// Enabled rule groups.
+    pub options: AnalyzerOptions,
+}
+
+impl Analyzer {
+    /// The full hybrid analyzer (the paper's solution).
+    pub fn hybrid() -> Self {
+        Analyzer::default()
+    }
+
+    /// Static-only, like manifest linters.
+    pub fn static_only() -> Self {
+        Analyzer {
+            options: AnalyzerOptions {
+                static_rules: true,
+                runtime_rules: false,
+            },
+        }
+    }
+
+    /// Runtime-only, like cluster scanners that never parse charts.
+    pub fn runtime_only() -> Self {
+        Analyzer {
+            options: AnalyzerOptions {
+                static_rules: false,
+                runtime_rules: true,
+            },
+        }
+    }
+
+    /// Analyzes one installed application.
+    ///
+    /// * `objects` — the rendered objects of the application (for the
+    ///   per-app methodology this is everything in the cluster);
+    /// * `cluster` — the cluster the application runs in (pod ownership);
+    /// * `runtime` — the probe's report, or `None` in static-only mode;
+    /// * `chart_defines_policies` — whether the chart's template set defines
+    ///   NetworkPolicy resources (see [`chart_defines_network_policies`]).
+    pub fn analyze_app(
+        &self,
+        app: &str,
+        objects: &[Object],
+        cluster: &Cluster,
+        runtime: Option<&RuntimeReport>,
+        chart_defines_policies: bool,
+    ) -> Vec<Finding> {
+        let statics = StaticModel::from_objects(objects);
+        let ownership: Vec<(String, String)> = cluster
+            .pods()
+            .iter()
+            .map(|p| {
+                let name = p.qualified_name();
+                (name.clone(), p.owner.clone().unwrap_or(name))
+            })
+            .collect();
+        let ctx = RuleContext {
+            app,
+            statics: &statics,
+            runtime: if self.options.runtime_rules { runtime } else { None },
+            ownership: &ownership,
+            chart_defines_policies,
+        };
+
+        let mut findings = Vec::new();
+        if self.options.runtime_rules && runtime.is_some() {
+            findings.extend(rules::m1_undeclared_open_ports(&ctx));
+            findings.extend(rules::m2_dynamic_ports(&ctx));
+            findings.extend(rules::m3_declared_not_open(&ctx));
+        }
+        if self.options.static_rules {
+            findings.extend(rules::m4a_unit_collisions(&ctx));
+            findings.extend(rules::m4b_service_collisions(&ctx));
+            findings.extend(rules::m4c_subset_collisions(&ctx));
+            findings.extend(rules::m5_service_references(&ctx));
+            findings.extend(rules::m6_missing_policies(&ctx));
+            findings.extend(rules::m7_host_network(&ctx));
+        }
+        findings.sort_by(|a, b| (a.id, &a.object, a.port).cmp(&(b.id, &b.object, b.port)));
+        findings
+    }
+
+    /// The cluster-wide pass (§4.2.1): after every application has been
+    /// analyzed individually, check labels and selectors *across*
+    /// applications for M4\* collisions.
+    pub fn analyze_global(&self, apps: &[(String, StaticModel)]) -> Vec<Finding> {
+        if !self.options.static_rules {
+            return Vec::new();
+        }
+        rules::m4_global_collisions(apps)
+    }
+}
+
+/// True when the chart (or any dependency) has a template that can render a
+/// NetworkPolicy — the signal that separates "policies not defined" from
+/// "policies defined but not enabled" in M6.
+pub fn chart_defines_network_policies(chart: &Chart) -> bool {
+    chart
+        .templates
+        .iter()
+        .any(|(_, src)| src.contains("kind: NetworkPolicy"))
+        || chart
+            .dependencies
+            .iter()
+            .any(|d| chart_defines_network_policies(&d.chart))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finding::MisconfigId;
+    use ij_chart::Release;
+    use ij_cluster::{
+        BehaviorRegistry, Cluster, ClusterConfig, ContainerBehavior, ListenerSpec,
+    };
+    use ij_probe::{HostBaseline, RuntimeAnalyzer};
+
+    /// A deliberately misconfigured application exercising most rules:
+    /// * container declares 6124 (never opened, untargeted → M3) and 6121
+    ///   (never opened but service-targeted → M5A, not M3), omits 9249
+    ///   (opened → M1), plus an ephemeral listener (→ M2);
+    /// * two services hit the same workload (→ M4B) and one of them targets
+    ///   the declared-but-closed 6121 (→ M5A);
+    /// * another service has a selector matching nothing (→ M5D);
+    /// * no NetworkPolicy (→ M6);
+    /// * a hostNetwork exporter (→ M7).
+    fn bad_chart() -> Chart {
+        Chart::builder("badapp")
+            .template(
+                "deploy.yaml",
+                "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: flink
+spec:
+  selector:
+    matchLabels:
+      app: flink
+  template:
+    metadata:
+      labels:
+        app: flink
+    spec:
+      containers:
+        - name: flink
+          image: sim/flink
+          ports:
+            - containerPort: 6121
+            - containerPort: 6123
+            - containerPort: 6124
+            - containerPort: 8081
+",
+            )
+            .template(
+                "exporter.yaml",
+                "\
+apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: exporter
+spec:
+  selector:
+    matchLabels:
+      app: exporter
+  template:
+    metadata:
+      labels:
+        app: exporter
+    spec:
+      hostNetwork: true
+      containers:
+        - name: exporter
+          image: sim/exporter
+          ports:
+            - containerPort: 9100
+",
+            )
+            .template(
+                "svc.yaml",
+                "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: flink
+spec:
+  selector:
+    app: flink
+  ports:
+    - port: 8081
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: flink-admin
+spec:
+  selector:
+    app: flink
+  ports:
+    - port: 6121
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: ghost
+spec:
+  selector:
+    app: nothing-matches
+  ports:
+    - port: 80
+",
+            )
+            .build()
+    }
+
+    fn behaviors() -> BehaviorRegistry {
+        let mut reg = BehaviorRegistry::new();
+        // Flink opens 6123/8081 (declared), 9249 (undeclared), an ephemeral
+        // port, but never 6121.
+        reg.register(
+            "sim/flink",
+            ContainerBehavior::Listeners(vec![
+                ListenerSpec::tcp(6123),
+                ListenerSpec::tcp(8081),
+                ListenerSpec::tcp(9249),
+                ListenerSpec::ephemeral(),
+            ]),
+        );
+        reg
+    }
+
+    fn run_analysis(analyzer: Analyzer) -> Vec<Finding> {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            seed: 11,
+            behaviors: behaviors(),
+        });
+        let baseline = HostBaseline::capture(&cluster);
+        let rendered = bad_chart().render(&Release::new("badapp", "default")).unwrap();
+        cluster.install(&rendered).unwrap();
+        let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
+        let objects: Vec<Object> = cluster.objects().to_vec();
+        analyzer.analyze_app("badapp", &objects, &cluster, Some(&runtime), false)
+    }
+
+    fn ids(findings: &[Finding]) -> Vec<MisconfigId> {
+        let mut v: Vec<MisconfigId> = findings.iter().map(|f| f.id).collect();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn hybrid_finds_all_injected_classes() {
+        let findings = run_analysis(Analyzer::hybrid());
+        let found = ids(&findings);
+        for expect in [
+            MisconfigId::M1,
+            MisconfigId::M2,
+            MisconfigId::M3,
+            MisconfigId::M4B,
+            MisconfigId::M5A,
+            MisconfigId::M5D,
+            MisconfigId::M6,
+            MisconfigId::M7,
+        ] {
+            assert!(found.contains(&expect), "expected {expect} in {found:?}");
+        }
+        // The undeclared open port is exactly 9249.
+        let m1: Vec<_> = findings.iter().filter(|f| f.id == MisconfigId::M1).collect();
+        assert_eq!(m1.len(), 1);
+        assert_eq!(m1[0].port, Some(9249));
+        // The declared-but-closed *untargeted* port is exactly 6124; the
+        // service-targeted 6121 is accounted as M5A instead (Table 2's
+        // disjoint per-class counting).
+        let m3: Vec<_> = findings.iter().filter(|f| f.id == MisconfigId::M3).collect();
+        assert_eq!(m3.len(), 1);
+        assert_eq!(m3[0].port, Some(6124));
+        // M5A points at the service that targets 6121.
+        let m5a: Vec<_> = findings.iter().filter(|f| f.id == MisconfigId::M5A).collect();
+        assert_eq!(m5a.len(), 1);
+        assert!(m5a[0].object.contains("flink-admin"));
+    }
+
+    #[test]
+    fn static_only_misses_runtime_classes() {
+        let findings = run_analysis(Analyzer::static_only());
+        let found = ids(&findings);
+        assert!(!found.contains(&MisconfigId::M1));
+        assert!(!found.contains(&MisconfigId::M2));
+        assert!(!found.contains(&MisconfigId::M3));
+        assert!(!found.contains(&MisconfigId::M5A));
+        assert!(found.contains(&MisconfigId::M4B));
+        assert!(found.contains(&MisconfigId::M5D));
+        assert!(found.contains(&MisconfigId::M6));
+        assert!(found.contains(&MisconfigId::M7));
+    }
+
+    #[test]
+    fn runtime_only_misses_relationship_classes() {
+        let findings = run_analysis(Analyzer::runtime_only());
+        let found = ids(&findings);
+        assert!(found.contains(&MisconfigId::M1));
+        assert!(found.contains(&MisconfigId::M2));
+        assert!(found.contains(&MisconfigId::M3));
+        assert!(!found.contains(&MisconfigId::M4B));
+        assert!(!found.contains(&MisconfigId::M5D));
+        assert!(!found.contains(&MisconfigId::M6));
+        assert!(!found.contains(&MisconfigId::M7));
+    }
+
+    #[test]
+    fn m6_distinguishes_disabled_from_missing() {
+        let chart_with_disabled_policy = Chart::builder("p")
+            .values_yaml("networkPolicy:\n  enabled: false\n")
+            .unwrap()
+            .template(
+                "np.yaml",
+                "\
+{{- if .Values.networkPolicy.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: lock
+spec:
+  podSelector: {}
+{{- end }}
+",
+            )
+            .template(
+                "pod.yaml",
+                "\
+apiVersion: v1
+kind: Pod
+metadata:
+  name: p
+  labels:
+    app: p
+spec:
+  containers:
+    - name: p
+      image: img/p
+",
+            )
+            .build();
+        assert!(chart_defines_network_policies(&chart_with_disabled_policy));
+
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let rendered = chart_with_disabled_policy
+            .render(&Release::new("p", "default"))
+            .unwrap();
+        cluster.install(&rendered).unwrap();
+        let objects: Vec<Object> = cluster.objects().to_vec();
+        let findings =
+            Analyzer::hybrid().analyze_app("p", &objects, &cluster, None, true);
+        let m6: Vec<_> = findings.iter().filter(|f| f.id == MisconfigId::M6).collect();
+        assert_eq!(m6.len(), 1);
+        assert!(m6[0].detail.contains("not enabled"));
+    }
+
+    #[test]
+    fn global_pass_detects_cross_app_collisions() {
+        let mk_model = |app: &str| {
+            let chart = Chart::builder(app)
+                .template(
+                    "pod.yaml",
+                    "\
+apiVersion: v1
+kind: Pod
+metadata:
+  name: APP-pod
+  labels:
+    app.kubernetes.io/part-of: shared-stack
+spec:
+  containers:
+    - name: c
+      image: img
+"
+                    .replace("APP", app),
+                )
+                .build();
+            let rendered = chart.render(&Release::new(app, "default")).unwrap();
+            StaticModel::from_objects(&rendered.objects)
+        };
+        let apps = vec![
+            ("alpha".to_string(), mk_model("alpha")),
+            ("beta".to_string(), mk_model("beta")),
+        ];
+        let findings = Analyzer::hybrid().analyze_global(&apps);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].id, MisconfigId::M4Star);
+        assert!(findings[0].detail.contains("alpha"));
+        assert!(findings[0].detail.contains("beta"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # ij-datasets — the calibrated evaluation corpus
+//!
+//! The paper evaluates open-source Helm charts from six organizations.
+//! Those exact charts (and their container images) are not reproducible
+//! offline, so this crate generates a **synthetic corpus with the same
+//! shape**: the same six datasets with the same per-dataset application
+//! counts, each chart carrying an injected misconfiguration plan such that
+//! the per-class counts sum exactly to Table 2 (634 findings, 259 affected
+//! applications; the table's dataset sizes sum to 290 even though the text
+//! says 287 — this corpus follows the table), the named applications of
+//! Figures 3a/3b carry their published profiles, and the policy postures of
+//! Figure 4b hold per dataset.
+//!
+//! Unlike the real study, the corpus has **ground truth**: every chart knows
+//! which findings it should produce, so analyzer precision and recall are
+//! testable (the paper notes the lack of ground truth as a limitation,
+//! §6.3).
+//!
+//! The crate also ships the §2.1 proof-of-concept applications (Concourse
+//! and Thanos) and the representative per-class charts used for the Table 3
+//! tool comparison.
+
+mod builder;
+mod orgs;
+mod poc;
+mod representative;
+mod runner;
+mod score;
+mod spec;
+
+pub use builder::{build_app, ports, BuiltApp};
+pub use orgs::corpus;
+pub use poc::{concourse_chart, concourse_behaviors, thanos_chart, thanos_behaviors};
+pub use representative::representative_charts;
+pub use runner::{analyze_one, policy_impact, run_census, AppAnalysis, CorpusOptions, PolicyImpact};
+pub use score::{score_app, score_corpus, ClassScore, ScoreReport};
+pub use spec::{AppSpec, NetpolSpec, Org, Plan, UseCase};

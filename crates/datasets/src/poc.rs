@@ -1,0 +1,248 @@
+//! The §2.1 proof-of-concept applications: Concourse (broken control plane)
+//! and Thanos (service impersonation), modelled closely enough to replay
+//! both attacks in the simulator (see `examples/concourse_attack.rs` and
+//! `examples/thanos_impersonation.rs`).
+
+use ij_chart::Chart;
+use ij_cluster::{ContainerBehavior, ListenerSpec};
+
+/// The Concourse CI chart: a `web` control-plane node and two `worker`
+/// nodes. The web node declares its UI (8080) and TSA (2222) ports.
+pub fn concourse_chart() -> Chart {
+    Chart::builder("concourse")
+        .version("17.3.1")
+        .description("CI/CD system with a web control plane and build workers")
+        .values_yaml("web:\n  replicas: 1\nworker:\n  replicas: 2\n")
+        .expect("static values parse")
+        .template(
+            "web.yaml",
+            "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-web
+spec:
+  replicas: {{ .Values.web.replicas }}
+  selector:
+    matchLabels:
+      app: concourse-web
+  template:
+    metadata:
+      labels:
+        app: concourse-web
+    spec:
+      containers:
+        - name: web
+          image: sim/concourse/web
+          ports:
+            - name: atc
+              containerPort: 8080
+            - name: tsa
+              containerPort: 2222
+",
+        )
+        .template(
+            "worker.yaml",
+            "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-worker
+spec:
+  replicas: {{ .Values.worker.replicas }}
+  selector:
+    matchLabels:
+      app: concourse-worker
+  template:
+    metadata:
+      labels:
+        app: concourse-worker
+    spec:
+      containers:
+        - name: worker
+          image: sim/concourse/worker
+",
+        )
+        .template(
+            "svc.yaml",
+            "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}-web
+spec:
+  selector:
+    app: concourse-web
+  ports:
+    - name: atc
+      port: 8080
+      targetPort: atc
+",
+        )
+        .build()
+}
+
+/// Concourse runtime behaviour. The web node opens its declared ports
+/// *plus* reverse-SSH-tunnel endpoints in the host ephemeral range — the
+/// command-and-control channels to the workers. They should be bound to
+/// loopback; the real deployment binds them on all interfaces, which is
+/// exactly the misconfiguration (M1 + M2) the paper exploits in §2.1.1.
+pub fn concourse_behaviors() -> Vec<(String, ContainerBehavior)> {
+    vec![
+        (
+            "sim/concourse/web".to_string(),
+            ContainerBehavior::Listeners(vec![
+                ListenerSpec::tcp(8080),
+                ListenerSpec::tcp(2222),
+                // One tunnel endpoint per worker; cluster-reachable.
+                ListenerSpec::ephemeral(),
+                ListenerSpec::ephemeral(),
+            ]),
+        ),
+        (
+            "sim/concourse/worker".to_string(),
+            // The worker's Garden/BaggageClaim APIs, undeclared and bound to
+            // all interfaces.
+            ContainerBehavior::Listeners(vec![
+                ListenerSpec::tcp(7777),
+                ListenerSpec::tcp(7788),
+            ]),
+        ),
+    ]
+}
+
+/// The Thanos chart of §2.1.2: `thanos-query-frontend` (user-facing) and
+/// `thanos-query` (internal) both carry the single label
+/// `app.kubernetes.io/name: thanos-query-frontend`, and both services select
+/// that label — the compute-unit collision (M4A) plus service label
+/// collision (M4B) that enables impersonation.
+pub fn thanos_chart() -> Chart {
+    let unit = |name: &str, image: &str, port: u16, port_name: &str| {
+        format!(
+            "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{{{ .Release.Name }}}}-{name}
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: thanos-query-frontend
+  template:
+    metadata:
+      labels:
+        app.kubernetes.io/name: thanos-query-frontend
+    spec:
+      containers:
+        - name: {name}
+          image: {image}
+          ports:
+            - name: {port_name}
+              containerPort: {port}
+"
+        )
+    };
+    let svc = |name: &str, port: u16, target: &str| {
+        format!(
+            "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{{{ .Release.Name }}}}-{name}
+spec:
+  selector:
+    app.kubernetes.io/name: thanos-query-frontend
+  ports:
+    - name: {target}
+      port: {port}
+      targetPort: {target}
+"
+        )
+    };
+    Chart::builder("thanos")
+        .version("12.6.2")
+        .description("Highly-available Prometheus with long-term storage")
+        .template("query-frontend.yaml", unit("query-frontend", "sim/thanos/query-frontend", 9090, "http"))
+        .template("query.yaml", unit("query", "sim/thanos/query", 10902, "grpc"))
+        .template("svc-frontend.yaml", svc("query-frontend", 9090, "http"))
+        .template("svc-query.yaml", svc("query", 10902, "grpc"))
+        .build()
+}
+
+/// Thanos runtime behaviour: each unit opens its declared port.
+pub fn thanos_behaviors() -> Vec<(String, ContainerBehavior)> {
+    vec![
+        (
+            "sim/thanos/query-frontend".to_string(),
+            ContainerBehavior::Listeners(vec![ListenerSpec::tcp(9090)]),
+        ),
+        (
+            "sim/thanos/query".to_string(),
+            ContainerBehavior::Listeners(vec![ListenerSpec::tcp(10902)]),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_chart::Release;
+    use ij_cluster::{BehaviorRegistry, Cluster, ClusterConfig};
+    use ij_core::{Analyzer, MisconfigId};
+    use ij_probe::{HostBaseline, RuntimeAnalyzer};
+
+    fn registry(pairs: Vec<(String, ContainerBehavior)>) -> BehaviorRegistry {
+        let mut reg = BehaviorRegistry::new();
+        for (image, b) in pairs {
+            reg.register(image, b);
+        }
+        reg
+    }
+
+    #[test]
+    fn concourse_analysis_finds_c2_surface() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            seed: 21,
+            behaviors: registry(concourse_behaviors()),
+        });
+        let baseline = HostBaseline::capture(&cluster);
+        let rendered = concourse_chart()
+            .render(&Release::new("ci", "default"))
+            .unwrap();
+        cluster.install(&rendered).unwrap();
+        let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
+        let findings =
+            Analyzer::hybrid().analyze_app("concourse", &rendered.objects, &cluster, Some(&runtime), false);
+        // Workers expose two undeclared API ports each (deduped per unit).
+        assert_eq!(
+            findings.iter().filter(|f| f.id == MisconfigId::M1).count(),
+            2,
+            "{findings:#?}"
+        );
+        // The web node's tunnel endpoints are dynamic.
+        assert!(findings
+            .iter()
+            .any(|f| f.id == MisconfigId::M2 && f.object.contains("ci-web")));
+        // And nothing restricts lateral movement.
+        assert!(findings.iter().any(|f| f.id == MisconfigId::M6));
+    }
+
+    #[test]
+    fn thanos_analysis_finds_label_collisions() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            seed: 22,
+            behaviors: registry(thanos_behaviors()),
+        });
+        let baseline = HostBaseline::capture(&cluster);
+        let rendered = thanos_chart().render(&Release::new("th", "default")).unwrap();
+        cluster.install(&rendered).unwrap();
+        let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
+        let findings =
+            Analyzer::hybrid().analyze_app("thanos", &rendered.objects, &cluster, Some(&runtime), false);
+        assert!(findings.iter().any(|f| f.id == MisconfigId::M4A));
+        assert!(findings.iter().any(|f| f.id == MisconfigId::M4B));
+    }
+}

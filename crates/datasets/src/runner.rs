@@ -1,0 +1,376 @@
+//! The evaluation harness: per-application fresh-cluster analysis (§4.2),
+//! the cluster-wide pass, and the §4.3.2 policy-impact experiment.
+
+use crate::builder::{build_app, BuiltApp};
+use crate::spec::AppSpec;
+use ij_chart::Release;
+use ij_cluster::{Cluster, ClusterConfig, ConnectOutcome};
+use ij_core::{
+    chart_defines_network_policies, Analyzer, AppReport, Census, Finding, StaticModel,
+};
+use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
+use ij_probe::{HostBaseline, ProbeConfig, RuntimeAnalyzer};
+
+/// Options for a corpus run.
+#[derive(Debug, Clone)]
+pub struct CorpusOptions {
+    /// Base seed; each application derives its own from this and its name.
+    pub seed: u64,
+    /// Probe configuration (noise injection, filters, double run).
+    pub probe: ProbeConfig,
+    /// Analyzer configuration (hybrid / static-only / runtime-only).
+    pub analyzer: Analyzer,
+    /// Worker nodes per ephemeral cluster.
+    pub nodes: usize,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> Self {
+        CorpusOptions {
+            seed: 42,
+            probe: ProbeConfig::default(),
+            analyzer: Analyzer::hybrid(),
+            nodes: 3,
+        }
+    }
+}
+
+impl CorpusOptions {
+    fn app_seed(&self, name: &str) -> u64 {
+        // FNV-1a over the name, mixed with the base seed.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^ self.seed
+    }
+}
+
+/// The outcome of analyzing one application.
+#[derive(Debug, Clone)]
+pub struct AppAnalysis {
+    /// Application name.
+    pub app: String,
+    /// Per-application findings (no M4\*).
+    pub findings: Vec<Finding>,
+    /// Static model, kept for the cluster-wide pass.
+    pub statics: StaticModel,
+}
+
+/// Installs one built application into a fresh cluster and analyzes it,
+/// following the paper's methodology: baseline → install → double-pass
+/// runtime analysis → rule evaluation.
+pub fn analyze_one(built: &BuiltApp, opts: &CorpusOptions) -> AppAnalysis {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: opts.nodes,
+        seed: opts.app_seed(&built.spec.name),
+        behaviors: built.registry(),
+    });
+    let baseline = HostBaseline::capture(&cluster);
+    let rendered = built
+        .chart
+        .render(&Release::new(&built.spec.name, "default"))
+        .unwrap_or_else(|e| panic!("chart {} failed to render: {e}", built.spec.name));
+    cluster
+        .install(&rendered)
+        .unwrap_or_else(|e| panic!("chart {} failed to install: {e}", built.spec.name));
+    let mut probe_cfg = opts.probe.clone();
+    probe_cfg.seed = opts.app_seed(&built.spec.name).rotate_left(17);
+    let runtime = RuntimeAnalyzer::new(probe_cfg).analyze(&mut cluster, &baseline);
+    let findings = opts.analyzer.analyze_app(
+        &built.spec.name,
+        &rendered.objects,
+        &cluster,
+        Some(&runtime),
+        chart_defines_network_policies(&built.chart),
+    );
+    AppAnalysis {
+        app: built.spec.name.clone(),
+        findings,
+        statics: StaticModel::from_objects(&rendered.objects),
+    }
+}
+
+/// Runs the full evaluation over a set of specifications: every application
+/// in its own cluster, then the cluster-wide M4\* pass, producing the census
+/// behind Table 2 and Figures 3–4.
+pub fn run_census(specs: &[AppSpec], opts: &CorpusOptions) -> Census {
+    let mut reports = Vec::with_capacity(specs.len());
+    let mut statics = Vec::with_capacity(specs.len());
+    for app_spec in specs {
+        let built = build_app(app_spec);
+        let analysis = analyze_one(&built, opts);
+        statics.push((app_spec.name.clone(), analysis.statics));
+        reports.push(AppReport {
+            app: app_spec.name.clone(),
+            dataset: app_spec.org.as_str().to_string(),
+            version: app_spec.version.clone(),
+            findings: analysis.findings,
+        });
+    }
+    for finding in opts.analyzer.analyze_global(&statics) {
+        if let Some(report) = reports.iter_mut().find(|r| r.app == finding.app) {
+            report.findings.push(finding);
+        }
+    }
+    Census { apps: reports }
+}
+
+/// One dataset row of the §4.3.2 policy-impact study (Figure 4b).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyImpact {
+    /// Dataset name.
+    pub dataset: String,
+    /// Charts that define NetworkPolicies (force-enabled for the study).
+    pub enabled: usize,
+    /// Of those, charts where misconfigured endpoints stayed reachable.
+    pub affected: usize,
+    /// Pods with at least one reachable misconfigured port.
+    pub reachable_pods: usize,
+    /// Of those, pods whose reachable misconfigured port is dynamic.
+    pub reachable_dynamic_pods: usize,
+    /// Services that still forward to a misconfigured (undeclared) port.
+    pub reachable_services: usize,
+}
+
+/// Force-enables each policy-defining chart's policies and measures which
+/// misconfigured endpoints remain reachable from an unrelated attacker pod.
+pub fn policy_impact(specs: &[AppSpec], opts: &CorpusOptions) -> Vec<PolicyImpact> {
+    let mut rows: Vec<PolicyImpact> = Vec::new();
+    for app_spec in specs {
+        if !app_spec.plan.netpol.defines_policy() {
+            continue;
+        }
+        let row = match rows.iter_mut().find(|r| r.dataset == app_spec.org.as_str()) {
+            Some(r) => r,
+            None => {
+                rows.push(PolicyImpact {
+                    dataset: app_spec.org.as_str().to_string(),
+                    ..Default::default()
+                });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        row.enabled += 1;
+
+        let built = build_app(app_spec);
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: opts.nodes,
+            seed: opts.app_seed(&app_spec.name),
+            behaviors: built.registry(),
+        });
+        let release = Release::new(&app_spec.name, "default")
+            .with_values_yaml("networkPolicy:\n  enabled: true\n")
+            .expect("static override");
+        let rendered = built.chart.render(&release).expect("corpus charts render");
+        cluster.install(&rendered).expect("no admission configured");
+        // Vantage point: an unrelated attacker pod in the same cluster.
+        cluster
+            .apply(Object::Pod(Pod::new(
+                ObjectMeta::named("ij-attacker"),
+                PodSpec {
+                    containers: vec![Container::new("sh", "attacker/recon")],
+                    ..Default::default()
+                },
+            )))
+            .expect("no admission configured");
+        cluster.reconcile();
+
+        let statics = StaticModel::from_objects(&rendered.objects);
+        let declares = |owner: &Option<String>, pod_name: &str, port: u16, proto| {
+            let unit_name = owner.clone().unwrap_or_else(|| pod_name.to_string());
+            statics
+                .unit(&unit_name)
+                .map(|u| u.declares(port, proto))
+                .unwrap_or(true)
+        };
+
+        let mut pods_hit = 0usize;
+        let mut dynamic_hit = 0usize;
+        for rp in cluster.pods() {
+            let name = rp.qualified_name();
+            if name.ends_with("/ij-attacker") {
+                continue;
+            }
+            let mut hit = false;
+            let mut dynamic = false;
+            for socket in &rp.sockets {
+                if socket.loopback_only {
+                    continue;
+                }
+                let misconfigured =
+                    socket.ephemeral || !declares(&rp.owner, &name, socket.port, socket.protocol);
+                if !misconfigured {
+                    continue;
+                }
+                if cluster.connect("default/ij-attacker", &name, socket.port, socket.protocol)
+                    == Some(ConnectOutcome::Connected)
+                {
+                    hit = true;
+                    dynamic |= socket.ephemeral;
+                }
+            }
+            if hit {
+                pods_hit += 1;
+                row.reachable_pods += 1;
+                if dynamic {
+                    dynamic_hit += 1;
+                    row.reachable_dynamic_pods += 1;
+                }
+            }
+        }
+
+        // Services that still forward to an undeclared target port.
+        let mut services_hit = 0usize;
+        for ep in cluster.endpoints() {
+            let svc_ns = ep.meta.namespace.clone();
+            let svc_name = ep.meta.name.clone();
+            let mut svc_hit = false;
+            for addr in &ep.addresses {
+                let Some(dst) = cluster.pod(&addr.pod) else { continue };
+                if declares(&dst.owner, &addr.pod, addr.port, addr.protocol) {
+                    continue;
+                }
+                if !dst.listens_on(addr.port, addr.protocol) {
+                    continue;
+                }
+                let svc = cluster
+                    .services()
+                    .find(|s| s.meta.namespace == svc_ns && s.meta.name == svc_name);
+                if let Some(svc) = svc {
+                    for sp in &svc.spec.ports {
+                        if sp.name == addr.port_name
+                            && !cluster
+                                .send_to_service("default/ij-attacker", &svc_ns, &svc_name, sp.port)
+                                .is_empty()
+                        {
+                            svc_hit = true;
+                        }
+                    }
+                }
+            }
+            if svc_hit {
+                services_hit += 1;
+                row.reachable_services += 1;
+            }
+        }
+
+        if pods_hit > 0 || dynamic_hit > 0 || services_hit > 0 {
+            row.affected += 1;
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{NetpolSpec, Org, Plan};
+    use ij_core::MisconfigId;
+
+    fn analyze_plan(plan: Plan) -> Vec<Finding> {
+        let app_spec = AppSpec::new("probe-app", Org::Cncf, "1.0.0", plan);
+        let built = build_app(&app_spec);
+        analyze_one(&built, &CorpusOptions::default()).findings
+    }
+
+    fn count(findings: &[Finding], id: MisconfigId) -> usize {
+        findings.iter().filter(|f| f.id == id).count()
+    }
+
+    #[test]
+    fn injected_plan_detected_exactly() {
+        let plan = Plan {
+            m1: 3,
+            m2: 2,
+            m3: 2,
+            m4a: 1,
+            m4b: 1,
+            m4c: 1,
+            m5a: 1,
+            m5b: 2,
+            m5c: 1,
+            m5d: 1,
+            m7: 2,
+            netpol: NetpolSpec::Missing,
+            ..Default::default()
+        };
+        let findings = analyze_plan(plan.clone());
+        for id in MisconfigId::ALL {
+            assert_eq!(
+                count(&findings, id),
+                plan.expected_of(id),
+                "{id}: findings {findings:#?}"
+            );
+        }
+        assert_eq!(findings.len(), plan.expected_local_findings());
+    }
+
+    #[test]
+    fn clean_plan_yields_nothing() {
+        let findings = analyze_plan(Plan::clean());
+        assert!(findings.is_empty(), "unexpected: {findings:#?}");
+    }
+
+    #[test]
+    fn disabled_policy_yields_single_m6() {
+        let findings = analyze_plan(Plan {
+            netpol: NetpolSpec::DefinedDisabled { loose: false },
+            ..Default::default()
+        });
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].id, MisconfigId::M6);
+        assert!(findings[0].detail.contains("not enabled"));
+    }
+
+    #[test]
+    fn census_over_small_slice() {
+        let specs = vec![
+            AppSpec::new("alpha", Org::Cncf, "1.0.0", Plan {
+                m1: 1,
+                m4star_tokens: vec!["shared"],
+                ..Default::default()
+            }),
+            AppSpec::new("beta", Org::Cncf, "1.0.0", Plan {
+                m4star_tokens: vec!["shared"],
+                netpol: NetpolSpec::Enabled { loose: false },
+                ..Default::default()
+            }),
+        ];
+        let census = run_census(&specs, &CorpusOptions::default());
+        assert_eq!(census.apps.len(), 2);
+        // alpha: M1 + M6 + the global M4* (attributed to the first app).
+        let alpha = &census.apps[0];
+        assert_eq!(alpha.count_of(MisconfigId::M1), 1);
+        assert_eq!(alpha.count_of(MisconfigId::M6), 1);
+        assert_eq!(alpha.count_of(MisconfigId::M4Star), 1);
+        // beta: policies enabled, clean except for its role as partner.
+        assert_eq!(census.apps[1].total(), 0);
+        assert_eq!(census.total_misconfigurations(), 3);
+    }
+
+    #[test]
+    fn policy_impact_loose_vs_tight() {
+        let specs = vec![
+            AppSpec::new("tight-app", Org::Eea, "1.0.0", Plan {
+                m1: 2,
+                netpol: NetpolSpec::Enabled { loose: false },
+                ..Default::default()
+            }),
+            AppSpec::new("loose-app", Org::Eea, "1.0.0", Plan {
+                m1: 2,
+                server_replicas: 2,
+                netpol: NetpolSpec::Enabled { loose: true },
+                ..Default::default()
+            }),
+        ];
+        let rows = policy_impact(&specs, &CorpusOptions::default());
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.enabled, 2);
+        assert_eq!(row.affected, 1, "only the loose chart stays reachable");
+        assert_eq!(row.reachable_pods, 2, "both replicas of the loose server");
+        assert_eq!(row.reachable_services, 0);
+    }
+}

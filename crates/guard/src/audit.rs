@@ -1,0 +1,147 @@
+//! The continuous auditor: periodic re-analysis with finding deltas.
+
+use ij_cluster::Cluster;
+use ij_core::{Analyzer, Finding};
+use ij_probe::{HostBaseline, RuntimeAnalyzer};
+
+/// What changed between two audit rounds.
+#[derive(Debug, Clone, Default)]
+pub struct AuditDelta {
+    /// Findings present now but not in the previous round.
+    pub introduced: Vec<Finding>,
+    /// Findings from the previous round that disappeared.
+    pub resolved: Vec<Finding>,
+    /// Findings present in both rounds.
+    pub persisting: Vec<Finding>,
+}
+
+impl AuditDelta {
+    /// True when nothing changed.
+    pub fn is_quiet(&self) -> bool {
+        self.introduced.is_empty() && self.resolved.is_empty()
+    }
+}
+
+/// Re-runs the hybrid analyzer against the live cluster, tracking deltas —
+/// the reconciliation loop of the defense.
+pub struct ContinuousAuditor {
+    analyzer: Analyzer,
+    probe: RuntimeAnalyzer,
+    baseline: HostBaseline,
+    app: String,
+    chart_defines_policies: bool,
+    previous: Option<Vec<Finding>>,
+}
+
+impl ContinuousAuditor {
+    /// Creates an auditor for an application installed in the cluster. The
+    /// baseline must have been captured before installation.
+    pub fn new(
+        app: impl Into<String>,
+        baseline: HostBaseline,
+        chart_defines_policies: bool,
+    ) -> Self {
+        ContinuousAuditor {
+            analyzer: Analyzer::hybrid(),
+            probe: RuntimeAnalyzer::default(),
+            baseline,
+            app: app.into(),
+            chart_defines_policies,
+            previous: None,
+        }
+    }
+
+    /// Runs one audit round and reports the delta against the previous one.
+    pub fn tick(&mut self, cluster: &mut Cluster) -> AuditDelta {
+        let runtime = self.probe.analyze(cluster, &self.baseline);
+        let objects = cluster.objects().to_vec();
+        let current = self.analyzer.analyze_app(
+            &self.app,
+            &objects,
+            cluster,
+            Some(&runtime),
+            self.chart_defines_policies,
+        );
+        let previous = self.previous.take().unwrap_or_default();
+        let delta = AuditDelta {
+            introduced: current
+                .iter()
+                .filter(|f| !previous.contains(f))
+                .cloned()
+                .collect(),
+            resolved: previous
+                .iter()
+                .filter(|f| !current.contains(f))
+                .cloned()
+                .collect(),
+            persisting: current
+                .iter()
+                .filter(|f| previous.contains(f))
+                .cloned()
+                .collect(),
+        };
+        self.previous = Some(current);
+        delta
+    }
+
+    /// The most recent full finding list.
+    pub fn latest(&self) -> &[Finding] {
+        self.previous.as_deref().unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_cluster::{Cluster, ClusterConfig};
+    use ij_core::MisconfigId;
+    use ij_model::{
+        Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec,
+    };
+
+    #[test]
+    fn detects_newly_introduced_misconfigurations() {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let baseline = HostBaseline::capture(&cluster);
+        cluster
+            .apply(Object::Pod(Pod::new(
+                ObjectMeta::named("web").with_labels(Labels::from_pairs([("app", "web")])),
+                PodSpec {
+                    containers: vec![Container::new("c", "img/web")
+                        .with_ports(vec![ContainerPort::tcp(8080)])],
+                    ..Default::default()
+                },
+            )))
+            .unwrap();
+        cluster.reconcile();
+
+        let mut auditor = ContinuousAuditor::new("app", baseline, false);
+        let first = auditor.tick(&mut cluster);
+        // Round 1: only M6 (no policies).
+        assert_eq!(first.introduced.len(), 1);
+        assert_eq!(first.introduced[0].id, MisconfigId::M6);
+
+        // Someone deploys an imposter with colliding labels.
+        cluster
+            .apply(Object::Pod(Pod::new(
+                ObjectMeta::named("imposter").with_labels(Labels::from_pairs([("app", "web")])),
+                PodSpec {
+                    containers: vec![Container::new("c", "img/other")
+                        .with_ports(vec![ContainerPort::tcp(8080)])],
+                    ..Default::default()
+                },
+            )))
+            .unwrap();
+        cluster.reconcile();
+
+        let second = auditor.tick(&mut cluster);
+        assert!(second.introduced.iter().any(|f| f.id == MisconfigId::M4A));
+        assert!(second.persisting.iter().any(|f| f.id == MisconfigId::M6));
+        assert!(!second.is_quiet());
+
+        // Nothing changes: quiet round.
+        let third = auditor.tick(&mut cluster);
+        assert!(third.is_quiet());
+        assert!(!auditor.latest().is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # ij-guard — defending the cluster
+//!
+//! The paper's title promises *defense*, and its mitigation section (§3.5)
+//! plus future-work direction (deriving network policies automatically from
+//! declared connectivity) describe one. This crate implements that defense
+//! on top of the analyzer:
+//!
+//! * [`GuardAdmission`] — a validating admission controller for the
+//!   simulator's API server. It rejects (or warns about) objects that would
+//!   introduce statically-detectable misconfigurations *before* they land in
+//!   the cluster: label collisions with existing resources (M4/M4\*, the
+//!   check Kubernetes itself never performs), services without targets
+//!   (M5D), services referencing undeclared ports (M5B), and hostNetwork
+//!   pods (M7).
+//! * [`PolicySynthesizer`] — derives least-privilege NetworkPolicies from
+//!   the declared ports of each compute unit, turning the default-allow
+//!   cluster into declared-ports-only (mitigating M6 and cutting off every
+//!   undeclared M1 port). Dynamic ports (M2) cannot be expressed statically;
+//!   the synthesizer reports those as residual risks instead of silently
+//!   ignoring them.
+//! * [`ContinuousAuditor`] — a reconciler that re-runs the hybrid analyzer
+//!   against the live cluster and reports finding deltas, the
+//!   "monitoring tools that provide proactive advice" the paper calls for.
+
+mod admission;
+mod audit;
+mod synth;
+
+pub use admission::{GuardAdmission, GuardPolicy};
+pub use audit::{AuditDelta, ContinuousAuditor};
+pub use synth::{PolicySynthesizer, SynthesisOutcome};

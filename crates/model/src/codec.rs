@@ -1,0 +1,91 @@
+//! Shared helpers for decoding typed objects out of [`ij_yaml::Value`] trees.
+
+use crate::error::{Error, Result};
+use ij_yaml::{Map, Value};
+
+/// Fetches a required string field.
+pub(crate) fn req_str(map: &Map, field: &str, ctx: &str) -> Result<String> {
+    match map.get(field) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(Error::field(format!("{ctx}.{field}"), "string")),
+        None => Err(Error::malformed(format!("missing `{ctx}.{field}`"))),
+    }
+}
+
+/// Fetches an optional string field (absent and `null` both yield `None`).
+pub(crate) fn opt_str(map: &Map, field: &str, ctx: &str) -> Result<Option<String>> {
+    match map.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        // Numeric-looking strings sometimes appear unquoted (e.g. a port
+        // name that is a number is invalid in Kubernetes, but a version
+        // string like `1.25` parses as a float). Accept scalars verbatim.
+        Some(Value::Int(i)) => Ok(Some(i.to_string())),
+        Some(Value::Float(f)) => Ok(Some(f.to_string())),
+        Some(Value::Bool(b)) => Ok(Some(b.to_string())),
+        Some(_) => Err(Error::field(format!("{ctx}.{field}"), "string")),
+    }
+}
+
+/// Fetches an optional integer field, accepting numeric strings.
+pub(crate) fn opt_int(map: &Map, field: &str, ctx: &str) -> Result<Option<i64>> {
+    match map.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Int(i)) => Ok(Some(*i)),
+        Some(Value::Str(s)) => s
+            .parse::<i64>()
+            .map(Some)
+            .map_err(|_| Error::field(format!("{ctx}.{field}"), "integer")),
+        Some(_) => Err(Error::field(format!("{ctx}.{field}"), "integer")),
+    }
+}
+
+/// Fetches an optional boolean field.
+pub(crate) fn opt_bool(map: &Map, field: &str, ctx: &str) -> Result<Option<bool>> {
+    match map.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(Error::field(format!("{ctx}.{field}"), "boolean")),
+    }
+}
+
+/// Fetches an optional nested mapping.
+pub(crate) fn opt_map<'a>(map: &'a Map, field: &str, ctx: &str) -> Result<Option<&'a Map>> {
+    match map.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Map(m)) => Ok(Some(m)),
+        Some(_) => Err(Error::field(format!("{ctx}.{field}"), "mapping")),
+    }
+}
+
+/// Fetches an optional sequence (absent and `null` both yield an empty slice).
+pub(crate) fn opt_seq<'a>(map: &'a Map, field: &str, ctx: &str) -> Result<&'a [Value]> {
+    match map.get(field) {
+        None | Some(Value::Null) => Ok(&[]),
+        Some(Value::Seq(s)) => Ok(s),
+        Some(_) => Err(Error::field(format!("{ctx}.{field}"), "sequence")),
+    }
+}
+
+/// Decodes a `key: value` string map (labels, selectors, annotations).
+pub(crate) fn string_map(map: &Map, ctx: &str) -> Result<Vec<(String, String)>> {
+    let mut out = Vec::with_capacity(map.len());
+    for (k, v) in map.iter() {
+        let s = match v {
+            Value::Str(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Float(f) => f.to_string(),
+            Value::Null => String::new(),
+            _ => return Err(Error::field(format!("{ctx}.{k}"), "string value")),
+        };
+        out.push((k.to_string(), s));
+    }
+    Ok(out)
+}
+
+/// Requires the value to be a mapping.
+pub(crate) fn as_map<'a>(v: &'a Value, ctx: &str) -> Result<&'a Map> {
+    v.as_map()
+        .ok_or_else(|| Error::field(ctx.to_string(), "mapping"))
+}

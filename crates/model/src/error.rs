@@ -1,0 +1,55 @@
+//! Decoding errors.
+
+use std::fmt;
+
+/// Result alias for model operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An error raised while decoding a manifest into a typed object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The document is not a mapping or lacks `kind` / required fields.
+    Malformed(String),
+    /// A field held a value of an unexpected type.
+    FieldType {
+        /// Dotted path of the offending field.
+        field: String,
+        /// What the decoder expected to find there.
+        expected: &'static str,
+    },
+    /// Underlying YAML error (when decoding from text).
+    Yaml(ij_yaml::Error),
+}
+
+impl Error {
+    pub(crate) fn malformed(msg: impl Into<String>) -> Self {
+        Error::Malformed(msg.into())
+    }
+
+    pub(crate) fn field(field: impl Into<String>, expected: &'static str) -> Self {
+        Error::FieldType {
+            field: field.into(),
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Malformed(m) => write!(f, "malformed manifest: {m}"),
+            Error::FieldType { field, expected } => {
+                write!(f, "field `{field}`: expected {expected}")
+            }
+            Error::Yaml(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ij_yaml::Error> for Error {
+    fn from(e: ij_yaml::Error) -> Self {
+        Error::Yaml(e)
+    }
+}

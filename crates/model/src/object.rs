@@ -1,0 +1,232 @@
+//! The top-level [`Object`] enum and manifest (de)serialization.
+
+use crate::error::{Error, Result};
+use crate::meta::ObjectMeta;
+use crate::netpol::NetworkPolicy;
+use crate::pod::Pod;
+use crate::service::Service;
+use crate::workload::{Workload, WorkloadKind};
+use ij_yaml::{Map, Value};
+
+/// Any Kubernetes object this workspace understands.
+///
+/// Kinds without networking relevance (ConfigMap, Secret, ServiceAccount, …)
+/// are preserved verbatim as [`Object::Opaque`] so that charts containing
+/// them still render and deploy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Object {
+    /// A bare pod.
+    Pod(Pod),
+    /// A pod-templating workload (Deployment, StatefulSet, …).
+    Workload(Workload),
+    /// A service.
+    Service(Service),
+    /// A network policy.
+    NetworkPolicy(NetworkPolicy),
+    /// A namespace (carries labels for namespaceSelector matching).
+    Namespace(ObjectMeta),
+    /// Anything else, kept as raw YAML.
+    Opaque {
+        /// The manifest's `kind`.
+        kind: String,
+        /// Its metadata (best-effort decode).
+        meta: ObjectMeta,
+        /// The full raw document.
+        raw: Value,
+    },
+}
+
+impl Object {
+    /// The object's `kind` string.
+    pub fn kind(&self) -> &str {
+        match self {
+            Object::Pod(_) => "Pod",
+            Object::Workload(w) => w.kind.as_str(),
+            Object::Service(_) => "Service",
+            Object::NetworkPolicy(_) => "NetworkPolicy",
+            Object::Namespace(_) => "Namespace",
+            Object::Opaque { kind, .. } => kind,
+        }
+    }
+
+    /// The object's metadata.
+    pub fn meta(&self) -> &ObjectMeta {
+        match self {
+            Object::Pod(p) => &p.meta,
+            Object::Workload(w) => &w.meta,
+            Object::Service(s) => &s.meta,
+            Object::NetworkPolicy(n) => &n.meta,
+            Object::Namespace(m) => m,
+            Object::Opaque { meta, .. } => meta,
+        }
+    }
+
+    /// Mutable metadata access (used by the chart renderer to stamp release
+    /// names and namespaces).
+    pub fn meta_mut(&mut self) -> &mut ObjectMeta {
+        match self {
+            Object::Pod(p) => &mut p.meta,
+            Object::Workload(w) => &mut w.meta,
+            Object::Service(s) => &mut s.meta,
+            Object::NetworkPolicy(n) => &mut n.meta,
+            Object::Namespace(m) => m,
+            Object::Opaque { meta, .. } => meta,
+        }
+    }
+
+    /// `namespace/name` handle.
+    pub fn qualified_name(&self) -> String {
+        self.meta().qualified_name()
+    }
+
+    /// Decodes one parsed YAML document.
+    pub fn decode(doc: &Value) -> Result<Object> {
+        let root = doc
+            .as_map()
+            .ok_or_else(|| Error::malformed("document root is not a mapping"))?;
+        let kind = match root.get("kind") {
+            Some(Value::Str(k)) => k.clone(),
+            _ => return Err(Error::malformed("missing or non-string `kind`")),
+        };
+        if let Some(wk) = WorkloadKind::from_kind(&kind) {
+            return Ok(Object::Workload(Workload::decode(wk, root)?));
+        }
+        match kind.as_str() {
+            "Pod" => Ok(Object::Pod(Pod::decode(root)?)),
+            "Service" => Ok(Object::Service(Service::decode(root)?)),
+            "NetworkPolicy" => Ok(Object::NetworkPolicy(NetworkPolicy::decode(root)?)),
+            "Namespace" => {
+                let mut meta = ObjectMeta::decode(root)?;
+                // A namespace is not itself namespaced.
+                meta.namespace = String::new();
+                Ok(Object::Namespace(meta))
+            }
+            _ => Ok(Object::Opaque {
+                kind,
+                meta: ObjectMeta::decode(root).unwrap_or_else(|_| ObjectMeta::named("unnamed")),
+                raw: doc.clone(),
+            }),
+        }
+    }
+
+    /// Encodes back to a YAML value.
+    pub fn encode(&self) -> Value {
+        match self {
+            Object::Pod(p) => p.encode(),
+            Object::Workload(w) => w.encode(),
+            Object::Service(s) => s.encode(),
+            Object::NetworkPolicy(n) => n.encode(),
+            Object::Namespace(meta) => {
+                let mut m = Map::new();
+                m.insert("apiVersion", Value::str("v1"));
+                m.insert("kind", Value::str("Namespace"));
+                let mut me = Map::new();
+                me.insert("name", Value::str(&meta.name));
+                if !meta.labels.is_empty() {
+                    me.insert("labels", meta.labels.encode());
+                }
+                m.insert("metadata", Value::Map(me));
+                Value::Map(m)
+            }
+            Object::Opaque { raw, .. } => raw.clone(),
+        }
+    }
+
+    /// Renders the object as a YAML manifest.
+    pub fn to_manifest(&self) -> String {
+        ij_yaml::to_string(&self.encode())
+    }
+}
+
+/// Decodes a single-document manifest.
+pub fn decode_manifest(src: &str) -> Result<Object> {
+    Object::decode(&ij_yaml::parse(src)?)
+}
+
+/// Decodes a multi-document manifest stream, skipping empty documents.
+pub fn decode_manifests(src: &str) -> Result<Vec<Object>> {
+    ij_yaml::parse_all(src)?
+        .iter()
+        .filter(|d| !d.is_null())
+        .map(Object::decode)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STREAM: &str = "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: web
+spec:
+  selector:
+    matchLabels:
+      app: web
+  template:
+    metadata:
+      labels:
+        app: web
+    spec:
+      containers:
+        - name: web
+          image: nginx
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: web
+spec:
+  selector:
+    app: web
+  ports:
+    - port: 80
+---
+apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: web-config
+data:
+  key: value
+";
+
+    #[test]
+    fn decode_stream_with_mixed_kinds() {
+        let objs = decode_manifests(STREAM).unwrap();
+        assert_eq!(objs.len(), 3);
+        assert_eq!(objs[0].kind(), "Deployment");
+        assert_eq!(objs[1].kind(), "Service");
+        assert_eq!(objs[2].kind(), "ConfigMap");
+        assert!(matches!(objs[2], Object::Opaque { .. }));
+    }
+
+    #[test]
+    fn round_trip_through_manifest() {
+        let objs = decode_manifests(STREAM).unwrap();
+        for obj in &objs {
+            let text = obj.to_manifest();
+            let back = decode_manifest(&text).unwrap();
+            assert_eq!(&back, obj, "round trip failed for {}", obj.kind());
+        }
+    }
+
+    #[test]
+    fn namespace_is_cluster_scoped() {
+        let obj = decode_manifest("kind: Namespace\nmetadata:\n  name: prod\n").unwrap();
+        assert_eq!(obj.kind(), "Namespace");
+        assert_eq!(obj.meta().namespace, "");
+    }
+
+    #[test]
+    fn missing_kind_errors() {
+        assert!(decode_manifest("metadata:\n  name: x\n").is_err());
+    }
+
+    #[test]
+    fn qualified_name_uses_namespace() {
+        let objs = decode_manifests(STREAM).unwrap();
+        assert_eq!(objs[0].qualified_name(), "default/web");
+    }
+}

@@ -1,0 +1,153 @@
+//! Connectivity visualization — the paper's future-work direction
+//! ("visualization and monitoring tools … explicitly supporting
+//! network-related metrics and providing proactive advice").
+//!
+//! Renders the cluster's *effective* connectivity as a Graphviz DOT digraph:
+//! one node per pod (host-network pods marked), one edge per allowed
+//! `src → dst:port` path, with undeclared/dynamic destination ports
+//! highlighted so the dangerous edges stand out.
+
+use ij_cluster::{Cluster, ConnectOutcome};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders the allowed pod-to-pod connectivity as a DOT digraph.
+///
+/// Edges carry the destination port; edges to sockets whose port is
+/// undeclared (not among the pod's declared container ports) or ephemeral
+/// are drawn red — those are the surfaces M1/M2 describe.
+pub fn connectivity_dot(cluster: &Cluster) -> String {
+    let mut out = String::from("digraph cluster_connectivity {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for rp in cluster.pods() {
+        names.insert(rp.qualified_name());
+        let label = if rp.pod.spec.host_network {
+            format!("{} [hostNetwork]", rp.qualified_name())
+        } else {
+            rp.qualified_name()
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\\n{}\"{}];",
+            rp.qualified_name(),
+            label,
+            rp.ip,
+            if rp.pod.spec.host_network { ", color=orange" } else { "" }
+        );
+    }
+
+    for src in cluster.pods() {
+        for dst in cluster.pods() {
+            if src.qualified_name() == dst.qualified_name() {
+                continue;
+            }
+            for socket in &dst.sockets {
+                if socket.loopback_only {
+                    continue;
+                }
+                let outcome = cluster.connect(
+                    &src.qualified_name(),
+                    &dst.qualified_name(),
+                    socket.port,
+                    socket.protocol,
+                );
+                if outcome != Some(ConnectOutcome::Connected) {
+                    continue;
+                }
+                let declared = dst
+                    .pod
+                    .declared_ports()
+                    .any(|(_, p)| p.container_port == socket.port && p.protocol == socket.protocol);
+                let risky = socket.ephemeral || !declared;
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\" [label=\"{}/{}\"{}];",
+                    src.qualified_name(),
+                    dst.qualified_name(),
+                    socket.port,
+                    socket.protocol,
+                    if risky {
+                        ", color=red, penwidth=2"
+                    } else {
+                        ", color=gray50"
+                    }
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_cluster::{
+        BehaviorRegistry, Cluster, ClusterConfig, ContainerBehavior, ListenerSpec,
+    };
+    use ij_model::{
+        Container, ContainerPort, LabelSelector, Labels, NetworkPolicy, Object, ObjectMeta, Pod,
+        PodSpec,
+    };
+
+    fn demo_cluster() -> Cluster {
+        let mut behaviors = BehaviorRegistry::new();
+        behaviors.register(
+            "img/web",
+            ContainerBehavior::Listeners(vec![ListenerSpec::tcp(8080), ListenerSpec::tcp(9999)]),
+        );
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 2,
+            seed: 6,
+            behaviors,
+        });
+        cluster
+            .apply(Object::Pod(Pod::new(
+                ObjectMeta::named("web").with_labels(Labels::from_pairs([("app", "web")])),
+                PodSpec {
+                    containers: vec![Container::new("web", "img/web")
+                        .with_ports(vec![ContainerPort::tcp(8080)])],
+                    ..Default::default()
+                },
+            )))
+            .unwrap();
+        cluster
+            .apply(Object::Pod(Pod::new(
+                ObjectMeta::named("client"),
+                PodSpec {
+                    containers: vec![Container::new("c", "img/client")],
+                    ..Default::default()
+                },
+            )))
+            .unwrap();
+        cluster.reconcile();
+        cluster
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let cluster = demo_cluster();
+        let dot = connectivity_dot(&cluster);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"default/web\""));
+        assert!(dot.contains("\"default/client\""));
+        // Declared port: gray edge; undeclared 9999: red edge.
+        assert!(dot.contains("label=\"8080/TCP\", color=gray50"));
+        assert!(dot.contains("label=\"9999/TCP\", color=red"));
+    }
+
+    #[test]
+    fn policies_remove_edges() {
+        let mut cluster = demo_cluster();
+        cluster
+            .apply(Object::NetworkPolicy(NetworkPolicy::deny_all_ingress(
+                ObjectMeta::named("deny"),
+                LabelSelector::from_labels(Labels::from_pairs([("app", "web")])),
+            )))
+            .unwrap();
+        let dot = connectivity_dot(&cluster);
+        assert!(!dot.contains("-> \"default/web\""), "no edges into the locked pod:\n{dot}");
+    }
+}

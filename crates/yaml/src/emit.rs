@@ -1,0 +1,246 @@
+//! Canonical block-style emitter.
+//!
+//! The emitter produces two-space-indented block YAML that the parser in this
+//! crate round-trips exactly. Scalars are quoted only when a plain rendering
+//! would re-parse as a different value (numbers, booleans, null, special
+//! characters), which keeps emitted manifests close to hand-written ones.
+
+use crate::value::{format_float, Map, Value};
+
+/// Serializes a value as a block-style YAML document (with trailing newline).
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    match value {
+        Value::Map(m) => emit_map(&mut out, m, 0),
+        Value::Seq(s) => emit_seq(&mut out, s, 0),
+        scalar => {
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn emit_map(out: &mut String, map: &Map, depth: usize) {
+    if map.is_empty() {
+        indent(out, depth);
+        out.push_str("{}\n");
+        return;
+    }
+    for (k, v) in map.iter() {
+        indent(out, depth);
+        out.push_str(&quote_key(k));
+        out.push(':');
+        emit_entry_value(out, v, depth);
+    }
+}
+
+fn emit_seq(out: &mut String, seq: &[Value], depth: usize) {
+    if seq.is_empty() {
+        indent(out, depth);
+        out.push_str("[]\n");
+        return;
+    }
+    for item in seq {
+        indent(out, depth);
+        out.push('-');
+        match item {
+            Value::Map(m) if !m.is_empty() => {
+                // `- key: value` inline first entry, siblings below.
+                let mut it = m.iter();
+                let (k0, v0) = it.next().expect("non-empty");
+                out.push(' ');
+                out.push_str(&quote_key(k0));
+                out.push(':');
+                emit_entry_value(out, v0, depth + 1);
+                for (k, v) in it {
+                    indent(out, depth + 1);
+                    out.push_str(&quote_key(k));
+                    out.push(':');
+                    emit_entry_value(out, v, depth + 1);
+                }
+            }
+            Value::Seq(inner) if !inner.is_empty() => {
+                out.push('\n');
+                emit_seq(out, inner, depth + 1);
+            }
+            other => {
+                out.push(' ');
+                out.push_str(&emit_scalar_or_empty_collection(other));
+                out.push('\n');
+            }
+        }
+    }
+}
+
+/// Emits the value side of `key:`. Nested collections go on following lines.
+fn emit_entry_value(out: &mut String, v: &Value, depth: usize) {
+    match v {
+        Value::Map(m) if !m.is_empty() => {
+            out.push('\n');
+            emit_map(out, m, depth + 1);
+        }
+        Value::Seq(s) if !s.is_empty() => {
+            out.push('\n');
+            emit_seq(out, s, depth + 1);
+        }
+        other => {
+            out.push(' ');
+            out.push_str(&emit_scalar_or_empty_collection(other));
+            out.push('\n');
+        }
+    }
+}
+
+fn emit_scalar_or_empty_collection(v: &Value) -> String {
+    match v {
+        Value::Map(m) if m.is_empty() => "{}".to_string(),
+        Value::Seq(s) if s.is_empty() => "[]".to_string(),
+        other => emit_scalar(other),
+    }
+}
+
+fn emit_scalar(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format_float(*f),
+        Value::Str(s) => quote_str(s),
+        Value::Seq(_) | Value::Map(_) => unreachable!("collections handled by callers"),
+    }
+}
+
+fn quote_key(k: &str) -> String {
+    let plain_ok = !k.is_empty()
+        && !k.contains(": ")
+        && !k.ends_with(':')
+        && !k.starts_with(['"', '\'', ' ', '-', '#'])
+        && !k.contains('\n');
+    if plain_ok {
+        k.to_string()
+    } else {
+        quote_double(k)
+    }
+}
+
+fn quote_str(s: &str) -> String {
+    if needs_quoting(s) {
+        quote_double(s)
+    } else {
+        s.to_string()
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    // Would re-parse as a non-string scalar.
+    if matches!(
+        s,
+        "~" | "null" | "Null" | "NULL" | "true" | "True" | "TRUE" | "false" | "False" | "FALSE"
+    ) {
+        return true;
+    }
+    if s.parse::<i64>().is_ok() || s.parse::<f64>().is_ok() {
+        return true;
+    }
+    // Structural characters or whitespace that would confuse block parsing.
+    if s.starts_with([' ', '-', '#', '[', ']', '{', '}', '"', '\'', '>', '|', '&', '*', '!'])
+        || s.ends_with(' ')
+        || s.contains(": ")
+        || s.ends_with(':')
+        || s.contains(" #")
+        || s.contains('\n')
+        || s.contains('\t')
+    {
+        return true;
+    }
+    false
+}
+
+fn quote_double(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, to_string, Map, Value};
+
+    fn round_trip(v: &Value) {
+        let text = to_string(v);
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        assert_eq!(&back, v, "round trip mismatch for:\n{text}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-12),
+            Value::Float(3.25),
+            Value::str("plain"),
+            Value::str("needs: quoting"),
+            Value::str("8080"),
+            Value::str("true"),
+            Value::str(""),
+            Value::str("- dash"),
+            Value::str("multi\nline"),
+            Value::str("tricky \"quotes\" and \\slashes\\"),
+        ] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let mut labels = Map::new();
+        labels.insert("app.kubernetes.io/name", Value::str("thanos-query"));
+        labels.insert("version", Value::str("0.32.1"));
+        let mut meta = Map::new();
+        meta.insert("name", Value::str("thanos"));
+        meta.insert("labels", Value::Map(labels));
+        let mut port = Map::new();
+        port.insert("containerPort", Value::Int(10901));
+        port.insert("protocol", Value::str("TCP"));
+        let mut container = Map::new();
+        container.insert("name", Value::str("query"));
+        container.insert("ports", Value::Seq(vec![Value::Map(port)]));
+        let mut root = Map::new();
+        root.insert("metadata", Value::Map(meta));
+        root.insert("containers", Value::Seq(vec![Value::Map(container)]));
+        root.insert("empty_map", Value::Map(Map::new()));
+        root.insert("empty_seq", Value::Seq(vec![]));
+        root.insert("nested_seq", Value::Seq(vec![Value::Seq(vec![Value::Int(1)])]));
+        round_trip(&Value::Map(root));
+    }
+
+    #[test]
+    fn empty_collections_inline() {
+        let mut m = Map::new();
+        m.insert("podSelector", Value::Map(Map::new()));
+        let text = to_string(&Value::Map(m));
+        assert_eq!(text, "podSelector: {}\n");
+    }
+}

@@ -1,0 +1,32 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// Result alias for YAML operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A YAML parse error, pointing at the offending source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl Error {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,77 @@
+//! Property tests: the emitter and parser are exact inverses over the
+//! supported value domain.
+
+use ij_yaml::{parse, to_string, Map, Value};
+use proptest::prelude::*;
+
+/// Floats whose `Display` form stays in plain decimal notation (the subset
+/// the scalar grammar covers; scientific notation would round-trip as a
+/// string, which is fine for manifests but out of scope here).
+fn arb_float() -> impl Strategy<Value = f64> {
+    (-1_000_000i64..1_000_000i64, 0u8..4u8).prop_map(|(n, scale)| {
+        n as f64 / 10f64.powi(scale as i32)
+    })
+}
+
+fn arb_key() -> impl Strategy<Value = String> {
+    prop::string::string_regex("[a-zA-Z][a-zA-Z0-9_./-]{0,18}").expect("valid regex")
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::string::string_regex("[ -~\\n\\t]{0,40}").expect("valid regex")
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        arb_float().prop_map(Value::Float),
+        arb_string().prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+            prop::collection::vec((arb_key(), inner), 0..4).prop_map(|entries| {
+                let mut m = Map::new();
+                for (k, v) in entries {
+                    m.insert(k, v);
+                }
+                Value::Map(m)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn emit_parse_round_trip(v in arb_value()) {
+        let text = to_string(&v);
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- emitted ---\n{text}"));
+        prop_assert_eq!(back, v, "emitted:\n{}", text);
+    }
+
+    #[test]
+    fn parse_never_panics_on_ascii(src in "[ -~\\n]{0,200}") {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn scalar_strings_survive_quoting(s in arb_string()) {
+        let mut m = Map::new();
+        m.insert("value", Value::Str(s.clone()));
+        let text = to_string(&Value::Map(m));
+        let back = parse(&text).expect("reparse");
+        prop_assert_eq!(back.path(&["value"]).and_then(Value::as_str), Some(s.as_str()));
+    }
+
+    #[test]
+    fn deep_merge_is_idempotent(v in arb_value()) {
+        if let Value::Map(m) = v {
+            let mut once = m.clone();
+            once.deep_merge(&m);
+            prop_assert_eq!(&once, &m, "merging a map onto itself changes nothing");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! §2.1.1 proof of concept — "Broken Control Plane: Concourse".
+//!
+//! ```sh
+//! cargo run --example concourse_attack
+//! ```
+//!
+//! The Concourse web node opens reverse-SSH-tunnel endpoints in the
+//! ephemeral port range, bound on all interfaces instead of loopback. Any
+//! pod in the cluster can reach them and speak to the workers' control
+//! channel. This example replays the attack, shows the analyzer flagging the
+//! surface, and then closes it with synthesized NetworkPolicies.
+
+use inside_job::chart::Release;
+use inside_job::cluster::{BehaviorRegistry, Cluster, ClusterConfig, ConnectOutcome};
+use inside_job::core::{Analyzer, StaticModel};
+use inside_job::datasets::{concourse_behaviors, concourse_chart};
+use inside_job::guard::PolicySynthesizer;
+use inside_job::model::{Container, Object, ObjectMeta, Pod, PodSpec, Protocol};
+use inside_job::probe::{reachable_pod_endpoints, HostBaseline, RuntimeAnalyzer};
+
+fn main() {
+    let mut behaviors = BehaviorRegistry::new();
+    for (image, b) in concourse_behaviors() {
+        behaviors.register(image, b);
+    }
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: 2024,
+        behaviors,
+    });
+    let baseline = HostBaseline::capture(&cluster);
+    let rendered = concourse_chart()
+        .render(&Release::new("ci", "default"))
+        .expect("chart renders");
+    cluster.install(&rendered).expect("no admission configured");
+
+    // The attacker: one compromised container, no privileges beyond
+    // cluster-network access (the paper's threat model, §3.1).
+    cluster
+        .apply(Object::Pod(Pod::new(
+            ObjectMeta::named("compromised"),
+            PodSpec {
+                containers: vec![Container::new("sh", "attacker/foothold")],
+                ..Default::default()
+            },
+        )))
+        .expect("apply attacker");
+    cluster.reconcile();
+
+    // Step 1 — reconnaissance: scan the cluster network.
+    let reachable = reachable_pod_endpoints(&cluster, "default/compromised");
+    println!("attacker reconnaissance: {} reachable endpoints", reachable.len());
+    for ep in &reachable {
+        println!("  {} {}/{}", ep.pod, ep.port, ep.protocol);
+    }
+
+    // Step 2 — find the web node's tunnel endpoints (ephemeral range) and
+    // connect: these are command-and-control channels to the workers.
+    let c2: Vec<_> = reachable
+        .iter()
+        .filter(|ep| ep.pod.contains("ci-web") && (32768..=60999).contains(&ep.port))
+        .collect();
+    assert!(!c2.is_empty(), "tunnel endpoints should be exposed");
+    for ep in &c2 {
+        let outcome = cluster.connect("default/compromised", &ep.pod, ep.port, Protocol::Tcp);
+        assert_eq!(outcome, Some(ConnectOutcome::Connected));
+        println!(
+            "attacker connected to tunnel endpoint {}:{} — can now deploy containers and edit jobs",
+            ep.pod, ep.port
+        );
+    }
+
+    // Step 3 — what the analyzer says about this application.
+    let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
+    let findings = Analyzer::hybrid().analyze_app(
+        "concourse",
+        &rendered.objects,
+        &cluster,
+        Some(&runtime),
+        false,
+    );
+    println!("\nanalyzer findings:");
+    for f in &findings {
+        println!("  {f}");
+    }
+    assert!(findings.iter().any(|f| f.id.as_str() == "M2"), "dynamic tunnel ports");
+    assert!(findings.iter().any(|f| f.id.as_str() == "M1"), "undeclared worker APIs");
+    assert!(findings.iter().any(|f| f.id.as_str() == "M6"), "no isolation");
+
+    // Step 4 — defense: synthesize declared-ports-only policies and replay.
+    let statics = StaticModel::from_objects(&rendered.objects);
+    let outcome = PolicySynthesizer::new().synthesize(&statics);
+    println!("\nsynthesized {} NetworkPolicies", outcome.policies.len());
+    for obj in outcome.objects() {
+        cluster.apply(obj).expect("policies admitted");
+    }
+    for ep in &c2 {
+        let outcome = cluster.connect("default/compromised", &ep.pod, ep.port, Protocol::Tcp);
+        assert_eq!(outcome, Some(ConnectOutcome::DeniedIngress));
+        println!("replayed attack on {}:{} — {:?}", ep.pod, ep.port, outcome.unwrap());
+    }
+    println!("\nattack surface closed: tunnel endpoints now unreachable");
+}

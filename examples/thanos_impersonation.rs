@@ -1,0 +1,194 @@
+//! §2.1.2 proof of concept — "Service Impersonation: Thanos".
+//!
+//! ```sh
+//! cargo run --example thanos_impersonation
+//! ```
+//!
+//! `thanos-query-frontend` and `thanos-query` share one label, and both
+//! services select it. An attacker pod carrying the same label joins the
+//! services' backend sets and receives (or blackholes) user queries. The
+//! example replays the impersonation, then shows the `ij-guard` admission
+//! controller refusing the imposter at deploy time.
+
+use inside_job::chart::Release;
+use inside_job::cluster::{BehaviorRegistry, Cluster, ClusterConfig};
+use inside_job::core::{Analyzer, MisconfigId};
+use inside_job::datasets::{thanos_behaviors, thanos_chart};
+use inside_job::guard::{GuardAdmission, GuardPolicy};
+use inside_job::model::{Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec};
+use inside_job::probe::{HostBaseline, RuntimeAnalyzer};
+
+fn imposter() -> Object {
+    Object::Pod(Pod::new(
+        ObjectMeta::named("imposter").with_labels(Labels::from_pairs([(
+            "app.kubernetes.io/name",
+            "thanos-query-frontend",
+        )])),
+        PodSpec {
+            containers: vec![Container::new("listener", "attacker/listener")
+                .with_ports(vec![
+                    ContainerPort::named("http", 9090),
+                    ContainerPort::named("grpc", 10902),
+                ])],
+            ..Default::default()
+        },
+    ))
+}
+
+fn build_cluster() -> Cluster {
+    let mut behaviors = BehaviorRegistry::new();
+    for (image, b) in thanos_behaviors() {
+        behaviors.register(image, b);
+    }
+    // The attacker's listener really listens on the impersonated ports.
+    behaviors.register(
+        "attacker/listener",
+        inside_job::cluster::ContainerBehavior::DeclaredPorts,
+    );
+    Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: 99,
+        behaviors,
+    })
+}
+
+fn main() {
+    // --- Phase 1: the unguarded cluster -------------------------------
+    let mut cluster = build_cluster();
+    let baseline = HostBaseline::capture(&cluster);
+    let rendered = thanos_chart()
+        .render(&Release::new("th", "default"))
+        .expect("chart renders");
+    cluster.install(&rendered).expect("no admission configured");
+
+    // A user pod that talks to the query-frontend service.
+    cluster
+        .apply(Object::Pod(Pod::new(
+            ObjectMeta::named("grafana"),
+            PodSpec {
+                containers: vec![Container::new("g", "grafana/grafana")],
+                ..Default::default()
+            },
+        )))
+        .expect("apply client");
+    cluster.reconcile();
+
+    let before = cluster.send_to_service("default/grafana", "default", "th-query-frontend", 9090);
+    println!("service backends before the attack: {before:?}");
+    assert_eq!(before.len(), 1, "only the real frontend");
+
+    // The attacker deploys a pod with the colliding label.
+    cluster.apply(imposter()).expect("unguarded cluster accepts it");
+    cluster.reconcile();
+    let after = cluster.send_to_service("default/grafana", "default", "th-query-frontend", 9090);
+    println!("service backends after the attack:  {after:?}");
+    assert!(
+        after.contains(&"default/imposter".to_string()),
+        "the imposter now receives user queries"
+    );
+
+    // The analyzer had flagged the root cause all along.
+    let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
+    let findings =
+        Analyzer::hybrid().analyze_app("thanos", &rendered.objects, &cluster, Some(&runtime), false);
+    assert!(findings.iter().any(|f| f.id == MisconfigId::M4A));
+    assert!(findings.iter().any(|f| f.id == MisconfigId::M4B));
+    println!("\nanalyzer findings on the chart itself:");
+    for f in findings.iter().filter(|f| matches!(f.id, MisconfigId::M4A | MisconfigId::M4B)) {
+        println!("  {f}");
+    }
+
+    // --- Phase 2: the guarded cluster ----------------------------------
+    let mut guarded = build_cluster();
+    guarded.push_admission(Box::new(GuardAdmission::new(GuardPolicy::default())));
+    // Note: the chart itself already collides internally, so a strictly
+    // guarded cluster refuses the second colliding unit of the chart too.
+    let err = guarded.install(&rendered).expect_err("guard rejects the collision");
+    println!("\nguarded cluster refused the chart: {err}");
+
+    // With unique labels (the paper's mitigation) the application installs
+    // fine — and the imposter is refused at admission.
+    let fixed = rendered_with_unique_labels();
+    let mut guarded = build_cluster();
+    guarded.push_admission(Box::new(GuardAdmission::new(GuardPolicy::default())));
+    guarded.install(&fixed).expect("fixed chart admitted");
+    let denial = guarded.apply(imposter()).expect_err("imposter denied");
+    println!("imposter admission denied: {denial}");
+}
+
+/// The mitigated chart: each component keeps its own label.
+fn rendered_with_unique_labels() -> inside_job::chart::RenderedRelease {
+    let chart = inside_job::chart::Chart::builder("thanos-fixed")
+        .template(
+            "frontend.yaml",
+            r#"
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-query-frontend
+spec:
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: thanos-query-frontend
+  template:
+    metadata:
+      labels:
+        app.kubernetes.io/name: thanos-query-frontend
+    spec:
+      containers:
+        - name: qf
+          image: sim/thanos/query-frontend
+          ports:
+            - name: http
+              containerPort: 9090
+---
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-query
+spec:
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: thanos-query
+  template:
+    metadata:
+      labels:
+        app.kubernetes.io/name: thanos-query
+    spec:
+      containers:
+        - name: q
+          image: sim/thanos/query
+          ports:
+            - name: grpc
+              containerPort: 10902
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}-query-frontend
+spec:
+  selector:
+    app.kubernetes.io/name: thanos-query-frontend
+  ports:
+    - name: http
+      port: 9090
+      targetPort: http
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}-query
+spec:
+  selector:
+    app.kubernetes.io/name: thanos-query
+  ports:
+    - name: grpc
+      port: 10902
+      targetPort: grpc
+"#,
+        )
+        .build();
+    chart
+        .render(&Release::new("th", "default"))
+        .expect("fixed chart renders")
+}

@@ -1,0 +1,159 @@
+//! `ij` — the command-line interface of the Inside Job analyzer.
+//!
+//! ```text
+//! ij analyze <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
+//! ij render  <chart-dir> [--values <file>]
+//! ij disclose <chart-dir> [--values <file>]
+//! ```
+//!
+//! * `analyze` — render the chart, install it into a fresh simulated
+//!   cluster, run the hybrid (or static-only) analyzer, print findings with
+//!   severities and mitigations; optionally write the effective-connectivity
+//!   DOT graph.
+//! * `render` — print the rendered manifests.
+//! * `disclose` — produce a responsible-disclosure markdown report for the
+//!   chart's findings.
+//!
+//! Unknown container images behave exactly as declared (no runtime delta),
+//! so on-disk charts are analyzed for their *structural* misconfigurations
+//! (M4–M7 and service references); pair the library API with a
+//! `BehaviorRegistry` to model runtime deltas (M1–M3) for known images.
+
+use inside_job::chart::{Chart, Release};
+use inside_job::cluster::{Cluster, ClusterConfig};
+use inside_job::core::{
+    chart_defines_network_policies, disclosure_report, Analyzer, AppReport, Census,
+};
+use inside_job::probe::{connectivity_dot, HostBaseline, RuntimeAnalyzer};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    chart_dir: PathBuf,
+    values: Option<PathBuf>,
+    static_only: bool,
+    dot: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ij <analyze|render|disclose> <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next()?;
+    let chart_dir = PathBuf::from(argv.next()?);
+    let mut args = Args {
+        command,
+        chart_dir,
+        values: None,
+        static_only: false,
+        dot: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--values" => args.values = Some(PathBuf::from(argv.next()?)),
+            "--static-only" => args.static_only = true,
+            "--dot" => args.dot = Some(PathBuf::from(argv.next()?)),
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn load_release(args: &Args, name: &str) -> Result<Release, String> {
+    let mut release = Release::new(name, "default");
+    if let Some(values_path) = &args.values {
+        let src = std::fs::read_to_string(values_path)
+            .map_err(|e| format!("{}: {e}", values_path.display()))?;
+        release = release.with_values_yaml(&src).map_err(|e| e.to_string())?;
+    }
+    Ok(release)
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = parse_args() else {
+        return Err("bad arguments".to_string());
+    };
+    let chart = Chart::from_dir(Path::new(&args.chart_dir)).map_err(|e| e.to_string())?;
+    let release = load_release(&args, &chart.name.clone())?;
+    let rendered = chart.render(&release).map_err(|e| e.to_string())?;
+
+    match args.command.as_str() {
+        "render" => {
+            for obj in &rendered.objects {
+                println!("---");
+                print!("{}", obj.to_manifest());
+            }
+            Ok(())
+        }
+        "analyze" | "disclose" => {
+            let mut cluster = Cluster::new(ClusterConfig::default());
+            let baseline = HostBaseline::capture(&cluster);
+            cluster.install(&rendered).map_err(|e| e.to_string())?;
+            let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
+            let analyzer = if args.static_only {
+                Analyzer::static_only()
+            } else {
+                Analyzer::hybrid()
+            };
+            let findings = analyzer.analyze_app(
+                &chart.name,
+                &rendered.objects,
+                &cluster,
+                Some(&runtime),
+                chart_defines_network_policies(&chart),
+            );
+
+            if args.command == "disclose" {
+                let census = Census {
+                    apps: vec![AppReport {
+                        app: chart.name.clone(),
+                        dataset: chart.name.clone(),
+                        version: chart.version.clone(),
+                        findings: findings.clone(),
+                    }],
+                };
+                print!("{}", disclosure_report(&census, &chart.name));
+            } else {
+                println!(
+                    "chart `{}` {} — {} finding(s)",
+                    chart.name,
+                    chart.version,
+                    findings.len()
+                );
+                for f in &findings {
+                    println!("\n[{}] {:?} — {}", f.id, f.id.severity(), f.id.description());
+                    println!("  object: {}", f.object);
+                    println!("  detail: {}", f.detail);
+                    println!("  fix:    {}", f.id.mitigation());
+                }
+            }
+
+            if let Some(dot_path) = &args.dot {
+                let dot = connectivity_dot(&cluster);
+                std::fs::write(dot_path, dot).map_err(|e| format!("{}: {e}", dot_path.display()))?;
+                eprintln!("wrote connectivity graph to {}", dot_path.display());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if msg == "bad arguments" {
+                return usage();
+            }
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

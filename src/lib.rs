@@ -1,0 +1,16 @@
+//! # inside-job — reproduction of "Inside Job: Defending Kubernetes
+//! Clusters Against Network Misconfigurations" (CoNEXT 2025)
+//!
+//! This meta-crate re-exports the workspace's public API. See the README
+//! for the architecture overview and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! reproduction details.
+
+pub use ij_baselines as baselines;
+pub use ij_chart as chart;
+pub use ij_cluster as cluster;
+pub use ij_core as core;
+pub use ij_datasets as datasets;
+pub use ij_guard as guard;
+pub use ij_model as model;
+pub use ij_probe as probe;
+pub use ij_yaml as yaml;

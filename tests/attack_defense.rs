@@ -1,0 +1,157 @@
+//! End-to-end attack/defense scenarios spanning every crate: the two §2.1
+//! proofs of concept, replayed with and without the `ij-guard` defense.
+
+use inside_job::chart::Release;
+use inside_job::cluster::{BehaviorRegistry, Cluster, ClusterConfig, ConnectOutcome};
+use inside_job::core::StaticModel;
+use inside_job::datasets::{
+    concourse_behaviors, concourse_chart, thanos_behaviors, thanos_chart,
+};
+use inside_job::guard::{GuardAdmission, GuardPolicy, PolicySynthesizer};
+use inside_job::model::{
+    Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec, Protocol,
+};
+use inside_job::probe::reachable_pod_endpoints;
+
+fn registry(pairs: Vec<(String, inside_job::cluster::ContainerBehavior)>) -> BehaviorRegistry {
+    let mut reg = BehaviorRegistry::new();
+    for (image, b) in pairs {
+        reg.register(image, b);
+    }
+    reg
+}
+
+fn attacker_pod() -> Object {
+    Object::Pod(Pod::new(
+        ObjectMeta::named("attacker"),
+        PodSpec {
+            containers: vec![Container::new("sh", "attacker/foothold")],
+            ..Default::default()
+        },
+    ))
+}
+
+#[test]
+fn concourse_c2_attack_succeeds_then_synthesis_closes_it() {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: 77,
+        behaviors: registry(concourse_behaviors()),
+    });
+    let rendered = concourse_chart().render(&Release::new("ci", "default")).unwrap();
+    cluster.install(&rendered).unwrap();
+    cluster.apply(attacker_pod()).unwrap();
+    cluster.reconcile();
+
+    // The attacker reaches the web node's ephemeral tunnel endpoints.
+    let reachable = reachable_pod_endpoints(&cluster, "default/attacker");
+    let c2: Vec<_> = reachable
+        .iter()
+        .filter(|e| e.pod.contains("ci-web") && (32768..=60999).contains(&e.port))
+        .collect();
+    assert_eq!(c2.len(), 2, "two tunnel endpoints exposed: {reachable:?}");
+    // …and the workers' undeclared API ports.
+    assert!(reachable
+        .iter()
+        .any(|e| e.pod.contains("ci-worker") && e.port == 7777));
+
+    // Synthesis from declared ports cuts off everything undeclared.
+    let statics = StaticModel::from_objects(&rendered.objects);
+    for obj in PolicySynthesizer::new().synthesize(&statics).objects() {
+        cluster.apply(obj).unwrap();
+    }
+    for ep in &c2 {
+        assert_eq!(
+            cluster.connect("default/attacker", &ep.pod, ep.port, Protocol::Tcp),
+            Some(ConnectOutcome::DeniedIngress)
+        );
+    }
+    assert_eq!(
+        cluster.connect(
+            "default/attacker",
+            &reachable.iter().find(|e| e.port == 7777).unwrap().pod,
+            7777,
+            Protocol::Tcp
+        ),
+        Some(ConnectOutcome::DeniedIngress),
+        "worker API closed too"
+    );
+    // The declared web UI stays reachable.
+    assert_eq!(
+        cluster.connect("default/attacker", "default/ci-web-0", 8080, Protocol::Tcp),
+        Some(ConnectOutcome::Connected)
+    );
+}
+
+#[test]
+fn thanos_impersonation_succeeds_unguarded_and_is_denied_guarded() {
+    let imposter = Object::Pod(Pod::new(
+        ObjectMeta::named("imposter").with_labels(Labels::from_pairs([(
+            "app.kubernetes.io/name",
+            "thanos-query-frontend",
+        )])),
+        PodSpec {
+            containers: vec![Container::new("l", "attacker/listener")
+                .with_ports(vec![ContainerPort::named("http", 9090)])],
+            ..Default::default()
+        },
+    ));
+
+    // Unguarded: the imposter joins the service backends.
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: 88,
+        behaviors: registry(thanos_behaviors()),
+    });
+    let rendered = thanos_chart().render(&Release::new("th", "default")).unwrap();
+    cluster.install(&rendered).unwrap();
+    cluster.apply(attacker_pod()).unwrap();
+    cluster.apply(imposter.clone()).unwrap();
+    cluster.reconcile();
+    let backends = cluster.send_to_service("default/attacker", "default", "th-query-frontend", 9090);
+    assert!(backends.contains(&"default/imposter".to_string()));
+
+    // Guarded: admission refuses the colliding pod (the chart itself also
+    // collides, so the guard flags the install as well).
+    let mut guarded = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: 88,
+        behaviors: registry(thanos_behaviors()),
+    });
+    guarded.push_admission(Box::new(GuardAdmission::new(GuardPolicy::default())));
+    let err = guarded.install(&rendered).unwrap_err();
+    assert!(err.to_string().contains("label collision"));
+
+    // Audit mode lets the chart in with warnings, but a later enforcing
+    // guard still refuses the imposter.
+    let mut audit = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: 88,
+        behaviors: registry(thanos_behaviors()),
+    });
+    audit.push_admission(Box::new(GuardAdmission::new(GuardPolicy::audit_only())));
+    let warnings = audit.install(&rendered).unwrap();
+    assert!(!warnings.is_empty(), "audit mode surfaces the collision");
+}
+
+#[test]
+fn guard_admission_blocks_cross_release_collision() {
+    // M4*: two releases, the second collides with the first's labels.
+    let mut cluster = Cluster::new(ClusterConfig::default());
+    cluster.push_admission(Box::new(GuardAdmission::new(GuardPolicy::default())));
+    let make = |name: &str| {
+        Object::Pod(Pod::new(
+            ObjectMeta::named(name).with_labels(Labels::from_pairs([(
+                "app.kubernetes.io/part-of",
+                "shared-stack",
+            )])),
+            PodSpec {
+                containers: vec![Container::new("c", "img")],
+                ..Default::default()
+            },
+        ))
+    };
+    cluster.apply(make("release-a-comp")).unwrap();
+    let err = cluster.apply(make("release-b-comp")).unwrap_err();
+    assert!(err.to_string().contains("identical label set"));
+}

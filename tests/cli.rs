@@ -1,0 +1,143 @@
+//! End-to-end tests of the `ij` CLI binary against charts on disk.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn write(path: &Path, content: &str) {
+    fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+    fs::write(path, content).expect("write");
+}
+
+fn demo_chart_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ij-cli-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    write(
+        &dir.join("Chart.yaml"),
+        "name: cli-demo\nversion: 0.9.0\ndescription: CLI test chart\n",
+    );
+    write(&dir.join("values.yaml"), "replicas: 1\n");
+    write(
+        &dir.join("templates/app.yaml"),
+        "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-web
+spec:
+  replicas: {{ .Values.replicas }}
+  selector:
+    matchLabels:
+      app: web
+  template:
+    metadata:
+      labels:
+        app: web
+    spec:
+      hostNetwork: true
+      containers:
+        - name: web
+          image: acme/web
+          ports:
+            - containerPort: 8080
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}-web
+spec:
+  selector:
+    app: web
+  ports:
+    - port: 80
+      targetPort: 9999
+",
+    );
+    dir
+}
+
+fn ij(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ij"))
+        .args(args)
+        .output()
+        .expect("spawn ij")
+}
+
+#[test]
+fn analyze_reports_structural_findings() {
+    let dir = demo_chart_dir("analyze");
+    let out = ij(&["analyze", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 finding(s)"), "{stdout}");
+    assert!(stdout.contains("[M5B]"), "{stdout}");
+    assert!(stdout.contains("[M6]"), "{stdout}");
+    assert!(stdout.contains("[M7]"), "{stdout}");
+    assert!(stdout.contains("fix:"), "{stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn render_prints_manifests() {
+    let dir = demo_chart_dir("render");
+    let out = ij(&["render", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kind: Deployment"));
+    assert!(stdout.contains("kind: Service"));
+    assert!(stdout.contains("name: cli-demo-web"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disclose_produces_markdown_report() {
+    let dir = demo_chart_dir("disclose");
+    let out = ij(&["disclose", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# Security disclosure"));
+    assert!(stdout.contains("Threat model"));
+    assert!(stdout.contains("Questionnaire"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dot_flag_writes_connectivity_graph() {
+    let dir = demo_chart_dir("dot");
+    let dot_path = dir.join("out.dot");
+    let out = ij(&["analyze", dir.to_str().unwrap(), "--dot", dot_path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let dot = fs::read_to_string(&dot_path).expect("dot written");
+    assert!(dot.starts_with("digraph"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn values_override_changes_rendering() {
+    let dir = demo_chart_dir("values");
+    let values = dir.join("override.yaml");
+    fs::write(&values, "replicas: 4\n").unwrap();
+    let out = ij(&["render", dir.to_str().unwrap(), "--values", values.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("replicas: 4"), "{stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = ij(&["bogus-command"]);
+    assert!(!out.status.success());
+    let out = ij(&[]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn static_only_flag_is_accepted() {
+    let dir = demo_chart_dir("static");
+    let out = ij(&["analyze", dir.to_str().unwrap(), "--static-only"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("finding(s)"));
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,142 @@
+//! §4.3.2's closing remark: "the results are obtained by deploying a single
+//! application in the cluster; the opportunities for reaching misconfigured
+//! ports would increase for multiple applications deployed at once."
+//!
+//! This test co-deploys several charts into one shared cluster and verifies
+//! (a) the attacker's reachable misconfigured surface is the union of the
+//! per-app surfaces, (b) the cluster-wide M4* collision only exists in the
+//! co-deployed setting, and (c) uninstalling a release removes exactly its
+//! share of the surface.
+
+use inside_job::chart::Release;
+use inside_job::cluster::{BehaviorRegistry, Cluster, ClusterConfig};
+use inside_job::core::{Analyzer, MisconfigId, StaticModel};
+use inside_job::datasets::{build_app, AppSpec, NetpolSpec, Org, Plan};
+use inside_job::model::{Container, Object, ObjectMeta, Pod, PodSpec};
+use inside_job::probe::reachable_pod_endpoints;
+
+fn specs() -> Vec<AppSpec> {
+    vec![
+        AppSpec::new("app-a", Org::Cncf, "1.0.0", Plan {
+            m1: 2,
+            netpol: NetpolSpec::Missing,
+            m4star_tokens: vec!["shared-operator"],
+            ..Default::default()
+        }),
+        AppSpec::new("app-b", Org::Cncf, "1.0.0", Plan {
+            m1: 1,
+            m2: 1,
+            netpol: NetpolSpec::Missing,
+            m4star_tokens: vec!["shared-operator"],
+            ..Default::default()
+        }),
+        AppSpec::new("app-c", Org::Cncf, "1.0.0", Plan {
+            m7: 1,
+            netpol: NetpolSpec::Missing,
+            ..Default::default()
+        }),
+    ]
+}
+
+fn co_deployed_cluster() -> (Cluster, Vec<(String, StaticModel)>) {
+    let mut registry = BehaviorRegistry::new();
+    let builts: Vec<_> = specs().iter().map(build_app).collect();
+    for b in &builts {
+        for (image, behavior) in &b.behaviors {
+            registry.register(image.clone(), behavior.clone());
+        }
+    }
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: 1234,
+        behaviors: registry,
+    });
+    let mut statics = Vec::new();
+    for b in &builts {
+        let rendered = b
+            .chart
+            .render(&Release::new(&b.spec.name, "default"))
+            .expect("renders");
+        cluster.install(&rendered).expect("no admission");
+        statics.push((b.spec.name.clone(), StaticModel::from_objects(&rendered.objects)));
+    }
+    cluster
+        .apply(Object::Pod(Pod::new(
+            ObjectMeta::named("attacker"),
+            PodSpec {
+                containers: vec![Container::new("sh", "attacker/recon")],
+                ..Default::default()
+            },
+        )))
+        .expect("apply attacker");
+    cluster.reconcile();
+    (cluster, statics)
+}
+
+/// Counts attacker-reachable endpoints that are misconfigured (undeclared or
+/// ephemeral), attributed per release prefix.
+fn misconfigured_surface(cluster: &Cluster) -> Vec<String> {
+    let statics = StaticModel::from_objects(cluster.objects());
+    let mut out = Vec::new();
+    for ep in reachable_pod_endpoints(cluster, "default/attacker") {
+        let Some(rp) = cluster.pod(&ep.pod) else { continue };
+        let unit = rp.owner.clone().unwrap_or_else(|| ep.pod.clone());
+        let declared = statics
+            .unit(&unit)
+            .map(|u| u.declares(ep.port, ep.protocol))
+            .unwrap_or(true);
+        let ephemeral = rp
+            .sockets
+            .iter()
+            .any(|s| s.port == ep.port && s.protocol == ep.protocol && s.ephemeral);
+        if !declared || ephemeral {
+            out.push(format!("{}:{}", ep.pod, ep.port));
+        }
+    }
+    out
+}
+
+#[test]
+fn co_deployment_unions_the_attack_surface() {
+    let (cluster, _) = co_deployed_cluster();
+    let surface = misconfigured_surface(&cluster);
+    // app-a: 2 undeclared ports; app-b: 1 undeclared + 1-2 ephemeral draws
+    // (one per snapshot-free ground truth run, i.e. exactly one here).
+    let a_hits = surface.iter().filter(|s| s.contains("app-a")).count();
+    let b_hits = surface.iter().filter(|s| s.contains("app-b")).count();
+    assert_eq!(a_hits, 2, "{surface:?}");
+    assert_eq!(b_hits, 2, "undeclared + ephemeral: {surface:?}");
+    assert!(surface.len() >= 4, "co-deployed surface is the union");
+}
+
+#[test]
+fn m4star_exists_only_in_the_co_deployed_view() {
+    let (_, statics) = co_deployed_cluster();
+    // Per-app (single-application methodology): no M4* can be seen.
+    let analyzer = Analyzer::hybrid();
+    for (_, model) in &statics {
+        let single = analyzer.analyze_global(&[("only".to_string(), model.clone())]);
+        assert!(single.is_empty());
+    }
+    // Cluster-wide pass over the co-deployed set: the shared-operator token
+    // collides across app-a and app-b.
+    let global = analyzer.analyze_global(&statics);
+    assert_eq!(global.len(), 1);
+    assert_eq!(global[0].id, MisconfigId::M4Star);
+    assert!(global[0].detail.contains("app-a") && global[0].detail.contains("app-b"));
+}
+
+#[test]
+fn uninstall_removes_exactly_one_apps_surface() {
+    let (mut cluster, _) = co_deployed_cluster();
+    let before = misconfigured_surface(&cluster);
+    assert!(before.iter().any(|s| s.contains("app-a")));
+
+    cluster.uninstall("app-a");
+    let after = misconfigured_surface(&cluster);
+    assert!(after.iter().all(|s| !s.contains("app-a")), "{after:?}");
+    // The other releases' surfaces are untouched.
+    let b_before = before.iter().filter(|s| s.contains("app-b")).count();
+    let b_after = after.iter().filter(|s| s.contains("app-b")).count();
+    assert_eq!(b_before, b_after);
+}

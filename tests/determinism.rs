@@ -1,0 +1,42 @@
+//! Reproducibility: the whole evaluation is a pure function of the seed.
+
+use inside_job::core::MisconfigId;
+use inside_job::datasets::{corpus, run_census, CorpusOptions, Org};
+
+#[test]
+fn census_is_deterministic_across_runs() {
+    let slice: Vec<_> = corpus()
+        .into_iter()
+        .filter(|a| a.org == Org::PrometheusCommunity)
+        .collect();
+    let a = run_census(&slice, &CorpusOptions::default());
+    let b = run_census(&slice, &CorpusOptions::default());
+    assert_eq!(a.apps.len(), b.apps.len());
+    for (x, y) in a.apps.iter().zip(b.apps.iter()) {
+        assert_eq!(x.findings, y.findings, "app {}", x.app);
+    }
+}
+
+#[test]
+fn different_seed_same_census_shape() {
+    // Ephemeral port numbers change with the seed, but the *findings* (which
+    // never depend on the specific port value, only its class) must not.
+    let slice: Vec<_> = corpus()
+        .into_iter()
+        .filter(|a| a.org == Org::Wikimedia)
+        .collect();
+    let a = run_census(&slice, &CorpusOptions::default());
+    let b = run_census(
+        &slice,
+        &CorpusOptions {
+            seed: 0xDEADBEEF,
+            ..Default::default()
+        },
+    );
+    for id in MisconfigId::ALL {
+        let count = |c: &inside_job::core::Census| {
+            c.apps.iter().map(|r| r.count_of(id)).sum::<usize>()
+        };
+        assert_eq!(count(&a), count(&b), "{id} count differs across seeds");
+    }
+}

@@ -1,0 +1,69 @@
+//! Table 3 cross-crate check: the headline claims of §4.4.3.
+
+use inside_job::baselines::{run_comparison, Detection};
+use inside_job::core::MisconfigId;
+
+#[test]
+fn our_solution_is_the_only_one_finding_everything() {
+    let rows = run_comparison();
+    let ours = rows.iter().find(|r| r.tool == "Our solution").unwrap();
+    for id in MisconfigId::ALL {
+        assert_eq!(ours.cell(id), Detection::Found, "ours on {id}");
+    }
+    // No baseline tool fully finds any of the label-collision or port-delta
+    // classes.
+    for row in rows.iter().filter(|r| r.tool != "Our solution") {
+        for id in [
+            MisconfigId::M1,
+            MisconfigId::M2,
+            MisconfigId::M4A,
+            MisconfigId::M4B,
+            MisconfigId::M4C,
+            MisconfigId::M4Star,
+            MisconfigId::M5A,
+            MisconfigId::M5B,
+        ] {
+            assert_ne!(row.cell(id), Detection::Found, "{} on {id}", row.tool);
+        }
+    }
+}
+
+#[test]
+fn m6_and_m7_are_the_most_recognized() {
+    // §4.4.3: "the lack of network policies (M6) and host network mapping
+    // (M7) are the most recognized."
+    let rows = run_comparison();
+    let found_count = |id: MisconfigId| {
+        rows.iter()
+            .filter(|r| r.tool != "Our solution" && r.cell(id) == Detection::Found)
+            .count()
+    };
+    let m6 = found_count(MisconfigId::M6);
+    let m7 = found_count(MisconfigId::M7);
+    assert!(m7 >= 9, "M7 found by most tools: {m7}");
+    assert!(m6 >= 4, "M6 found by several tools: {m6}");
+    for id in [MisconfigId::M1, MisconfigId::M2, MisconfigId::M3, MisconfigId::M4A] {
+        assert!(found_count(id) == 0, "{id} should be found by no baseline");
+    }
+}
+
+#[test]
+fn kubescape_partially_hints_at_label_collisions() {
+    let rows = run_comparison();
+    let kubescape = rows.iter().find(|r| r.tool == "Kubescape").unwrap();
+    for id in [MisconfigId::M4A, MisconfigId::M4B, MisconfigId::M4C] {
+        assert_eq!(kubescape.cell(id), Detection::Partial, "kubescape on {id}");
+    }
+}
+
+#[test]
+fn static_tools_get_dashes_for_runtime_classes() {
+    let rows = run_comparison();
+    for tool in ["Checkov", "Kubeaudit", "KubeLinter", "Kube-score", "Kubesec", "SLI-KUBE"] {
+        let row = rows.iter().find(|r| r.tool == tool).unwrap();
+        for id in [MisconfigId::M1, MisconfigId::M2, MisconfigId::M3, MisconfigId::M5A] {
+            assert_eq!(row.cell(id), Detection::NotApplicable, "{tool} on {id}");
+        }
+        assert_eq!(row.cell(MisconfigId::M4Star), Detection::NotApplicable);
+    }
+}
