@@ -113,9 +113,13 @@ pub fn run_comparison() -> Vec<ComparisonRow> {
         let runtime = RuntimeAnalyzer::new(opts.probe.clone()).analyze(&mut cluster, &baseline);
 
         // Baseline tools.
-        let input = ToolInput { statics: &statics, cluster: &cluster };
+        let input = ToolInput {
+            statics: &statics,
+            cluster: &cluster,
+        };
         for (tool, row) in tools.iter().zip(rows.iter_mut()) {
-            row.cells.insert(case.id, classify_tool(tool, &input, case.id));
+            row.cells
+                .insert(case.id, classify_tool(tool, &input, case.id));
         }
 
         // Our solution: per-app analysis plus the cluster-wide pass.
@@ -134,13 +138,20 @@ pub fn run_comparison() -> Vec<ComparisonRow> {
                 chart_defines_network_policies(&b.chart),
             );
             found.extend(findings);
-            statics_per_app.push((b.spec.name.clone(), StaticModel::from_objects(&rendered.objects)));
+            statics_per_app.push((
+                b.spec.name.clone(),
+                StaticModel::from_objects(&rendered.objects),
+            ));
         }
         found.extend(Analyzer::hybrid().analyze_global(&statics_per_app));
         let hit = found.iter().any(|f| f.id == case.id);
         ours.cells.insert(
             case.id,
-            if hit { Detection::Found } else { Detection::Missed },
+            if hit {
+                Detection::Found
+            } else {
+                Detection::Missed
+            },
         );
     }
 
@@ -170,18 +181,78 @@ mod tests {
     /// simulator has no such listeners, so our M3 lands as fully found
     /// (documented in EXPERIMENTS.md).
     const EXPECTED: [(&str, [char; 13]); 12] = [
-        ("Checkov",      ['N','N','N','M','M','M','N','N','M','M','M','F','F']),
-        ("Kubeaudit",    ['N','N','N','M','M','M','N','N','M','M','M','F','F']),
-        ("KubeLinter",   ['N','N','N','M','M','M','N','N','M','M','F','M','F']),
-        ("Kube-score",   ['N','N','N','M','M','M','N','N','M','M','F','F','M']),
-        ("Kubesec",      ['N','N','N','M','M','M','N','N','M','M','M','M','F']),
-        ("SLI-KUBE",     ['N','N','N','M','M','M','N','N','M','M','M','M','F']),
-        ("Kube-bench",   ['M','M','M','M','M','M','N','M','M','M','M','M','F']),
-        ("Kubescape",    ['M','M','M','P','P','P','M','M','M','M','M','F','F']),
-        ("Trivy",        ['M','M','M','M','M','M','M','M','M','M','M','M','F']),
-        ("NeuVector",    ['M','M','M','M','M','M','M','M','M','M','M','M','F']),
-        ("StackRox",     ['M','M','M','M','M','M','M','M','M','M','M','M','F']),
-        ("Our solution", ['F','F','F','F','F','F','F','F','F','F','F','F','F']),
+        (
+            "Checkov",
+            [
+                'N', 'N', 'N', 'M', 'M', 'M', 'N', 'N', 'M', 'M', 'M', 'F', 'F',
+            ],
+        ),
+        (
+            "Kubeaudit",
+            [
+                'N', 'N', 'N', 'M', 'M', 'M', 'N', 'N', 'M', 'M', 'M', 'F', 'F',
+            ],
+        ),
+        (
+            "KubeLinter",
+            [
+                'N', 'N', 'N', 'M', 'M', 'M', 'N', 'N', 'M', 'M', 'F', 'M', 'F',
+            ],
+        ),
+        (
+            "Kube-score",
+            [
+                'N', 'N', 'N', 'M', 'M', 'M', 'N', 'N', 'M', 'M', 'F', 'F', 'M',
+            ],
+        ),
+        (
+            "Kubesec",
+            [
+                'N', 'N', 'N', 'M', 'M', 'M', 'N', 'N', 'M', 'M', 'M', 'M', 'F',
+            ],
+        ),
+        (
+            "SLI-KUBE",
+            [
+                'N', 'N', 'N', 'M', 'M', 'M', 'N', 'N', 'M', 'M', 'M', 'M', 'F',
+            ],
+        ),
+        (
+            "Kube-bench",
+            [
+                'M', 'M', 'M', 'M', 'M', 'M', 'N', 'M', 'M', 'M', 'M', 'M', 'F',
+            ],
+        ),
+        (
+            "Kubescape",
+            [
+                'M', 'M', 'M', 'P', 'P', 'P', 'M', 'M', 'M', 'M', 'M', 'F', 'F',
+            ],
+        ),
+        (
+            "Trivy",
+            [
+                'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'F',
+            ],
+        ),
+        (
+            "NeuVector",
+            [
+                'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'F',
+            ],
+        ),
+        (
+            "StackRox",
+            [
+                'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'M', 'F',
+            ],
+        ),
+        (
+            "Our solution",
+            [
+                'F', 'F', 'F', 'F', 'F', 'F', 'F', 'F', 'F', 'F', 'F', 'F', 'F',
+            ],
+        ),
     ];
 
     fn to_detection(c: char) -> Detection {
@@ -201,11 +272,7 @@ mod tests {
         for ((name, expected), row) in EXPECTED.iter().zip(&rows) {
             assert_eq!(&row.tool, name);
             for (id, want) in MisconfigId::ALL.iter().zip(expected) {
-                assert_eq!(
-                    row.cell(*id),
-                    to_detection(*want),
-                    "{name} on {id}"
-                );
+                assert_eq!(row.cell(*id), to_detection(*want), "{name} on {id}");
             }
         }
     }

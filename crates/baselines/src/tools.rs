@@ -56,7 +56,7 @@ impl Tool {
     }
 }
 
-/// Shared single-resource checks -------------------------------------------
+// Shared single-resource checks --------------------------------------------
 
 /// Any pod template with `hostNetwork: true` (the one networking issue
 /// virtually every tool ships a rule for).
@@ -225,17 +225,72 @@ fn stackrox(input: &ToolInput<'_>) -> Vec<(MisconfigId, Detection)> {
 /// The eleven tools, Table 3 order.
 pub fn all_tools() -> Vec<Tool> {
     vec![
-        Tool { name: "Checkov", version: "3.2.23", kind: ToolKind::Static, check: checkov },
-        Tool { name: "Kubeaudit", version: "0.22.1", kind: ToolKind::Static, check: kubeaudit },
-        Tool { name: "KubeLinter", version: "0.6.8", kind: ToolKind::Static, check: kubelinter },
-        Tool { name: "Kube-score", version: "1.18.0", kind: ToolKind::Static, check: kube_score },
-        Tool { name: "Kubesec", version: "2.14.0", kind: ToolKind::Static, check: kubesec },
-        Tool { name: "SLI-KUBE", version: "N/A", kind: ToolKind::Static, check: sli_kube },
-        Tool { name: "Kube-bench", version: "0.7.1", kind: ToolKind::Runtime, check: kube_bench },
-        Tool { name: "Kubescape", version: "3.0.3", kind: ToolKind::Hybrid, check: kubescape },
-        Tool { name: "Trivy", version: "0.49.1", kind: ToolKind::Hybrid, check: trivy },
-        Tool { name: "NeuVector", version: "5.3.0", kind: ToolKind::Platform, check: neuvector },
-        Tool { name: "StackRox", version: "3.74.9", kind: ToolKind::Platform, check: stackrox },
+        Tool {
+            name: "Checkov",
+            version: "3.2.23",
+            kind: ToolKind::Static,
+            check: checkov,
+        },
+        Tool {
+            name: "Kubeaudit",
+            version: "0.22.1",
+            kind: ToolKind::Static,
+            check: kubeaudit,
+        },
+        Tool {
+            name: "KubeLinter",
+            version: "0.6.8",
+            kind: ToolKind::Static,
+            check: kubelinter,
+        },
+        Tool {
+            name: "Kube-score",
+            version: "1.18.0",
+            kind: ToolKind::Static,
+            check: kube_score,
+        },
+        Tool {
+            name: "Kubesec",
+            version: "2.14.0",
+            kind: ToolKind::Static,
+            check: kubesec,
+        },
+        Tool {
+            name: "SLI-KUBE",
+            version: "N/A",
+            kind: ToolKind::Static,
+            check: sli_kube,
+        },
+        Tool {
+            name: "Kube-bench",
+            version: "0.7.1",
+            kind: ToolKind::Runtime,
+            check: kube_bench,
+        },
+        Tool {
+            name: "Kubescape",
+            version: "3.0.3",
+            kind: ToolKind::Hybrid,
+            check: kubescape,
+        },
+        Tool {
+            name: "Trivy",
+            version: "0.49.1",
+            kind: ToolKind::Hybrid,
+            check: trivy,
+        },
+        Tool {
+            name: "NeuVector",
+            version: "5.3.0",
+            kind: ToolKind::Platform,
+            check: neuvector,
+        },
+        Tool {
+            name: "StackRox",
+            version: "3.74.9",
+            kind: ToolKind::Platform,
+            check: stackrox,
+        },
     ]
 }
 

@@ -71,7 +71,10 @@ fn bench_chart_render(c: &mut Criterion) {
 
 fn bench_cluster_install(c: &mut Criterion) {
     let built = build_app(&busy_spec());
-    let rendered = built.chart.render(&Release::new("bench-app", "default")).unwrap();
+    let rendered = built
+        .chart
+        .render(&Release::new("bench-app", "default"))
+        .unwrap();
     c.bench_function("cluster_install_reconcile", |b| {
         b.iter(|| {
             let mut cluster = Cluster::new(ClusterConfig {
@@ -110,7 +113,10 @@ fn bench_policy_engine(c: &mut Criterion) {
             let mut allowed = 0usize;
             for src in &pods {
                 for dst in &pods {
-                    if engine.verdict(src, dst, 8080, ij_model::Protocol::Tcp).is_allowed() {
+                    if engine
+                        .verdict(src, dst, 8080, ij_model::Protocol::Tcp)
+                        .is_allowed()
+                    {
                         allowed += 1;
                     }
                 }
@@ -122,7 +128,10 @@ fn bench_policy_engine(c: &mut Criterion) {
 
 fn bench_probe(c: &mut Criterion) {
     let built = build_app(&busy_spec());
-    let rendered = built.chart.render(&Release::new("bench-app", "default")).unwrap();
+    let rendered = built
+        .chart
+        .render(&Release::new("bench-app", "default"))
+        .unwrap();
     c.bench_function("probe_double_run", |b| {
         b.iter(|| {
             let mut cluster = Cluster::new(ClusterConfig {
@@ -140,7 +149,10 @@ fn bench_probe(c: &mut Criterion) {
 
 fn bench_analyzer(c: &mut Criterion) {
     let built = build_app(&busy_spec());
-    let rendered = built.chart.render(&Release::new("bench-app", "default")).unwrap();
+    let rendered = built
+        .chart
+        .render(&Release::new("bench-app", "default"))
+        .unwrap();
     let mut cluster = Cluster::new(ClusterConfig {
         nodes: 3,
         seed: 1,
@@ -154,7 +166,13 @@ fn bench_analyzer(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 Analyzer::hybrid()
-                    .analyze_app("bench-app", &rendered.objects, &cluster, Some(&runtime), defines)
+                    .analyze_app(
+                        "bench-app",
+                        &rendered.objects,
+                        &cluster,
+                        Some(&runtime),
+                        defines,
+                    )
                     .len(),
             )
         })

@@ -41,9 +41,7 @@ pub fn score() -> String {
         let built = build_app(app_spec);
         results.push((i, ij_datasets::analyze_one(&built, &opts).findings));
     }
-    let report = ij_datasets::score_corpus(
-        results.iter().map(|(i, f)| (&specs[*i], f.as_slice())),
-    );
+    let report = ij_datasets::score_corpus(results.iter().map(|(i, f)| (&specs[*i], f.as_slice())));
     format!(
         "Ground-truth scoring of the hybrid analyzer over the full corpus
 {}",
@@ -96,7 +94,10 @@ pub fn table3() -> String {
     }
     out.push('\n');
     for row in run_comparison() {
-        out.push_str(&format!("{:<14} {:<8} {:<9}", row.tool, row.version, row.kind));
+        out.push_str(&format!(
+            "{:<14} {:<8} {:<9}",
+            row.tool, row.version, row.kind
+        ));
         for id in MisconfigId::ALL {
             out.push_str(&format!(" {:>4}", row.cell(id).symbol()));
         }
@@ -111,7 +112,13 @@ pub fn fig3a(census: &Census) -> String {
     let mut out = String::new();
     out.push_str("Figure 3a — ten applications with the highest number of misconfigurations\n");
     for app in census.top_by_count(10) {
-        out.push_str(&bar_line(&app.app, &app.dataset, &app.version, app.total(), app));
+        out.push_str(&bar_line(
+            &app.app,
+            &app.dataset,
+            &app.version,
+            app.total(),
+            app,
+        ));
     }
     out
 }
@@ -122,7 +129,13 @@ pub fn fig3b(census: &Census) -> String {
     let mut out = String::new();
     out.push_str("Figure 3b — ten applications with the most misconfiguration types\n");
     for app in census.top_by_types(10) {
-        out.push_str(&bar_line(&app.app, &app.dataset, &app.version, app.types().len(), app));
+        out.push_str(&bar_line(
+            &app.app,
+            &app.dataset,
+            &app.version,
+            app.types().len(),
+            app,
+        ));
     }
     out
 }
@@ -419,6 +432,9 @@ mod tests {
         // M2's dynamic ports are the residual risk policies cannot express.
         let m2 = by_id(MisconfigId::M2);
         assert!(m2.reachable_before > 0);
-        assert_eq!(m2.reachable_after, 0, "synthesized deny-all covers the worker");
+        assert_eq!(
+            m2.reachable_after, 0,
+            "synthesized deny-all covers the worker"
+        );
     }
 }

@@ -135,9 +135,7 @@ impl Chart {
         for (tpl_name, source) in &self.templates {
             parsed.push((tpl_name, parse_template(tpl_name, source)?));
         }
-        let shared = merge_defines(
-            &parsed.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>(),
-        );
+        let shared = merge_defines(&parsed.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>());
         for (tpl_name, template) in &parsed {
             // Underscore files only contribute partials.
             if tpl_name.starts_with('_') {
@@ -239,7 +237,10 @@ impl ChartBuilder {
 
     /// Adds an unconditional dependency.
     pub fn dependency(mut self, chart: Chart) -> Self {
-        self.chart.dependencies.push(Dependency { chart, condition: None });
+        self.chart.dependencies.push(Dependency {
+            chart,
+            condition: None,
+        });
         self
     }
 
@@ -411,7 +412,10 @@ spec:
     #[test]
     fn invalid_rendered_yaml_is_reported_with_template_name() {
         let chart = Chart::builder("bad")
-            .template("broken.yaml", "kind: Service\nmetadata:\n name: x\n  nope: 1\n")
+            .template(
+                "broken.yaml",
+                "kind: Service\nmetadata:\n name: x\n  nope: 1\n",
+            )
             .build();
         let err = chart.render(&Release::new("r", "default")).unwrap_err();
         match err {
@@ -489,7 +493,10 @@ spec:
         let svc = rendered.of_kind("Service").next().unwrap();
         if let Object::Service(s) = svc {
             assert_eq!(s.spec.selector.get("app.kubernetes.io/name"), Some("prod"));
-            assert_eq!(s.spec.selector.get("app.kubernetes.io/managed-by"), Some("helm"));
+            assert_eq!(
+                s.spec.selector.get("app.kubernetes.io/managed-by"),
+                Some("helm")
+            );
         } else {
             panic!("expected service");
         }

@@ -43,11 +43,16 @@ impl fmt::Display for Error {
             Error::Template { template, message } => {
                 write!(f, "template `{template}`: {message}")
             }
-            Error::RenderedYaml { template, source, .. } => {
+            Error::RenderedYaml {
+                template, source, ..
+            } => {
                 write!(f, "template `{template}` rendered invalid YAML: {source}")
             }
             Error::Decode { template, message } => {
-                write!(f, "template `{template}` produced an invalid object: {message}")
+                write!(
+                    f,
+                    "template `{template}` produced an invalid object: {message}"
+                )
             }
             Error::Values(m) => write!(f, "invalid values: {m}"),
             Error::Required(m) => write!(f, "required value missing: {m}"),

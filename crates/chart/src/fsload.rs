@@ -91,8 +91,10 @@ impl Chart {
                     deps.iter()
                         .filter_map(|d| {
                             let name = d.get("name")?.as_str()?.to_string();
-                            let condition =
-                                d.get("condition").and_then(ij_yaml::Value::as_str).map(str::to_string);
+                            let condition = d
+                                .get("condition")
+                                .and_then(ij_yaml::Value::as_str)
+                                .map(str::to_string);
                             Some((name, condition))
                         })
                         .collect()
@@ -147,16 +149,24 @@ mod tests {
     #[test]
     fn loads_chart_with_subchart_and_condition() {
         let dir = scratch("load");
-        write(&dir.join("Chart.yaml"), "\
+        write(
+            &dir.join("Chart.yaml"),
+            "\
 name: parent
 version: 1.2.3
 description: test chart
 dependencies:
   - name: child
     condition: child.enabled
-");
-        write(&dir.join("values.yaml"), "replicas: 2\nchild:\n  enabled: false\n");
-        write(&dir.join("templates/00-deploy.yaml"), "\
+",
+        );
+        write(
+            &dir.join("values.yaml"),
+            "replicas: 2\nchild:\n  enabled: false\n",
+        );
+        write(
+            &dir.join("templates/00-deploy.yaml"),
+            "\
 apiVersion: apps/v1
 kind: Deployment
 metadata:
@@ -174,14 +184,20 @@ spec:
       containers:
         - name: app
           image: img/app
-");
+",
+        );
         write(
             &dir.join("templates/_helpers.tpl"),
             "{{ define \"parent.labels\" }}app: parent{{ end }}",
         );
-        write(&dir.join("charts/child/Chart.yaml"), "name: child\nversion: 0.1.0\n");
+        write(
+            &dir.join("charts/child/Chart.yaml"),
+            "name: child\nversion: 0.1.0\n",
+        );
         write(&dir.join("charts/child/values.yaml"), "port: 9000\n");
-        write(&dir.join("charts/child/templates/svc.yaml"), "\
+        write(
+            &dir.join("charts/child/templates/svc.yaml"),
+            "\
 apiVersion: v1
 kind: Service
 metadata:
@@ -191,17 +207,27 @@ spec:
     app: child
   ports:
     - port: {{ .Values.port }}
-");
+",
+        );
 
         let chart = Chart::from_dir(&dir).expect("loads");
         assert_eq!(chart.name, "parent");
         assert_eq!(chart.version, "1.2.3");
-        assert_eq!(chart.templates.len(), 2, "_helpers.tpl loaded for its defines");
+        assert_eq!(
+            chart.templates.len(),
+            2,
+            "_helpers.tpl loaded for its defines"
+        );
         assert_eq!(chart.dependencies.len(), 1);
-        assert_eq!(chart.dependencies[0].condition.as_deref(), Some("child.enabled"));
+        assert_eq!(
+            chart.dependencies[0].condition.as_deref(),
+            Some("child.enabled")
+        );
 
         // Condition off by default.
-        let rendered = chart.render(&Release::new("r", "default")).expect("renders");
+        let rendered = chart
+            .render(&Release::new("r", "default"))
+            .expect("renders");
         assert_eq!(rendered.objects.len(), 1);
 
         // Enable the child via overrides.
@@ -230,7 +256,9 @@ spec:
         let chart = Chart::from_dir(&dir).expect("loads");
         assert_eq!(chart.name, "bare");
         assert!(chart.templates.is_empty());
-        let rendered = chart.render(&Release::new("r", "default")).expect("renders");
+        let rendered = chart
+            .render(&Release::new("r", "default"))
+            .expect("renders");
         assert!(rendered.objects.is_empty());
         let _ = fs::remove_dir_all(&dir);
     }

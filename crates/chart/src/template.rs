@@ -79,7 +79,11 @@ pub fn parse_template(name: &str, source: &str) -> Result<ParsedTemplate> {
     };
     let nodes = parser.parse_block(&[])?;
     if parser.pos != segments.len() {
-        return Err(template_err(name, 0, "unexpected `end` without an open block"));
+        return Err(template_err(
+            name,
+            0,
+            "unexpected `end` without an open block",
+        ));
     }
     Ok(ParsedTemplate {
         nodes,
@@ -189,7 +193,9 @@ fn lex(name: &str, source: &str) -> Result<Vec<Segment>> {
         });
         if trim_after {
             let trimmed = remainder.trim_start_matches([' ', '\t', '\r', '\n']);
-            line += remainder[..remainder.len() - trimmed.len()].matches('\n').count();
+            line += remainder[..remainder.len() - trimmed.len()]
+                .matches('\n')
+                .count();
             remainder = trimmed;
         }
         rest = remainder;
@@ -212,10 +218,24 @@ fn truncate_trailing_whitespace(s: &mut String) {
 #[derive(Debug, Clone)]
 pub enum Node {
     Text(String),
-    Output { pipeline: Pipeline, line: usize },
-    If { branches: Vec<(Option<Pipeline>, Vec<Node>)>, line: usize },
-    Range { pipeline: Pipeline, body: Vec<Node>, line: usize },
-    With { pipeline: Pipeline, body: Vec<Node>, line: usize },
+    Output {
+        pipeline: Pipeline,
+        line: usize,
+    },
+    If {
+        branches: Vec<(Option<Pipeline>, Vec<Node>)>,
+        line: usize,
+    },
+    Range {
+        pipeline: Pipeline,
+        body: Vec<Node>,
+        line: usize,
+    },
+    With {
+        pipeline: Pipeline,
+        body: Vec<Node>,
+        line: usize,
+    },
 }
 
 struct NodeParser<'a> {
@@ -248,14 +268,22 @@ impl<'a> NodeParser<'a> {
                             let pipeline = parse_pipeline(self.name, &content[5..], *line)?;
                             let body = self.parse_block(&["end"])?;
                             self.expect_end(*line, "range")?;
-                            nodes.push(Node::Range { pipeline, body, line: *line });
+                            nodes.push(Node::Range {
+                                pipeline,
+                                body,
+                                line: *line,
+                            });
                         }
                         "with" => {
                             self.pos += 1;
                             let pipeline = parse_pipeline(self.name, &content[4..], *line)?;
                             let body = self.parse_block(&["end"])?;
                             self.expect_end(*line, "with")?;
-                            nodes.push(Node::With { pipeline, body, line: *line });
+                            nodes.push(Node::With {
+                                pipeline,
+                                body,
+                                line: *line,
+                            });
                         }
                         "define" => {
                             let def_name = quoted_name(self.name, &content[6..], *line)?;
@@ -271,7 +299,10 @@ impl<'a> NodeParser<'a> {
                             self.pos += 1;
                             let rewritten = format!("include {}", &content[8..]);
                             let pipeline = parse_pipeline(self.name, &rewritten, *line)?;
-                            nodes.push(Node::Output { pipeline, line: *line });
+                            nodes.push(Node::Output {
+                                pipeline,
+                                line: *line,
+                            });
                         }
                         "end" | "else" => {
                             return Err(template_err(
@@ -283,7 +314,10 @@ impl<'a> NodeParser<'a> {
                         _ => {
                             self.pos += 1;
                             let pipeline = parse_pipeline(self.name, content, *line)?;
-                            nodes.push(Node::Output { pipeline, line: *line });
+                            nodes.push(Node::Output {
+                                pipeline,
+                                line: *line,
+                            });
                         }
                     }
                 }
@@ -339,7 +373,11 @@ impl<'a> NodeParser<'a> {
                 self.pos += 1;
                 Ok(())
             }
-            _ => Err(template_err(self.name, line, format!("`{what}` block missing `end`"))),
+            _ => Err(template_err(
+                self.name,
+                line,
+                format!("`{what}` block missing `end`"),
+            )),
         }
     }
 }
@@ -387,11 +425,20 @@ pub(crate) enum Term {
 }
 
 fn parse_pipeline(name: &str, src: &str, line: usize) -> Result<Pipeline> {
-    let mut lexer = ExprLexer { name, src: src.as_bytes(), pos: 0, line };
+    let mut lexer = ExprLexer {
+        name,
+        src: src.as_bytes(),
+        pos: 0,
+        line,
+    };
     let pipeline = lexer.pipeline()?;
     lexer.skip_ws();
     if lexer.pos != lexer.src.len() {
-        return Err(template_err(name, line, format!("trailing tokens in `{src}`")));
+        return Err(template_err(
+            name,
+            line,
+            format!("trailing tokens in `{src}`"),
+        ));
     }
     Ok(pipeline)
 }
@@ -546,9 +593,11 @@ impl<'a> ExprLexer<'a> {
         while self.src.get(self.pos) == Some(&b'.') {
             self.pos += 1;
             let start = self.pos;
-            while self.src.get(self.pos).is_some_and(|&c| {
-                c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
-            }) {
+            while self
+                .src
+                .get(self.pos)
+                .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+            {
                 self.pos += 1;
             }
             if self.pos == start {
@@ -609,7 +658,11 @@ fn eval_block(
                     }
                 }
             }
-            Node::Range { pipeline, body, line } => {
+            Node::Range {
+                pipeline,
+                body,
+                line,
+            } => {
                 let coll = eval_pipeline(env, pipeline, dot, *line, depth)?;
                 match coll {
                     Value::Seq(items) => {
@@ -632,7 +685,11 @@ fn eval_block(
                     }
                 }
             }
-            Node::With { pipeline, body, line } => {
+            Node::With {
+                pipeline,
+                body,
+                line,
+            } => {
                 let v = eval_pipeline(env, pipeline, dot, *line, depth)?;
                 if v.truthy() {
                     eval_block(env, body, &v, out, depth)?;
@@ -681,11 +738,19 @@ fn eval_command(
         }
         single if cmd.terms.len() == 1 => {
             if piped.is_some() {
-                return Err(template_err(env.name, line, "cannot pipe into a non-function value"));
+                return Err(template_err(
+                    env.name,
+                    line,
+                    "cannot pipe into a non-function value",
+                ));
             }
             eval_term(env, single, dot, line, depth)
         }
-        _ => Err(template_err(env.name, line, "expected a function name at command start")),
+        _ => Err(template_err(
+            env.name,
+            line,
+            "expected a function name at command start",
+        )),
     }
 }
 
@@ -701,11 +766,18 @@ fn include_partial(
         return Err(template_err(
             env.name,
             line,
-            format!("`include` expects a name and a context, got {} argument(s)", args.len()),
+            format!(
+                "`include` expects a name and a context, got {} argument(s)",
+                args.len()
+            ),
         ));
     }
     if depth >= MAX_INCLUDE_DEPTH {
-        return Err(template_err(env.name, line, "include recursion limit exceeded"));
+        return Err(template_err(
+            env.name,
+            line,
+            "include recursion limit exceeded",
+        ));
     }
     let partial_name = args[0].render_scalar();
     let Some(body) = env.defines.get(partial_name.as_str()) else {
@@ -768,7 +840,11 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             if argc != 2 {
                 return bad_arity("2");
             }
-            Ok(if args[1].truthy() { args[1].clone() } else { args[0].clone() })
+            Ok(if args[1].truthy() {
+                args[1].clone()
+            } else {
+                args[0].clone()
+            })
         }
         "required" => {
             if argc != 2 {
@@ -892,14 +968,19 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             }
             let suffix = args[0].render_scalar();
             let s = args[1].render_scalar();
-            Ok(Value::Str(s.strip_suffix(&suffix).unwrap_or(&s).to_string()))
+            Ok(Value::Str(
+                s.strip_suffix(&suffix).unwrap_or(&s).to_string(),
+            ))
         }
         "replace" => {
             if argc != 3 {
                 return bad_arity("3");
             }
             let s = args[2].render_scalar();
-            Ok(Value::Str(s.replace(&args[0].render_scalar(), &args[1].render_scalar())))
+            Ok(Value::Str(s.replace(
+                &args[0].render_scalar(),
+                &args[1].render_scalar(),
+            )))
         }
         "printf" => {
             if argc < 1 {
@@ -911,7 +992,9 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             if argc != 1 {
                 return bad_arity("1");
             }
-            Ok(Value::Str(ij_yaml::to_string(&args[0]).trim_end().to_string()))
+            Ok(Value::Str(
+                ij_yaml::to_string(&args[0]).trim_end().to_string(),
+            ))
         }
         "indent" | "nindent" => {
             if argc != 2 {
@@ -922,7 +1005,13 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             let s = args[1].render_scalar();
             let indented = s
                 .lines()
-                .map(|l| if l.is_empty() { l.to_string() } else { format!("{pad}{l}") })
+                .map(|l| {
+                    if l.is_empty() {
+                        l.to_string()
+                    } else {
+                        format!("{pad}{l}")
+                    }
+                })
                 .collect::<Vec<_>>()
                 .join("\n");
             Ok(Value::Str(if func == "nindent" {
@@ -935,7 +1024,11 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             if argc != 3 {
                 return bad_arity("3");
             }
-            Ok(if args[2].truthy() { args[0].clone() } else { args[1].clone() })
+            Ok(if args[2].truthy() {
+                args[0].clone()
+            } else {
+                args[1].clone()
+            })
         }
         "hasKey" => {
             if argc != 2 {
@@ -965,7 +1058,11 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             };
             Ok(Value::Int(v))
         }
-        other => Err(template_err(name, line, format!("unknown function `{other}`"))),
+        other => Err(template_err(
+            name,
+            line,
+            format!("unknown function `{other}`"),
+        )),
     }
 }
 
@@ -1004,7 +1101,10 @@ fn printf(name: &str, args: &[Value], line: usize) -> Result<Value> {
                 return Err(template_err(
                     name,
                     line,
-                    format!("printf: unsupported verb `%{}`", other.map(String::from).unwrap_or_default()),
+                    format!(
+                        "printf: unsupported verb `%{}`",
+                        other.map(String::from).unwrap_or_default()
+                    ),
                 ))
             }
         }
@@ -1032,7 +1132,10 @@ mod tests {
 
     #[test]
     fn plain_interpolation() {
-        assert_eq!(render("port: {{ .Values.port }}", "port: 8080"), "port: 8080");
+        assert_eq!(
+            render("port: {{ .Values.port }}", "port: 8080"),
+            "port: 8080"
+        );
         assert_eq!(
             render("name: {{ .Release.Name }}-{{ .Chart.Name }}", ""),
             "name: rel-demo"
@@ -1087,7 +1190,10 @@ mod tests {
     fn range_with_field_access() {
         let tpl = "{{ range .Values.ports }}- containerPort: {{ .num }}\n{{ end }}";
         let values = "ports:\n  - num: 6121\n  - num: 6123\n";
-        assert_eq!(render(tpl, values), "- containerPort: 6121\n- containerPort: 6123\n");
+        assert_eq!(
+            render(tpl, values),
+            "- containerPort: 6121\n- containerPort: 6123\n"
+        );
     }
 
     #[test]
@@ -1106,8 +1212,14 @@ mod tests {
     #[test]
     fn default_function_and_pipe() {
         assert_eq!(render("{{ .Values.port | default 8080 }}", ""), "8080");
-        assert_eq!(render("{{ .Values.port | default 8080 }}", "port: 9000"), "9000");
-        assert_eq!(render("{{ default 8080 .Values.port }}", "port: 9000"), "9000");
+        assert_eq!(
+            render("{{ .Values.port | default 8080 }}", "port: 9000"),
+            "9000"
+        );
+        assert_eq!(
+            render("{{ default 8080 .Values.port }}", "port: 9000"),
+            "9000"
+        );
     }
 
     #[test]
@@ -1118,8 +1230,17 @@ mod tests {
 
     #[test]
     fn logic_functions() {
-        assert_eq!(render("{{ and .Values.a .Values.b }}", "a: true\nb: true"), "true");
-        assert_eq!(render("{{ if and .Values.a (not .Values.b) }}y{{ else }}n{{ end }}", "a: true\nb: false"), "y");
+        assert_eq!(
+            render("{{ and .Values.a .Values.b }}", "a: true\nb: true"),
+            "true"
+        );
+        assert_eq!(
+            render(
+                "{{ if and .Values.a (not .Values.b) }}y{{ else }}n{{ end }}",
+                "a: true\nb: false"
+            ),
+            "y"
+        );
         assert_eq!(render("{{ or .Values.a 7 }}", "a: 0"), "7");
     }
 
@@ -1138,7 +1259,12 @@ mod tests {
 
     #[test]
     fn required_function_errors() {
-        let err = render_template("t", "{{ required \"port is required\" .Values.port }}", &ctx("")).unwrap_err();
+        let err = render_template(
+            "t",
+            "{{ required \"port is required\" .Values.port }}",
+            &ctx(""),
+        )
+        .unwrap_err();
         assert!(matches!(err, Error::Required(m) if m.contains("port is required")));
     }
 
@@ -1164,8 +1290,14 @@ mod tests {
 
     #[test]
     fn ternary_and_comparisons() {
-        assert_eq!(render("{{ ternary \"hi\" \"lo\" (gt .Values.n 5) }}", "n: 9"), "hi");
-        assert_eq!(render("{{ ternary \"hi\" \"lo\" (gt .Values.n 5) }}", "n: 3"), "lo");
+        assert_eq!(
+            render("{{ ternary \"hi\" \"lo\" (gt .Values.n 5) }}", "n: 9"),
+            "hi"
+        );
+        assert_eq!(
+            render("{{ ternary \"hi\" \"lo\" (gt .Values.n 5) }}", "n: 3"),
+            "lo"
+        );
     }
 
     #[test]
@@ -1191,10 +1323,19 @@ mod tests {
 
     #[test]
     fn collection_helpers() {
-        assert_eq!(render("{{ len .Values.items }}", "items:\n  - a\n  - b\n"), "2");
+        assert_eq!(
+            render("{{ len .Values.items }}", "items:\n  - a\n  - b\n"),
+            "2"
+        );
         assert_eq!(render("{{ len .Values.name }}", "name: abc"), "3");
-        assert_eq!(render("{{ hasKey .Values.svc \"port\" }}", "svc:\n  port: 80\n"), "true");
-        assert_eq!(render("{{ hasKey .Values.svc \"nope\" }}", "svc:\n  port: 80\n"), "false");
+        assert_eq!(
+            render("{{ hasKey .Values.svc \"port\" }}", "svc:\n  port: 80\n"),
+            "true"
+        );
+        assert_eq!(
+            render("{{ hasKey .Values.svc \"nope\" }}", "svc:\n  port: 80\n"),
+            "false"
+        );
     }
 
     #[test]
@@ -1210,7 +1351,10 @@ mod tests {
 
     #[test]
     fn range_over_map_iterates_values() {
-        let out = render("{{ range .Values.ports }}{{ . }};{{ end }}", "ports:\n  a: 1\n  b: 2\n");
+        let out = render(
+            "{{ range .Values.ports }}{{ . }};{{ end }}",
+            "ports:\n  a: 1\n  b: 2\n",
+        );
         assert_eq!(out, "1;2;");
     }
 
@@ -1231,7 +1375,10 @@ mod tests {
 
     #[test]
     fn bare_dollar_is_root() {
-        assert_eq!(render("{{ with .Values.a }}{{ $.Chart.Name }}{{ end }}", "a: 1"), "demo");
+        assert_eq!(
+            render("{{ with .Values.a }}{{ $.Chart.Name }}{{ end }}", "a: 1"),
+            "demo"
+        );
     }
 
     #[test]
@@ -1274,7 +1421,8 @@ mod tests {
 
     #[test]
     fn template_keyword_splices_directly() {
-        let tpl = "{{ define \"greet\" }}hello {{ . }}{{ end }}{{ template \"greet\" .Values.who }}";
+        let tpl =
+            "{{ define \"greet\" }}hello {{ . }}{{ end }}{{ template \"greet\" .Values.who }}";
         assert_eq!(render(tpl, "who: world"), "hello world");
     }
 
@@ -1286,7 +1434,11 @@ mod tests {
 
     #[test]
     fn defines_are_shared_across_files() {
-        let helpers = parse_template("_helpers.tpl", "{{ define \"common.name\" }}{{ .Release.Name }}-app{{ end }}").unwrap();
+        let helpers = parse_template(
+            "_helpers.tpl",
+            "{{ define \"common.name\" }}{{ .Release.Name }}-app{{ end }}",
+        )
+        .unwrap();
         let main = parse_template("deploy.yaml", "name: {{ include \"common.name\" . }}").unwrap();
         let shared = merge_defines(&[helpers]);
         let out = render_parsed("deploy.yaml", &main, &shared, &ctx("")).unwrap();
@@ -1308,7 +1460,8 @@ mod tests {
 
     #[test]
     fn later_define_wins() {
-        let tpl = "{{ define \"x\" }}one{{ end }}{{ define \"x\" }}two{{ end }}{{ include \"x\" . }}";
+        let tpl =
+            "{{ define \"x\" }}one{{ end }}{{ define \"x\" }}two{{ end }}{{ include \"x\" . }}";
         assert_eq!(render(tpl, ""), "two");
     }
 
@@ -1319,7 +1472,11 @@ mod tests {
 
     #[test]
     fn defined_names_listed() {
-        let parsed = parse_template("t", "{{ define \"a\" }}1{{ end }}{{ define \"b\" }}2{{ end }}").unwrap();
+        let parsed = parse_template(
+            "t",
+            "{{ define \"a\" }}1{{ end }}{{ define \"b\" }}2{{ end }}",
+        )
+        .unwrap();
         let mut names: Vec<&str> = parsed.defined_names().collect();
         names.sort();
         assert_eq!(names, vec!["a", "b"]);

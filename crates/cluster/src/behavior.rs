@@ -237,8 +237,14 @@ mod tests {
     #[test]
     fn registry_resolution_order() {
         let mut reg = BehaviorRegistry::new();
-        reg.register("bitnami/flink", ContainerBehavior::Listeners(vec![ListenerSpec::tcp(1)]));
-        reg.register_prefix("bitnami/", ContainerBehavior::Listeners(vec![ListenerSpec::tcp(2)]));
+        reg.register(
+            "bitnami/flink",
+            ContainerBehavior::Listeners(vec![ListenerSpec::tcp(1)]),
+        );
+        reg.register_prefix(
+            "bitnami/",
+            ContainerBehavior::Listeners(vec![ListenerSpec::tcp(2)]),
+        );
 
         // Tag-stripped exact match wins over the prefix.
         match reg.resolve("bitnami/flink:1.17") {
@@ -251,7 +257,10 @@ mod tests {
             _ => panic!(),
         }
         // Unknown image: declared ports.
-        assert_eq!(reg.resolve("ghcr.io/other/app"), &ContainerBehavior::DeclaredPorts);
+        assert_eq!(
+            reg.resolve("ghcr.io/other/app"),
+            &ContainerBehavior::DeclaredPorts
+        );
     }
 
     #[test]

@@ -4,12 +4,12 @@ use crate::admission::{AdmissionController, AdmissionOutcome, AdmissionReview};
 use crate::behavior::{BehaviorRegistry, PortSpec};
 use crate::netpol::{ConnectionVerdict, PolicyEngine};
 use crate::node::Node;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use ij_chart::RenderedRelease;
 use ij_model::{
-    Endpoints, EndpointAddress, Labels, NetworkPolicy, Object, Pod, Protocol, Service,
-    TargetPort, Workload, WorkloadKind,
+    EndpointAddress, Endpoints, Labels, NetworkPolicy, Object, Pod, Protocol, Service, TargetPort,
+    Workload, WorkloadKind,
 };
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -97,8 +97,15 @@ pub enum InstallError {
 impl fmt::Display for InstallError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InstallError::Denied { controller, reason, object } => {
-                write!(f, "admission controller `{controller}` denied `{object}`: {reason}")
+            InstallError::Denied {
+                controller,
+                reason,
+                object,
+            } => {
+                write!(
+                    f,
+                    "admission controller `{controller}` denied `{object}`: {reason}"
+                )
             }
         }
     }
@@ -294,7 +301,8 @@ impl Cluster {
                         reason: reason.clone(),
                         object: object.qualified_name(),
                     };
-                    self.events.push(format!("deny {}: {reason}", object.qualified_name()));
+                    self.events
+                        .push(format!("deny {}: {reason}", object.qualified_name()));
                     self.notify(WatchEvent::Denied {
                         name: object.qualified_name(),
                         reason,
@@ -303,8 +311,11 @@ impl Cluster {
                 }
             }
         }
-        self.events
-            .push(format!("apply {} {}", object.kind(), object.qualified_name()));
+        self.events.push(format!(
+            "apply {} {}",
+            object.kind(),
+            object.qualified_name()
+        ));
         self.notify(WatchEvent::Applied {
             kind: object.kind().to_string(),
             name: object.qualified_name(),
@@ -312,7 +323,11 @@ impl Cluster {
         // Services get a virtual IP at creation.
         if let Object::Service(s) = &object {
             if !s.is_headless() {
-                let ip = format!("10.96.{}.{}", self.next_cluster_ip / 254, self.next_cluster_ip % 254 + 1);
+                let ip = format!(
+                    "10.96.{}.{}",
+                    self.next_cluster_ip / 254,
+                    self.next_cluster_ip % 254 + 1
+                );
                 self.next_cluster_ip += 1;
                 self.cluster_ips.insert(s.meta.qualified_name(), ip);
             }
@@ -349,13 +364,15 @@ impl Cluster {
     /// reaps the pods those objects owned. Other releases are untouched.
     pub fn uninstall(&mut self, release_name: &str) {
         self.objects.retain(|o| {
-            o.meta().annotations.get(RELEASE_ANNOTATION).map(String::as_str)
+            o.meta()
+                .annotations
+                .get(RELEASE_ANNOTATION)
+                .map(String::as_str)
                 != Some(release_name)
         });
         // Reap pods whose defining object (owner workload or the bare pod
         // itself) is gone.
-        let existing: HashSet<String> =
-            self.objects.iter().map(|o| o.qualified_name()).collect();
+        let existing: HashSet<String> = self.objects.iter().map(|o| o.qualified_name()).collect();
         self.pods.retain(|rp| {
             let definer = rp.owner.clone().unwrap_or_else(|| rp.qualified_name());
             existing.contains(&definer)
@@ -434,7 +451,10 @@ impl Cluster {
             }
             _ => {
                 for i in 0..w.replicas.max(1) {
-                    out.push((Some(owner.clone()), make_pod(format!("{}-{}", w.meta.name, i))));
+                    out.push((
+                        Some(owner.clone()),
+                        make_pod(format!("{}-{}", w.meta.name, i)),
+                    ));
                 }
             }
         }
@@ -657,7 +677,9 @@ impl Cluster {
         name: &str,
         port: u16,
     ) -> Vec<String> {
-        let Some(src_pod) = self.pod(src) else { return Vec::new() };
+        let Some(src_pod) = self.pod(src) else {
+            return Vec::new();
+        };
         let Some(svc) = self
             .services()
             .find(|s| s.meta.namespace == namespace && s.meta.name == name)
@@ -677,8 +699,13 @@ impl Cluster {
             if addr.port_name != sp.name {
                 continue;
             }
-            let Some(dst) = self.pod(&addr.pod) else { continue };
-            if !engine.verdict(src_pod, dst, addr.port, sp.protocol).is_allowed() {
+            let Some(dst) = self.pod(&addr.pod) else {
+                continue;
+            };
+            if !engine
+                .verdict(src_pod, dst, addr.port, sp.protocol)
+                .is_allowed()
+            {
                 continue;
             }
             if dst.listens_on(addr.port, sp.protocol) {
@@ -709,7 +736,7 @@ impl Cluster {
                 }
             }
         }
-        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        out.sort_by_key(|a| (a.0, a.1));
         out
     }
 }
@@ -788,7 +815,10 @@ spec:
         for p in cluster.pods() {
             assert!(p.ip.starts_with("10.244."));
             assert_eq!(p.pod.status.phase, "Running");
-            assert!(p.listens_on(8080, Protocol::Tcp), "default behaviour opens declared port");
+            assert!(
+                p.listens_on(8080, Protocol::Tcp),
+                "default behaviour opens declared port"
+            );
         }
     }
 
@@ -869,7 +899,10 @@ spec:
             .map(|s| s.port)
             .collect();
         assert_ne!(before, after, "ephemeral port re-drawn on restart");
-        assert!(cluster.pods()[0].listens_on(8080, Protocol::Tcp), "static port stable");
+        assert!(
+            cluster.pods()[0].listens_on(8080, Protocol::Tcp),
+            "static port stable"
+        );
     }
 
     #[test]
@@ -942,8 +975,12 @@ spec:
             assert!(p.ip.starts_with("192.168.49."));
         }
         let host = cluster.host_sockets("node-0");
-        assert!(host.iter().any(|(p, _, owner)| *p == 9100 && owner.is_some()));
-        assert!(host.iter().any(|(p, _, owner)| *p == 10250 && owner.is_none()));
+        assert!(host
+            .iter()
+            .any(|(p, _, owner)| *p == 9100 && owner.is_some()));
+        assert!(host
+            .iter()
+            .any(|(p, _, owner)| *p == 10250 && owner.is_none()));
     }
 
     #[test]
@@ -1044,7 +1081,10 @@ spec:
         let mut cluster = Cluster::new(ClusterConfig::default());
         cluster.push_admission(Box::new(DenyPods));
         let rx = cluster.watch();
-        let pod = Pod::new(ij_model::ObjectMeta::named("p"), ij_model::PodSpec::default());
+        let pod = Pod::new(
+            ij_model::ObjectMeta::named("p"),
+            ij_model::PodSpec::default(),
+        );
         let _ = cluster.apply(Object::Pod(pod));
         assert!(rx
             .try_iter()
@@ -1059,7 +1099,10 @@ spec:
         assert_eq!(cluster.pods().len(), 4);
         cluster.uninstall("d");
         assert_eq!(cluster.pods().len(), 2, "only release e's pods remain");
-        assert!(cluster.pods().iter().all(|p| p.qualified_name().contains("e-web")));
+        assert!(cluster
+            .pods()
+            .iter()
+            .all(|p| p.qualified_name().contains("e-web")));
         assert!(cluster.services().all(|s| s.meta.name == "e-web"));
         // Endpoints follow: the removed release's service is gone.
         assert!(cluster.endpoints_for("default", "d-web").is_none());

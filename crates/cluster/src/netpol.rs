@@ -220,11 +220,17 @@ fn ip_in_cidr(ip: &str, cidr: &str) -> bool {
         }
         (parts == 4).then_some(out)
     }
-    let Some(addr) = parse_v4(ip) else { return false };
+    let Some(addr) = parse_v4(ip) else {
+        return false;
+    };
     let (net, len) = match cidr.split_once('/') {
         Some((net, len)) => {
-            let Some(net) = parse_v4(net) else { return false };
-            let Ok(len) = len.parse::<u32>() else { return false };
+            let Some(net) = parse_v4(net) else {
+                return false;
+            };
+            let Ok(len) = len.parse::<u32>() else {
+                return false;
+            };
             (net, len.min(32))
         }
         None => match parse_v4(cidr) {
@@ -244,8 +250,8 @@ mod tests {
     use super::*;
     use crate::cluster::{OpenSocket, RunningPod};
     use ij_model::{
-        Container, ContainerPort, LabelSelector, NetworkPolicy, NetworkPolicyPeer, ObjectMeta,
-        Pod, PodSpec, PolicyPort,
+        Container, ContainerPort, LabelSelector, NetworkPolicy, NetworkPolicyPeer, ObjectMeta, Pod,
+        PodSpec, PolicyPort,
     };
 
     fn pod(name: &str, ns: &str, labels: &[(&str, &str)], host_network: bool) -> RunningPod {
@@ -263,7 +269,11 @@ mod tests {
                 },
             ),
             node: "node-0".into(),
-            ip: if host_network { "192.168.49.2".into() } else { "10.244.0.5".into() },
+            ip: if host_network {
+                "192.168.49.2".into()
+            } else {
+                "10.244.0.5".into()
+            },
             sockets: vec![OpenSocket {
                 port: 8080,
                 protocol: Protocol::Tcp,
@@ -333,7 +343,9 @@ mod tests {
         let engine = PolicyEngine::new(&policies, []);
         let backup = pod("backup", "default", &[("app", "backup")], false);
         let db = pod("db", "default", &[("app", "db")], false);
-        assert!(engine.verdict(&backup, &db, 5432, Protocol::Tcp).is_allowed());
+        assert!(engine
+            .verdict(&backup, &db, 5432, Protocol::Tcp)
+            .is_allowed());
     }
 
     #[test]
@@ -399,7 +411,10 @@ mod tests {
         let policies = vec![np];
         let engine = PolicyEngine::new(
             &policies,
-            [("monitoring".to_string(), Labels::from_pairs([("team", "sre")]))],
+            [(
+                "monitoring".to_string(),
+                Labels::from_pairs([("team", "sre")]),
+            )],
         );
         let prom = pod("prom", "monitoring", &[("app", "prometheus")], false);
         let other = pod("other", "default", &[("app", "prometheus")], false);
@@ -455,7 +470,9 @@ mod tests {
         let worker = pod("worker", "default", &[("app", "worker")], false);
         let queue = pod("queue", "default", &[("app", "queue")], false);
         let db = pod("db", "default", &[("app", "db")], false);
-        assert!(engine.verdict(&worker, &queue, 6379, Protocol::Tcp).is_allowed());
+        assert!(engine
+            .verdict(&worker, &queue, 6379, Protocol::Tcp)
+            .is_allowed());
         assert_eq!(
             engine.verdict(&worker, &db, 5432, Protocol::Tcp),
             ConnectionVerdict::DeniedEgress

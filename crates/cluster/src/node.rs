@@ -37,7 +37,9 @@ impl Node {
 
     /// True when the node's own daemons hold this port.
     pub fn baseline_holds(&self, port: u16, protocol: Protocol) -> bool {
-        self.baseline_ports.iter().any(|&(p, pr)| p == port && pr == protocol)
+        self.baseline_ports
+            .iter()
+            .any(|&(p, pr)| p == port && pr == protocol)
     }
 }
 

@@ -25,7 +25,7 @@ fn running_pods(specs: Vec<(String, Labels, bool)>) -> Vec<RunningPod> {
                 ObjectMeta::named(name).with_labels(labels),
                 PodSpec {
                     containers: vec![
-                        Container::new("c", "img").with_ports(vec![ContainerPort::tcp(8080)]),
+                        Container::new("c", "img").with_ports(vec![ContainerPort::tcp(8080)])
                     ],
                     host_network,
                     node_name: None,

@@ -26,12 +26,16 @@ pub fn disclosure_report(census: &Census, dataset: &str) -> String {
         .iter()
         .filter(|a| a.dataset == dataset && a.is_affected())
         .collect();
-    let classes: BTreeSet<MisconfigId> =
-        apps.iter().flat_map(|a| a.findings.iter().map(|f| f.id)).collect();
+    let classes: BTreeSet<MisconfigId> = apps
+        .iter()
+        .flat_map(|a| a.findings.iter().map(|f| f.id))
+        .collect();
     let total: usize = apps.iter().map(|a| a.total()).sum();
 
     let mut out = String::new();
-    out.push_str(&format!("# Security disclosure — network misconfigurations in {dataset} charts\n\n"));
+    out.push_str(&format!(
+        "# Security disclosure — network misconfigurations in {dataset} charts\n\n"
+    ));
     out.push_str(THREAT_MODEL);
     out.push_str("\n\n");
     out.push_str(&format!(
@@ -71,9 +75,11 @@ pub fn disclosure_report(census: &Census, dataset: &str) -> String {
         out.push('\n');
     }
 
-    out.push_str("## Follow-up\n\nWe would appreciate your assessment of these findings. \
+    out.push_str(
+        "## Follow-up\n\nWe would appreciate your assessment of these findings. \
                   A short anonymous questionnaire is attached below; we are happy to \
-                  discuss mitigations for any specific chart.\n\n");
+                  discuss mitigations for any specific chart.\n\n",
+    );
     out.push_str(questionnaire());
     out
 }
@@ -125,7 +131,12 @@ mod tests {
                     dataset: "Bitnami".into(),
                     version: "11.9.1".into(),
                     findings: vec![
-                        Finding::new(MisconfigId::M1, "rabbitmq", "default/rabbitmq-server", "port 9200/TCP open, undeclared"),
+                        Finding::new(
+                            MisconfigId::M1,
+                            "rabbitmq",
+                            "default/rabbitmq-server",
+                            "port 9200/TCP open, undeclared",
+                        ),
                         Finding::new(MisconfigId::M6, "rabbitmq", "rabbitmq", "no NetworkPolicy"),
                     ],
                 },
@@ -139,7 +150,12 @@ mod tests {
                     app: "other-org".into(),
                     dataset: "CNCF".into(),
                     version: "1.0.0".into(),
-                    findings: vec![Finding::new(MisconfigId::M7, "other-org", "default/x", "hostNetwork")],
+                    findings: vec![Finding::new(
+                        MisconfigId::M7,
+                        "other-org",
+                        "default/x",
+                        "hostNetwork",
+                    )],
                 },
             ],
         }

@@ -90,7 +90,11 @@ impl Analyzer {
         let ctx = RuleContext {
             app,
             statics: &statics,
-            runtime: if self.options.runtime_rules { runtime } else { None },
+            runtime: if self.options.runtime_rules {
+                runtime
+            } else {
+                None
+            },
             ownership: &ownership,
             chart_defines_policies,
         };
@@ -143,9 +147,7 @@ mod tests {
     use super::*;
     use crate::finding::MisconfigId;
     use ij_chart::Release;
-    use ij_cluster::{
-        BehaviorRegistry, Cluster, ClusterConfig, ContainerBehavior, ListenerSpec,
-    };
+    use ij_cluster::{BehaviorRegistry, Cluster, ClusterConfig, ContainerBehavior, ListenerSpec};
     use ij_probe::{HostBaseline, RuntimeAnalyzer};
 
     /// A deliberately misconfigured application exercising most rules:
@@ -269,7 +271,9 @@ spec:
             behaviors: behaviors(),
         });
         let baseline = HostBaseline::capture(&cluster);
-        let rendered = bad_chart().render(&Release::new("badapp", "default")).unwrap();
+        let rendered = bad_chart()
+            .render(&Release::new("badapp", "default"))
+            .unwrap();
         cluster.install(&rendered).unwrap();
         let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
         let objects: Vec<Object> = cluster.objects().to_vec();
@@ -299,17 +303,26 @@ spec:
             assert!(found.contains(&expect), "expected {expect} in {found:?}");
         }
         // The undeclared open port is exactly 9249.
-        let m1: Vec<_> = findings.iter().filter(|f| f.id == MisconfigId::M1).collect();
+        let m1: Vec<_> = findings
+            .iter()
+            .filter(|f| f.id == MisconfigId::M1)
+            .collect();
         assert_eq!(m1.len(), 1);
         assert_eq!(m1[0].port, Some(9249));
         // The declared-but-closed *untargeted* port is exactly 6124; the
         // service-targeted 6121 is accounted as M5A instead (Table 2's
         // disjoint per-class counting).
-        let m3: Vec<_> = findings.iter().filter(|f| f.id == MisconfigId::M3).collect();
+        let m3: Vec<_> = findings
+            .iter()
+            .filter(|f| f.id == MisconfigId::M3)
+            .collect();
         assert_eq!(m3.len(), 1);
         assert_eq!(m3[0].port, Some(6124));
         // M5A points at the service that targets 6121.
-        let m5a: Vec<_> = findings.iter().filter(|f| f.id == MisconfigId::M5A).collect();
+        let m5a: Vec<_> = findings
+            .iter()
+            .filter(|f| f.id == MisconfigId::M5A)
+            .collect();
         assert_eq!(m5a.len(), 1);
         assert!(m5a[0].object.contains("flink-admin"));
     }
@@ -383,9 +396,11 @@ spec:
             .unwrap();
         cluster.install(&rendered).unwrap();
         let objects: Vec<Object> = cluster.objects().to_vec();
-        let findings =
-            Analyzer::hybrid().analyze_app("p", &objects, &cluster, None, true);
-        let m6: Vec<_> = findings.iter().filter(|f| f.id == MisconfigId::M6).collect();
+        let findings = Analyzer::hybrid().analyze_app("p", &objects, &cluster, None, true);
+        let m6: Vec<_> = findings
+            .iter()
+            .filter(|f| f.id == MisconfigId::M6)
+            .collect();
         assert_eq!(m6.len(), 1);
         assert!(m6[0].detail.contains("not enabled"));
     }

@@ -297,8 +297,13 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(MisconfigId::M4Star.to_string(), "M4*");
-        let f = Finding::new(MisconfigId::M1, "app", "default/pod", "port 8080 open, undeclared")
-            .with_port(8080, Protocol::Tcp);
+        let f = Finding::new(
+            MisconfigId::M1,
+            "app",
+            "default/pod",
+            "port 8080 open, undeclared",
+        )
+        .with_port(8080, Protocol::Tcp);
         assert!(f.to_string().contains("M1"));
         assert_eq!(f.port, Some(8080));
     }

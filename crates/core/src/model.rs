@@ -30,7 +30,8 @@ impl ComputeUnit {
 
     /// True when `(port, protocol)` is declared on any container.
     pub fn declares(&self, port: u16, protocol: Protocol) -> bool {
-        self.declared_ports().any(|(p, pr)| p == port && pr == protocol)
+        self.declared_ports()
+            .any(|(p, pr)| p == port && pr == protocol)
     }
 
     /// Resolves a declared port name to its number.

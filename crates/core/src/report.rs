@@ -102,7 +102,10 @@ impl Census {
 
     /// All Table 2 rows plus the implicit total row.
     pub fn table2(&self) -> Vec<DatasetRow> {
-        self.datasets().iter().map(|d| self.dataset_row(d)).collect()
+        self.datasets()
+            .iter()
+            .map(|d| self.dataset_row(d))
+            .collect()
     }
 
     /// Grand total of misconfigurations (the paper's 634).
@@ -225,9 +228,17 @@ mod tests {
     fn census() -> Census {
         Census {
             apps: vec![
-                report("a", "d1", &[MisconfigId::M1, MisconfigId::M1, MisconfigId::M6]),
+                report(
+                    "a",
+                    "d1",
+                    &[MisconfigId::M1, MisconfigId::M1, MisconfigId::M6],
+                ),
                 report("b", "d1", &[]),
-                report("c", "d2", &[MisconfigId::M4A, MisconfigId::M6, MisconfigId::M7]),
+                report(
+                    "c",
+                    "d2",
+                    &[MisconfigId::M4A, MisconfigId::M6, MisconfigId::M7],
+                ),
                 report(
                     "d",
                     "d2",
@@ -288,6 +299,9 @@ mod tests {
 
     #[test]
     fn datasets_in_first_appearance_order() {
-        assert_eq!(census().datasets(), vec!["d1".to_string(), "d2".to_string()]);
+        assert_eq!(
+            census().datasets(),
+            vec!["d1".to_string(), "d2".to_string()]
+        );
     }
 }

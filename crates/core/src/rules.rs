@@ -142,10 +142,7 @@ pub fn m3_declared_not_open(ctx: &RuleContext<'_>) -> Vec<Finding> {
 }
 
 /// The `(port, protocol)` pairs that services selecting `unit` forward to.
-fn service_targeted_ports(
-    statics: &StaticModel,
-    unit: &ComputeUnit,
-) -> BTreeSet<(u16, Protocol)> {
+fn service_targeted_ports(statics: &StaticModel, unit: &ComputeUnit) -> BTreeSet<(u16, Protocol)> {
     let mut out = BTreeSet::new();
     for svc in &statics.services {
         if svc.spec.selector.is_empty()
@@ -189,7 +186,7 @@ pub fn m4a_unit_collisions(ctx: &RuleContext<'_>) -> Vec<Finding> {
 }
 
 /// Groups units by `(namespace, full label set)`, returning groups of ≥2.
-fn collision_groups<'u>(units: &'u [ComputeUnit]) -> Vec<Vec<&'u ComputeUnit>> {
+fn collision_groups(units: &[ComputeUnit]) -> Vec<Vec<&ComputeUnit>> {
     let mut by_labels: BTreeMap<(String, String), Vec<&ComputeUnit>> = BTreeMap::new();
     for u in units {
         if u.labels.is_empty() {
@@ -224,7 +221,10 @@ pub fn m4b_service_collisions(ctx: &RuleContext<'_>) -> Vec<Finding> {
                 MisconfigId::M4B,
                 ctx.app,
                 &unit.name,
-                format!("multiple services target this compute unit: {}", names.join(", ")),
+                format!(
+                    "multiple services target this compute unit: {}",
+                    names.join(", ")
+                ),
             ));
         }
     }
@@ -284,9 +284,7 @@ pub fn m5_service_references(ctx: &RuleContext<'_>) -> Vec<Finding> {
             // Resolve the target against the selected units.
             let resolved: Option<u16> = match &sp.target_port {
                 TargetPort::Number(n) => Some(*n),
-                TargetPort::Name(name) => {
-                    selected.iter().find_map(|u| u.resolve_port_name(name))
-                }
+                TargetPort::Name(name) => selected.iter().find_map(|u| u.resolve_port_name(name)),
             };
             let Some(target) = resolved else {
                 // A named target no selected unit declares.
@@ -299,7 +297,9 @@ pub fn m5_service_references(ctx: &RuleContext<'_>) -> Vec<Finding> {
                         MisconfigId::M5B,
                         ctx.app,
                         svc.meta.qualified_name(),
-                        format!("service targets port name `{name}` that no selected unit declares"),
+                        format!(
+                            "service targets port name `{name}` that no selected unit declares"
+                        ),
                     )
                     .with_port(sp.port, sp.protocol),
                 );
@@ -331,14 +331,19 @@ pub fn m5_service_references(ctx: &RuleContext<'_>) -> Vec<Finding> {
                     continue;
                 }
                 let open = observed_units.iter().any(|u| {
-                    ctx.unit_stable(&u.name)
-                        .contains(&ObservedSocket { port: target, protocol: sp.protocol })
+                    ctx.unit_stable(&u.name).contains(&ObservedSocket {
+                        port: target,
+                        protocol: sp.protocol,
+                    })
                 });
                 if !open {
                     let (id, what) = if svc.is_headless() {
                         (MisconfigId::M5C, "headless service port is not available")
                     } else {
-                        (MisconfigId::M5A, "service targets a declared but unopened port")
+                        (
+                            MisconfigId::M5A,
+                            "service targets a declared but unopened port",
+                        )
                     };
                     findings.push(
                         Finding::new(

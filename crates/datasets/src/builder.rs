@@ -239,7 +239,10 @@ pub fn build_app(spec: &AppSpec) -> BuiltApp {
         objects.push(Object::Service(Service::cluster_ip(
             ObjectMeta::named(format!("{app}-{component}")),
             labels,
-            vec![ServicePort::tcp_to(ports::M5A_OPEN, ports::M5A_CLOSED + i as u16)],
+            vec![ServicePort::tcp_to(
+                ports::M5A_OPEN,
+                ports::M5A_CLOSED + i as u16,
+            )],
         )));
     }
 
@@ -257,7 +260,10 @@ pub fn build_app(spec: &AppSpec) -> BuiltApp {
         objects.push(Object::Service(Service::cluster_ip(
             ObjectMeta::named(format!("{app}-{component}")),
             labels,
-            vec![ServicePort::tcp_to(ports::M5B_OPEN, ports::M5B_GHOST + i as u16)],
+            vec![ServicePort::tcp_to(
+                ports::M5B_OPEN,
+                ports::M5B_GHOST + i as u16,
+            )],
         )));
     }
 
@@ -282,7 +288,10 @@ pub fn build_app(spec: &AppSpec) -> BuiltApp {
         objects.push(Object::Service(Service::headless(
             ObjectMeta::named(format!("{app}-{component}-headless")),
             labels,
-            vec![ServicePort::tcp_to(ports::M5C_OPEN, ports::M5C_CLOSED + i as u16)],
+            vec![ServicePort::tcp_to(
+                ports::M5C_OPEN,
+                ports::M5C_CLOSED + i as u16,
+            )],
         )));
     }
 
@@ -325,9 +334,7 @@ pub fn build_app(spec: &AppSpec) -> BuiltApp {
         // ports appear in the pod's host-namespace observation anyway.
         behaviors.push((
             image(app, &component),
-            ContainerBehavior::Listeners(vec![ListenerSpec::tcp(
-                ports::EXPORTER_BASE + i as u16,
-            )]),
+            ContainerBehavior::Listeners(vec![ListenerSpec::tcp(ports::EXPORTER_BASE + i as u16)]),
         ));
     }
 
@@ -356,10 +363,16 @@ pub fn build_app(spec: &AppSpec) -> BuiltApp {
         ))
         .expect("static values are valid YAML");
     for (i, obj) in objects.iter().enumerate() {
-        builder = builder.template(format!("{:02}-{}.yaml", i, obj.kind().to_lowercase()), obj.to_manifest());
+        builder = builder.template(
+            format!("{:02}-{}.yaml", i, obj.kind().to_lowercase()),
+            obj.to_manifest(),
+        );
     }
     if plan.netpol.defines_policy() {
-        builder = builder.template("zz-networkpolicy.yaml", netpol_template(app, plan, &objects));
+        builder = builder.template(
+            "zz-networkpolicy.yaml",
+            netpol_template(app, plan, &objects),
+        );
     }
     BuiltApp {
         spec: spec.clone(),
@@ -420,7 +433,10 @@ mod tests {
     #[test]
     fn clean_app_renders_policy_and_two_objects() {
         let built = build(Plan::clean());
-        let rendered = built.chart.render(&Release::new("testapp", "default")).unwrap();
+        let rendered = built
+            .chart
+            .render(&Release::new("testapp", "default"))
+            .unwrap();
         assert_eq!(rendered.of_kind("Deployment").count(), 1);
         assert_eq!(rendered.of_kind("Service").count(), 1);
         assert_eq!(rendered.of_kind("NetworkPolicy").count(), 1);
@@ -433,7 +449,10 @@ mod tests {
             netpol: crate::spec::NetpolSpec::DefinedDisabled { loose: false },
             ..Default::default()
         });
-        let rendered = built.chart.render(&Release::new("testapp", "default")).unwrap();
+        let rendered = built
+            .chart
+            .render(&Release::new("testapp", "default"))
+            .unwrap();
         assert_eq!(rendered.of_kind("NetworkPolicy").count(), 0);
         assert!(ij_core::chart_defines_network_policies(&built.chart));
         // Force-enable (the §4.3.2 methodology).
@@ -460,7 +479,10 @@ mod tests {
             m7: 1,
             ..Default::default()
         });
-        let rendered = built.chart.render(&Release::new("testapp", "default")).unwrap();
+        let rendered = built
+            .chart
+            .render(&Release::new("testapp", "default"))
+            .unwrap();
         // server + worker + 2×peer + dup + 2×mode + store + api + db = 10
         assert_eq!(rendered.of_kind("Deployment").count(), 10);
         assert_eq!(rendered.of_kind("DaemonSet").count(), 1);
@@ -476,7 +498,10 @@ mod tests {
             m4star_tokens: vec!["shared-stack"],
             ..Default::default()
         });
-        let rendered = built.chart.render(&Release::new("testapp", "default")).unwrap();
+        let rendered = built
+            .chart
+            .render(&Release::new("testapp", "default"))
+            .unwrap();
         let pod = rendered.of_kind("Pod").next().unwrap();
         assert_eq!(pod.meta().labels.len(), 1);
         assert_eq!(

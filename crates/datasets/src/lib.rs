@@ -30,8 +30,10 @@ mod spec;
 
 pub use builder::{build_app, ports, BuiltApp};
 pub use orgs::corpus;
-pub use poc::{concourse_chart, concourse_behaviors, thanos_chart, thanos_behaviors};
+pub use poc::{concourse_behaviors, concourse_chart, thanos_behaviors, thanos_chart};
 pub use representative::representative_charts;
-pub use runner::{analyze_one, policy_impact, run_census, AppAnalysis, CorpusOptions, PolicyImpact};
+pub use runner::{
+    analyze_one, policy_impact, run_census, AppAnalysis, CorpusOptions, PolicyImpact,
+};
 pub use score::{score_app, score_corpus, ClassScore, ScoreReport};
 pub use spec::{AppSpec, NetpolSpec, Org, Plan, UseCase};

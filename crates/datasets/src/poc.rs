@@ -103,10 +103,7 @@ pub fn concourse_behaviors() -> Vec<(String, ContainerBehavior)> {
             "sim/concourse/worker".to_string(),
             // The worker's Garden/BaggageClaim APIs, undeclared and bound to
             // all interfaces.
-            ContainerBehavior::Listeners(vec![
-                ListenerSpec::tcp(7777),
-                ListenerSpec::tcp(7788),
-            ]),
+            ContainerBehavior::Listeners(vec![ListenerSpec::tcp(7777), ListenerSpec::tcp(7788)]),
         ),
     ]
 }
@@ -163,8 +160,14 @@ spec:
     Chart::builder("thanos")
         .version("12.6.2")
         .description("Highly-available Prometheus with long-term storage")
-        .template("query-frontend.yaml", unit("query-frontend", "sim/thanos/query-frontend", 9090, "http"))
-        .template("query.yaml", unit("query", "sim/thanos/query", 10902, "grpc"))
+        .template(
+            "query-frontend.yaml",
+            unit("query-frontend", "sim/thanos/query-frontend", 9090, "http"),
+        )
+        .template(
+            "query.yaml",
+            unit("query", "sim/thanos/query", 10902, "grpc"),
+        )
         .template("svc-frontend.yaml", svc("query-frontend", 9090, "http"))
         .template("svc-query.yaml", svc("query", 10902, "grpc"))
         .build()
@@ -213,8 +216,13 @@ mod tests {
             .unwrap();
         cluster.install(&rendered).unwrap();
         let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
-        let findings =
-            Analyzer::hybrid().analyze_app("concourse", &rendered.objects, &cluster, Some(&runtime), false);
+        let findings = Analyzer::hybrid().analyze_app(
+            "concourse",
+            &rendered.objects,
+            &cluster,
+            Some(&runtime),
+            false,
+        );
         // Workers expose two undeclared API ports each (deduped per unit).
         assert_eq!(
             findings.iter().filter(|f| f.id == MisconfigId::M1).count(),
@@ -237,11 +245,18 @@ mod tests {
             behaviors: registry(thanos_behaviors()),
         });
         let baseline = HostBaseline::capture(&cluster);
-        let rendered = thanos_chart().render(&Release::new("th", "default")).unwrap();
+        let rendered = thanos_chart()
+            .render(&Release::new("th", "default"))
+            .unwrap();
         cluster.install(&rendered).unwrap();
         let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
-        let findings =
-            Analyzer::hybrid().analyze_app("thanos", &rendered.objects, &cluster, Some(&runtime), false);
+        let findings = Analyzer::hybrid().analyze_app(
+            "thanos",
+            &rendered.objects,
+            &cluster,
+            Some(&runtime),
+            false,
+        );
         assert!(findings.iter().any(|f| f.id == MisconfigId::M4A));
         assert!(findings.iter().any(|f| f.id == MisconfigId::M4B));
     }

@@ -29,33 +29,120 @@ pub fn representative_charts() -> Vec<RepresentativeCase> {
         )],
     };
     vec![
-        case(MisconfigId::M1, Plan { m1: 1, netpol: quiet, ..Default::default() }),
-        case(MisconfigId::M2, Plan { m2: 1, netpol: quiet, ..Default::default() }),
-        case(MisconfigId::M3, Plan { m3: 1, netpol: quiet, ..Default::default() }),
-        case(MisconfigId::M4A, Plan { m4a: 1, netpol: quiet, ..Default::default() }),
-        case(MisconfigId::M4B, Plan { m4b: 1, netpol: quiet, ..Default::default() }),
-        case(MisconfigId::M4C, Plan { m4c: 1, netpol: quiet, ..Default::default() }),
+        case(
+            MisconfigId::M1,
+            Plan {
+                m1: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
+        case(
+            MisconfigId::M2,
+            Plan {
+                m2: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
+        case(
+            MisconfigId::M3,
+            Plan {
+                m3: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
+        case(
+            MisconfigId::M4A,
+            Plan {
+                m4a: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
+        case(
+            MisconfigId::M4B,
+            Plan {
+                m4b: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
+        case(
+            MisconfigId::M4C,
+            Plan {
+                m4c: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
         RepresentativeCase {
             id: MisconfigId::M4Star,
             apps: vec![
-                AppSpec::new("rep-m4star-a", Org::Cncf, "1.0.0", Plan {
-                    netpol: quiet,
-                    m4star_tokens: vec!["rep-shared"],
-                    ..Default::default()
-                }),
-                AppSpec::new("rep-m4star-b", Org::Cncf, "1.0.0", Plan {
-                    netpol: quiet,
-                    m4star_tokens: vec!["rep-shared"],
-                    ..Default::default()
-                }),
+                AppSpec::new(
+                    "rep-m4star-a",
+                    Org::Cncf,
+                    "1.0.0",
+                    Plan {
+                        netpol: quiet,
+                        m4star_tokens: vec!["rep-shared"],
+                        ..Default::default()
+                    },
+                ),
+                AppSpec::new(
+                    "rep-m4star-b",
+                    Org::Cncf,
+                    "1.0.0",
+                    Plan {
+                        netpol: quiet,
+                        m4star_tokens: vec!["rep-shared"],
+                        ..Default::default()
+                    },
+                ),
             ],
         },
-        case(MisconfigId::M5A, Plan { m5a: 1, netpol: quiet, ..Default::default() }),
-        case(MisconfigId::M5B, Plan { m5b: 1, netpol: quiet, ..Default::default() }),
-        case(MisconfigId::M5C, Plan { m5c: 1, netpol: quiet, ..Default::default() }),
-        case(MisconfigId::M5D, Plan { m5d: 1, netpol: quiet, ..Default::default() }),
+        case(
+            MisconfigId::M5A,
+            Plan {
+                m5a: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
+        case(
+            MisconfigId::M5B,
+            Plan {
+                m5b: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
+        case(
+            MisconfigId::M5C,
+            Plan {
+                m5c: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
+        case(
+            MisconfigId::M5D,
+            Plan {
+                m5d: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
         case(MisconfigId::M6, Plan::default()),
-        case(MisconfigId::M7, Plan { m7: 1, netpol: quiet, ..Default::default() }),
+        case(
+            MisconfigId::M7,
+            Plan {
+                m7: 1,
+                netpol: quiet,
+                ..Default::default()
+            },
+        ),
     ]
 }
 

@@ -5,9 +5,7 @@ use crate::builder::{build_app, BuiltApp};
 use crate::spec::AppSpec;
 use ij_chart::Release;
 use ij_cluster::{Cluster, ClusterConfig, ConnectOutcome};
-use ij_core::{
-    chart_defines_network_policies, Analyzer, AppReport, Census, Finding, StaticModel,
-};
+use ij_core::{chart_defines_network_policies, Analyzer, AppReport, Census, Finding, StaticModel};
 use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
 use ij_probe::{HostBaseline, ProbeConfig, RuntimeAnalyzer};
 
@@ -228,7 +226,9 @@ pub fn policy_impact(specs: &[AppSpec], opts: &CorpusOptions) -> Vec<PolicyImpac
             let svc_name = ep.meta.name.clone();
             let mut svc_hit = false;
             for addr in &ep.addresses {
-                let Some(dst) = cluster.pod(&addr.pod) else { continue };
+                let Some(dst) = cluster.pod(&addr.pod) else {
+                    continue;
+                };
                 if declares(&dst.owner, &addr.pod, addr.port, addr.protocol) {
                     continue;
                 }
@@ -327,16 +327,26 @@ mod tests {
     #[test]
     fn census_over_small_slice() {
         let specs = vec![
-            AppSpec::new("alpha", Org::Cncf, "1.0.0", Plan {
-                m1: 1,
-                m4star_tokens: vec!["shared"],
-                ..Default::default()
-            }),
-            AppSpec::new("beta", Org::Cncf, "1.0.0", Plan {
-                m4star_tokens: vec!["shared"],
-                netpol: NetpolSpec::Enabled { loose: false },
-                ..Default::default()
-            }),
+            AppSpec::new(
+                "alpha",
+                Org::Cncf,
+                "1.0.0",
+                Plan {
+                    m1: 1,
+                    m4star_tokens: vec!["shared"],
+                    ..Default::default()
+                },
+            ),
+            AppSpec::new(
+                "beta",
+                Org::Cncf,
+                "1.0.0",
+                Plan {
+                    m4star_tokens: vec!["shared"],
+                    netpol: NetpolSpec::Enabled { loose: false },
+                    ..Default::default()
+                },
+            ),
         ];
         let census = run_census(&specs, &CorpusOptions::default());
         assert_eq!(census.apps.len(), 2);
@@ -353,17 +363,27 @@ mod tests {
     #[test]
     fn policy_impact_loose_vs_tight() {
         let specs = vec![
-            AppSpec::new("tight-app", Org::Eea, "1.0.0", Plan {
-                m1: 2,
-                netpol: NetpolSpec::Enabled { loose: false },
-                ..Default::default()
-            }),
-            AppSpec::new("loose-app", Org::Eea, "1.0.0", Plan {
-                m1: 2,
-                server_replicas: 2,
-                netpol: NetpolSpec::Enabled { loose: true },
-                ..Default::default()
-            }),
+            AppSpec::new(
+                "tight-app",
+                Org::Eea,
+                "1.0.0",
+                Plan {
+                    m1: 2,
+                    netpol: NetpolSpec::Enabled { loose: false },
+                    ..Default::default()
+                },
+            ),
+            AppSpec::new(
+                "loose-app",
+                Org::Eea,
+                "1.0.0",
+                Plan {
+                    m1: 2,
+                    server_replicas: 2,
+                    netpol: NetpolSpec::Enabled { loose: true },
+                    ..Default::default()
+                },
+            ),
         ];
         let rows = policy_impact(&specs, &CorpusOptions::default());
         assert_eq!(rows.len(), 1);
@@ -372,5 +392,62 @@ mod tests {
         assert_eq!(row.affected, 1, "only the loose chart stays reachable");
         assert_eq!(row.reachable_pods, 2, "both replicas of the loose server");
         assert_eq!(row.reachable_services, 0);
+    }
+
+    /// Reference FNV-1a (64-bit), independent of the implementation inside
+    /// `CorpusOptions::app_seed`, so a silent constant change fails here.
+    fn fnv1a(name: &str) -> u64 {
+        name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+        })
+    }
+
+    #[test]
+    fn app_seed_is_fnv1a_mixed_with_base_seed() {
+        let opts = CorpusOptions {
+            seed: 0xABCD,
+            ..Default::default()
+        };
+        for name in ["redis", "kube-prometheus-stack", "a", ""] {
+            assert_eq!(opts.app_seed(name), fnv1a(name) ^ 0xABCD, "name {name:?}");
+        }
+    }
+
+    #[test]
+    fn app_seed_is_stable_across_instances() {
+        let a = CorpusOptions::default();
+        let b = CorpusOptions::default();
+        for name in ["redis", "harbor", "metallb"] {
+            assert_eq!(a.app_seed(name), a.app_seed(name));
+            assert_eq!(a.app_seed(name), b.app_seed(name));
+        }
+    }
+
+    #[test]
+    fn distinct_apps_get_distinct_seeds() {
+        use std::collections::BTreeSet;
+        let opts = CorpusOptions::default();
+        let names: BTreeSet<String> = crate::corpus().into_iter().map(|a| a.name).collect();
+        let seeds: BTreeSet<u64> = names.iter().map(|n| opts.app_seed(n)).collect();
+        assert_eq!(
+            seeds.len(),
+            names.len(),
+            "FNV-1a collision among corpus app names"
+        );
+    }
+
+    #[test]
+    fn base_seed_shifts_every_app_seed() {
+        let a = CorpusOptions {
+            seed: 1,
+            ..Default::default()
+        };
+        let b = CorpusOptions {
+            seed: 2,
+            ..Default::default()
+        };
+        for app in crate::corpus() {
+            assert_ne!(a.app_seed(&app.name), b.app_seed(&app.name), "{}", app.name);
+        }
     }
 }

@@ -1,0 +1,62 @@
+//! The corpus runner trusts its generated charts to render; hand-built
+//! charts may not. These tests pin down the failure behaviour: `ij-chart`
+//! returns typed errors, and `analyze_one` surfaces them as a panic naming
+//! the chart (the `unwrap_or_else` paths in `runner.rs`).
+
+use ij_chart::{Chart, Error, Release};
+use ij_datasets::{analyze_one, build_app, AppSpec, BuiltApp, CorpusOptions, Org, Plan};
+
+/// A template that renders to structurally invalid YAML (a sequence item
+/// where a mapping value is required).
+const BAD_YAML_TEMPLATE: &str = "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: broken
+spec:
+  - this is a sequence
+  where: a mapping was required
+";
+
+fn malformed_chart() -> Chart {
+    Chart::builder("malformed")
+        .template("broken.yaml", BAD_YAML_TEMPLATE)
+        .build()
+}
+
+#[test]
+fn render_reports_invalid_yaml_with_template_name() {
+    let err = malformed_chart()
+        .render(&Release::new("x", "default"))
+        .expect_err("malformed chart must not render");
+    match err {
+        Error::RenderedYaml { template, .. } => assert_eq!(template, "broken.yaml"),
+        other => panic!("expected RenderedYaml, got {other:?}"),
+    }
+}
+
+#[test]
+fn render_reports_template_syntax_errors() {
+    let err = Chart::builder("syntax")
+        .template("bad.yaml", "value: {{ .Values.x") // unclosed action
+        .build()
+        .render(&Release::new("x", "default"))
+        .expect_err("unclosed template action must not render");
+    match err {
+        Error::Template { template, .. } => assert_eq!(template, "bad.yaml"),
+        other => panic!("expected Template, got {other:?}"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "chart malformed-app failed to render")]
+fn analyze_one_panics_on_malformed_chart() {
+    // Reuse a real built app for the spec/behaviours, then swap in a chart
+    // that cannot render — the runner must fail loudly, naming the chart.
+    let spec = AppSpec::new("malformed-app", Org::Cncf, "0.0.1", Plan::clean());
+    let built = BuiltApp {
+        chart: malformed_chart(),
+        ..build_app(&spec)
+    };
+    let _ = analyze_one(&built, &CorpusOptions::default());
+}

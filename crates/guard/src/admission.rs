@@ -150,9 +150,8 @@ impl GuardAdmission {
                     if !selected.is_empty() {
                         for sp in &svc.spec.ports {
                             if let ij_model::TargetPort::Number(target) = sp.target_port {
-                                let declared = selected
-                                    .iter()
-                                    .any(|u| u.declares(target, sp.protocol));
+                                let declared =
+                                    selected.iter().any(|u| u.declares(target, sp.protocol));
                                 if !declared {
                                     out.push(format!(
                                         "undeclared target (M5B): service `{}` forwards to \
@@ -228,7 +227,9 @@ mod tests {
     #[test]
     fn blocks_service_capture() {
         let mut cluster = guarded_cluster(GuardPolicy::default());
-        cluster.apply(web_pod("legit", &[("app", "web"), ("tier", "x")])).unwrap();
+        cluster
+            .apply(web_pod("legit", &[("app", "web"), ("tier", "x")]))
+            .unwrap();
         cluster
             .apply(Object::Service(Service::cluster_ip(
                 ObjectMeta::named("web"),
@@ -289,10 +290,16 @@ mod tests {
     fn audit_mode_warns_instead_of_denying() {
         let mut cluster = guarded_cluster(GuardPolicy::audit_only());
         cluster.apply(web_pod("legit", &[("app", "web")])).unwrap();
-        let warnings = cluster.apply(web_pod("imposter", &[("app", "web")])).unwrap();
+        let warnings = cluster
+            .apply(web_pod("imposter", &[("app", "web")]))
+            .unwrap();
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("label collision"));
-        assert_eq!(cluster.objects().len(), 2, "object persisted under audit mode");
+        assert_eq!(
+            cluster.objects().len(),
+            2,
+            "object persisted under audit mode"
+        );
     }
 
     #[test]

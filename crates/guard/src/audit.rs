@@ -95,9 +95,7 @@ mod tests {
     use super::*;
     use ij_cluster::{Cluster, ClusterConfig};
     use ij_core::MisconfigId;
-    use ij_model::{
-        Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec,
-    };
+    use ij_model::{Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec};
 
     #[test]
     fn detects_newly_introduced_misconfigurations() {
@@ -107,8 +105,9 @@ mod tests {
             .apply(Object::Pod(Pod::new(
                 ObjectMeta::named("web").with_labels(Labels::from_pairs([("app", "web")])),
                 PodSpec {
-                    containers: vec![Container::new("c", "img/web")
-                        .with_ports(vec![ContainerPort::tcp(8080)])],
+                    containers: vec![
+                        Container::new("c", "img/web").with_ports(vec![ContainerPort::tcp(8080)])
+                    ],
                     ..Default::default()
                 },
             )))
@@ -126,8 +125,9 @@ mod tests {
             .apply(Object::Pod(Pod::new(
                 ObjectMeta::named("imposter").with_labels(Labels::from_pairs([("app", "web")])),
                 PodSpec {
-                    containers: vec![Container::new("c", "img/other")
-                        .with_ports(vec![ContainerPort::tcp(8080)])],
+                    containers: vec![
+                        Container::new("c", "img/other").with_ports(vec![ContainerPort::tcp(8080)])
+                    ],
                     ..Default::default()
                 },
             )))

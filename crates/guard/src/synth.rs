@@ -10,7 +10,7 @@
 
 use ij_core::{ComputeUnit, StaticModel};
 use ij_model::{
-    LabelSelector, NetworkPolicy, NetworkPolicySpec, NetworkPolicyRule, Object, ObjectMeta,
+    LabelSelector, NetworkPolicy, NetworkPolicyRule, NetworkPolicySpec, Object, ObjectMeta,
     PolicyPort, PolicyPortRef, PolicyType,
 };
 
@@ -28,7 +28,11 @@ pub struct SynthesisOutcome {
 impl SynthesisOutcome {
     /// Policies wrapped as applyable objects.
     pub fn objects(&self) -> Vec<Object> {
-        self.policies.iter().cloned().map(Object::NetworkPolicy).collect()
+        self.policies
+            .iter()
+            .cloned()
+            .map(Object::NetworkPolicy)
+            .collect()
     }
 }
 
@@ -97,7 +101,10 @@ impl PolicySynthesizer {
                 ingress: if ports.is_empty() {
                     vec![]
                 } else {
-                    vec![NetworkPolicyRule { peers: vec![], ports }]
+                    vec![NetworkPolicyRule {
+                        peers: vec![],
+                        ports,
+                    }]
                 },
                 egress: vec![],
             },
@@ -117,7 +124,12 @@ mod tests {
         StaticModel::from_objects(&units)
     }
 
-    fn pod_obj(name: &str, labels: &[(&str, &str)], ports: Vec<ContainerPort>, host: bool) -> Object {
+    fn pod_obj(
+        name: &str,
+        labels: &[(&str, &str)],
+        ports: Vec<ContainerPort>,
+        host: bool,
+    ) -> Object {
         Object::Pod(Pod::new(
             ObjectMeta::named(name).with_labels(Labels::from_pairs(labels.iter().copied())),
             PodSpec {
@@ -158,7 +170,12 @@ mod tests {
             behaviors,
         });
         cluster
-            .apply(pod_obj("web", &[("app", "web")], vec![ContainerPort::tcp(8080)], false))
+            .apply(pod_obj(
+                "web",
+                &[("app", "web")],
+                vec![ContainerPort::tcp(8080)],
+                false,
+            ))
             .unwrap();
         cluster
             .apply(pod_obj("attacker", &[("role", "attacker")], vec![], false))
@@ -166,7 +183,12 @@ mod tests {
         cluster.reconcile();
 
         assert_eq!(
-            cluster.connect("default/attacker", "default/web", 9999, ij_model::Protocol::Tcp),
+            cluster.connect(
+                "default/attacker",
+                "default/web",
+                9999,
+                ij_model::Protocol::Tcp
+            ),
             Some(ConnectOutcome::Connected),
             "undeclared port reachable before synthesis"
         );
@@ -178,12 +200,22 @@ mod tests {
         }
 
         assert_eq!(
-            cluster.connect("default/attacker", "default/web", 8080, ij_model::Protocol::Tcp),
+            cluster.connect(
+                "default/attacker",
+                "default/web",
+                8080,
+                ij_model::Protocol::Tcp
+            ),
             Some(ConnectOutcome::Connected),
             "declared port stays reachable"
         );
         assert_eq!(
-            cluster.connect("default/attacker", "default/web", 9999, ij_model::Protocol::Tcp),
+            cluster.connect(
+                "default/attacker",
+                "default/web",
+                9999,
+                ij_model::Protocol::Tcp
+            ),
             Some(ConnectOutcome::DeniedIngress),
             "undeclared port cut off after synthesis"
         );
@@ -199,7 +231,12 @@ mod tests {
 
     #[test]
     fn policy_names_carry_prefix_and_namespace() {
-        let mut obj = pod_obj("db", &[("app", "db")], vec![ContainerPort::tcp(5432)], false);
+        let mut obj = pod_obj(
+            "db",
+            &[("app", "db")],
+            vec![ContainerPort::tcp(5432)],
+            false,
+        );
         obj.meta_mut().namespace = "prod".into();
         let model = model_with(vec![obj]);
         let outcome = PolicySynthesizer::new().synthesize(&model);

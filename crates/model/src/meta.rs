@@ -153,8 +153,8 @@ impl ObjectMeta {
         let meta = codec::opt_map(map, "metadata", "object")?
             .ok_or_else(|| Error::malformed("missing `metadata`"))?;
         let name = codec::req_str(meta, "name", "metadata")?;
-        let namespace = codec::opt_str(meta, "namespace", "metadata")?
-            .unwrap_or_else(|| "default".to_string());
+        let namespace =
+            codec::opt_str(meta, "namespace", "metadata")?.unwrap_or_else(|| "default".to_string());
         let labels = match codec::opt_map(meta, "labels", "metadata")? {
             Some(m) => Labels::decode(m, "metadata.labels")?,
             None => Labels::new(),
@@ -271,7 +271,10 @@ impl LabelSelector {
             None => Labels::new(),
         };
         let mut match_expressions = Vec::new();
-        for (i, e) in codec::opt_seq(map, "matchExpressions", ctx)?.iter().enumerate() {
+        for (i, e) in codec::opt_seq(map, "matchExpressions", ctx)?
+            .iter()
+            .enumerate()
+        {
             let ectx = format!("{ctx}.matchExpressions[{i}]");
             let em = codec::as_map(e, &ectx)?;
             let key = codec::req_str(em, "key", &ectx)?;
@@ -361,7 +364,11 @@ mod tests {
     #[test]
     fn match_labels_conjunction() {
         let sel = LabelSelector::from_labels(labels(&[("app", "web"), ("tier", "front")]));
-        assert!(sel.matches(&labels(&[("app", "web"), ("tier", "front"), ("extra", "1")])));
+        assert!(sel.matches(&labels(&[
+            ("app", "web"),
+            ("tier", "front"),
+            ("extra", "1")
+        ])));
         assert!(!sel.matches(&labels(&[("app", "web")])));
     }
 

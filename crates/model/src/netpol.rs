@@ -276,7 +276,10 @@ fn decode_rules(spec: &Map, field: &str, peer_field: &str) -> Result<Vec<Network
                 None => None,
             };
             let namespace_selector = match codec::opt_map(pm, "namespaceSelector", &pctx)? {
-                Some(m) => Some(LabelSelector::decode(m, &format!("{pctx}.namespaceSelector"))?),
+                Some(m) => Some(LabelSelector::decode(
+                    m,
+                    &format!("{pctx}.namespaceSelector"),
+                )?),
                 None => None,
             };
             let ip_block = match codec::opt_map(pm, "ipBlock", &pctx)? {
@@ -305,10 +308,11 @@ fn decode_rules(spec: &Map, field: &str, peer_field: &str) -> Result<Vec<Network
             };
             let port = match pm.get("port") {
                 None | Some(Value::Null) => None,
-                Some(Value::Int(i)) => Some(PolicyPortRef::Number(
-                    u16::try_from(*i)
-                        .map_err(|_| Error::malformed(format!("{pctx}.port out of range")))?,
-                )),
+                Some(Value::Int(i)) => {
+                    Some(PolicyPortRef::Number(u16::try_from(*i).map_err(|_| {
+                        Error::malformed(format!("{pctx}.port out of range"))
+                    })?))
+                }
                 Some(Value::Str(s)) => match s.parse::<u16>() {
                     Ok(n) => Some(PolicyPortRef::Number(n)),
                     Err(_) => Some(PolicyPortRef::Name(s.clone())),
@@ -495,10 +499,8 @@ spec:
         let back = NetworkPolicy::decode(v.as_map().unwrap()).unwrap();
         assert_eq!(np, back);
 
-        let deny = NetworkPolicy::deny_all_ingress(
-            ObjectMeta::named("deny"),
-            LabelSelector::everything(),
-        );
+        let deny =
+            NetworkPolicy::deny_all_ingress(ObjectMeta::named("deny"), LabelSelector::everything());
         let v = deny.encode();
         let back = NetworkPolicy::decode(v.as_map().unwrap()).unwrap();
         assert_eq!(deny, back);

@@ -8,9 +8,12 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Transport protocol of a port. Kubernetes defaults to TCP everywhere.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum Protocol {
     /// Transmission Control Protocol (the default).
+    #[default]
     Tcp,
     /// User Datagram Protocol.
     Udp,
@@ -19,19 +22,15 @@ pub enum Protocol {
     Sctp,
 }
 
-impl Default for Protocol {
-    fn default() -> Self {
-        Protocol::Tcp
-    }
-}
-
 impl Protocol {
     pub(crate) fn decode(s: &str, ctx: &str) -> Result<Protocol> {
         match s {
             "TCP" => Ok(Protocol::Tcp),
             "UDP" => Ok(Protocol::Udp),
             "SCTP" => Ok(Protocol::Sctp),
-            other => Err(Error::malformed(format!("{ctx}: unknown protocol `{other}`"))),
+            other => Err(Error::malformed(format!(
+                "{ctx}: unknown protocol `{other}`"
+            ))),
         }
     }
 
@@ -383,7 +382,10 @@ spec:
         let v = ij_yaml::parse(src).unwrap();
         let pod = Pod::decode(v.as_map().unwrap()).unwrap();
         assert_eq!(pod.meta.name, "flink");
-        let ports: Vec<u16> = pod.declared_ports().map(|(_, p)| p.container_port).collect();
+        let ports: Vec<u16> = pod
+            .declared_ports()
+            .map(|(_, p)| p.container_port)
+            .collect();
         assert_eq!(ports, vec![6121, 6123, 8081]);
         assert!(!pod.spec.host_network);
     }

@@ -8,9 +8,10 @@ use ij_yaml::{Map, Value};
 use serde::{Deserialize, Serialize};
 
 /// Service exposure type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ServiceType {
     /// Cluster-internal virtual IP (the default).
+    #[default]
     ClusterIp,
     /// ClusterIP plus a port on every node.
     NodePort,
@@ -18,12 +19,6 @@ pub enum ServiceType {
     LoadBalancer,
     /// A DNS CNAME, no proxying at all.
     ExternalName,
-}
-
-impl Default for ServiceType {
-    fn default() -> Self {
-        ServiceType::ClusterIp
-    }
 }
 
 impl ServiceType {
@@ -231,7 +226,9 @@ impl Service {
             Some("LoadBalancer") => ServiceType::LoadBalancer,
             Some("ExternalName") => ServiceType::ExternalName,
             Some(other) => {
-                return Err(Error::malformed(format!("spec.type: unknown service type `{other}`")))
+                return Err(Error::malformed(format!(
+                    "spec.type: unknown service type `{other}`"
+                )))
             }
         };
         let selector = match codec::opt_map(spec, "selector", "spec")? {

@@ -124,7 +124,9 @@ impl Workload {
         let meta = ObjectMeta::decode(root)?;
         let spec = codec::opt_map(root, "spec", "workload")?
             .ok_or_else(|| Error::malformed("missing workload `spec`"))?;
-        let replicas = codec::opt_int(spec, "replicas", "spec")?.unwrap_or(1).max(0) as u32;
+        let replicas = codec::opt_int(spec, "replicas", "spec")?
+            .unwrap_or(1)
+            .max(0) as u32;
         let selector = match codec::opt_map(spec, "selector", "spec")? {
             Some(m) => LabelSelector::decode(m, "spec.selector")?,
             None => LabelSelector::everything(),
@@ -233,10 +235,8 @@ spec:
             ObjectMeta::named("exporter").in_namespace("monitoring"),
             Labels::from_pairs([("app.kubernetes.io/name", "node-exporter")]),
             PodSpec {
-                containers: vec![
-                    Container::new("exporter", "prom/node-exporter")
-                        .with_ports(vec![ContainerPort::named("metrics", 9100)]),
-                ],
+                containers: vec![Container::new("exporter", "prom/node-exporter")
+                    .with_ports(vec![ContainerPort::named("metrics", 9100)])],
                 host_network: true,
                 node_name: None,
             },
@@ -251,7 +251,10 @@ spec:
 
     #[test]
     fn kind_parsing() {
-        assert_eq!(WorkloadKind::from_kind("StatefulSet"), Some(WorkloadKind::StatefulSet));
+        assert_eq!(
+            WorkloadKind::from_kind("StatefulSet"),
+            Some(WorkloadKind::StatefulSet)
+        );
         assert_eq!(WorkloadKind::from_kind("Service"), None);
         assert_eq!(WorkloadKind::Job.api_version(), "batch/v1");
     }

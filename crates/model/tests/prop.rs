@@ -15,7 +15,11 @@ fn arb_port() -> impl Strategy<Value = u16> {
 }
 
 fn arb_protocol() -> impl Strategy<Value = Protocol> {
-    prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp), Just(Protocol::Sctp)]
+    prop_oneof![
+        Just(Protocol::Tcp),
+        Just(Protocol::Udp),
+        Just(Protocol::Sctp)
+    ]
 }
 
 proptest! {

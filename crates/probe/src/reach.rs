@@ -22,7 +22,9 @@ pub struct ReachableEndpoint {
 /// endpoints where a connection would succeed.
 pub fn reachable_pod_endpoints(cluster: &Cluster, src: &str) -> Vec<ReachableEndpoint> {
     let mut out = Vec::new();
-    let Some(src_pod) = cluster.pod(src) else { return out };
+    let Some(src_pod) = cluster.pod(src) else {
+        return out;
+    };
     for dst in cluster.pods() {
         if dst.qualified_name() == src_pod.qualified_name() {
             continue;

@@ -80,7 +80,10 @@ mod tests {
         assert_eq!(report.stable_count(), 3);
         assert_eq!(report.dynamic_count(), 1);
         assert!(report.pod("default/a").unwrap().has_dynamic_ports());
-        assert!(report.pod("default/b").unwrap().has_stable(ObservedSocket::udp(53)));
+        assert!(report
+            .pod("default/b")
+            .unwrap()
+            .has_stable(ObservedSocket::udp(53)));
         assert!(report.pod("default/c").is_none());
     }
 }

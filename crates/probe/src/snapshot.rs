@@ -24,12 +24,18 @@ pub struct ObservedSocket {
 impl ObservedSocket {
     /// TCP observation.
     pub fn tcp(port: u16) -> Self {
-        ObservedSocket { port, protocol: Protocol::Tcp }
+        ObservedSocket {
+            port,
+            protocol: Protocol::Tcp,
+        }
     }
 
     /// UDP observation.
     pub fn udp(port: u16) -> Self {
-        ObservedSocket { port, protocol: Protocol::Udp }
+        ObservedSocket {
+            port,
+            protocol: Protocol::Udp,
+        }
     }
 
     /// True when the port falls into the OS ephemeral range.
@@ -109,7 +115,10 @@ impl RuntimeAnalyzer {
                 rp.sockets
                     .iter()
                     .filter(|s| !s.loopback_only)
-                    .map(|s| ObservedSocket { port: s.port, protocol: s.protocol })
+                    .map(|s| ObservedSocket {
+                        port: s.port,
+                        protocol: s.protocol,
+                    })
                     .collect()
             };
             if self.config.udp_noise_rate > 0.0
@@ -137,10 +146,19 @@ impl RuntimeAnalyzer {
                 .pods
                 .into_iter()
                 .map(|(name, sockets)| {
-                    (name, PodRuntime { stable: sockets, dynamic: Vec::new() })
+                    (
+                        name,
+                        PodRuntime {
+                            stable: sockets,
+                            dynamic: Vec::new(),
+                        },
+                    )
                 })
                 .collect();
-            return RuntimeReport { pods, udp_noise_filtered: 0 };
+            return RuntimeReport {
+                pods,
+                udp_noise_filtered: 0,
+            };
         }
         cluster.restart_pods();
         let second = self.snapshot(cluster, baseline, &mut rng);
@@ -187,16 +205,17 @@ impl RuntimeAnalyzer {
             dynamic.sort();
             pods.insert(name.clone(), PodRuntime { stable, dynamic });
         }
-        RuntimeReport { pods, udp_noise_filtered: filtered }
+        RuntimeReport {
+            pods,
+            udp_noise_filtered: filtered,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ij_cluster::{
-        BehaviorRegistry, Cluster, ClusterConfig, ContainerBehavior, ListenerSpec,
-    };
+    use ij_cluster::{BehaviorRegistry, Cluster, ClusterConfig, ContainerBehavior, ListenerSpec};
     use ij_model::{Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec};
 
     fn cluster_with(behaviors: BehaviorRegistry, host_network: bool) -> Cluster {
@@ -208,8 +227,9 @@ mod tests {
         let pod = Pod::new(
             ObjectMeta::named("app").with_labels(Labels::from_pairs([("app", "x")])),
             PodSpec {
-                containers: vec![Container::new("c", "img/app")
-                    .with_ports(vec![ContainerPort::tcp(8080)])],
+                containers: vec![
+                    Container::new("c", "img/app").with_ports(vec![ContainerPort::tcp(8080)])
+                ],
                 host_network,
                 node_name: None,
             },
@@ -298,8 +318,9 @@ mod tests {
         let pod = Pod::new(
             ObjectMeta::named("app"),
             PodSpec {
-                containers: vec![Container::new("c", "img/app")
-                    .with_ports(vec![ContainerPort::tcp(9100)])],
+                containers: vec![
+                    Container::new("c", "img/app").with_ports(vec![ContainerPort::tcp(9100)])
+                ],
                 host_network: true,
                 node_name: None,
             },
@@ -308,7 +329,11 @@ mod tests {
         fresh.reconcile();
         let report = RuntimeAnalyzer::default().analyze(&mut fresh, &clean_baseline);
         let rt = &report.pods["default/app"];
-        assert_eq!(rt.stable, vec![ObservedSocket::tcp(9100)], "node daemons subtracted");
+        assert_eq!(
+            rt.stable,
+            vec![ObservedSocket::tcp(9100)],
+            "node daemons subtracted"
+        );
 
         // Without subtraction the kubelet & co. leak into the report.
         let report = RuntimeAnalyzer::default().analyze(&mut fresh, &HostBaseline::empty());
@@ -340,7 +365,10 @@ mod tests {
         };
         let report = RuntimeAnalyzer::new(unfiltered).analyze(&mut cluster, &baseline);
         let rt = &report.pods["default/app"];
-        assert!(!rt.dynamic.is_empty(), "unfiltered noise leaks into the report");
+        assert!(
+            !rt.dynamic.is_empty(),
+            "unfiltered noise leaks into the report"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub fn connectivity_dot(cluster: &Cluster) -> String {
             rp.qualified_name(),
             label,
             rp.ip,
-            if rp.pod.spec.host_network { ", color=orange" } else { "" }
+            if rp.pod.spec.host_network {
+                ", color=orange"
+            } else {
+                ""
+            }
         );
     }
 
@@ -84,9 +88,7 @@ pub fn connectivity_dot(cluster: &Cluster) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ij_cluster::{
-        BehaviorRegistry, Cluster, ClusterConfig, ContainerBehavior, ListenerSpec,
-    };
+    use ij_cluster::{BehaviorRegistry, Cluster, ClusterConfig, ContainerBehavior, ListenerSpec};
     use ij_model::{
         Container, ContainerPort, LabelSelector, Labels, NetworkPolicy, Object, ObjectMeta, Pod,
         PodSpec,
@@ -107,8 +109,9 @@ mod tests {
             .apply(Object::Pod(Pod::new(
                 ObjectMeta::named("web").with_labels(Labels::from_pairs([("app", "web")])),
                 PodSpec {
-                    containers: vec![Container::new("web", "img/web")
-                        .with_ports(vec![ContainerPort::tcp(8080)])],
+                    containers: vec![
+                        Container::new("web", "img/web").with_ports(vec![ContainerPort::tcp(8080)])
+                    ],
                     ..Default::default()
                 },
             )))
@@ -148,6 +151,9 @@ mod tests {
             )))
             .unwrap();
         let dot = connectivity_dot(&cluster);
-        assert!(!dot.contains("-> \"default/web\""), "no edges into the locked pod:\n{dot}");
+        assert!(
+            !dot.contains("-> \"default/web\""),
+            "no edges into the locked pod:\n{dot}"
+        );
     }
 }

@@ -153,8 +153,9 @@ fn needs_quoting(s: &str) -> bool {
         return true;
     }
     // Structural characters or whitespace that would confuse block parsing.
-    if s.starts_with([' ', '-', '#', '[', ']', '{', '}', '"', '\'', '>', '|', '&', '*', '!'])
-        || s.ends_with(' ')
+    if s.starts_with([
+        ' ', '-', '#', '[', ']', '{', '}', '"', '\'', '>', '|', '&', '*', '!',
+    ]) || s.ends_with(' ')
         || s.contains(": ")
         || s.ends_with(':')
         || s.contains(" #")
@@ -232,7 +233,10 @@ mod tests {
         root.insert("containers", Value::Seq(vec![Value::Map(container)]));
         root.insert("empty_map", Value::Map(Map::new()));
         root.insert("empty_seq", Value::Seq(vec![]));
-        root.insert("nested_seq", Value::Seq(vec![Value::Seq(vec![Value::Int(1)])]));
+        root.insert(
+            "nested_seq",
+            Value::Seq(vec![Value::Seq(vec![Value::Int(1)])]),
+        );
         round_trip(&Value::Map(root));
     }
 

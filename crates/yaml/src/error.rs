@@ -25,7 +25,11 @@ impl Error {
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "yaml parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -33,7 +33,10 @@ pub fn parse_all(src: &str) -> Result<Vec<Value>> {
         if lines.is_empty() {
             continue;
         }
-        let mut p = Parser { lines: &lines, pos: 0 };
+        let mut p = Parser {
+            lines: &lines,
+            pos: 0,
+        };
         let value = p.parse_node(lines[0].indent)?;
         if let Some(extra) = p.peek() {
             return Err(Error::new(
@@ -86,7 +89,10 @@ fn logical_lines(src: &str, first_line: usize) -> Result<Vec<Line<'_>>> {
     for (i, raw) in src.lines().enumerate() {
         let number = first_line + i;
         if raw.contains('\t') && raw[..raw.len() - raw.trim_start().len()].contains('\t') {
-            return Err(Error::new(number, "tab characters are not allowed in indentation"));
+            return Err(Error::new(
+                number,
+                "tab characters are not allowed in indentation",
+            ));
         }
         let without_comment = strip_comment(raw);
         let trimmed_end = without_comment.trim_end();
@@ -98,7 +104,11 @@ fn logical_lines(src: &str, first_line: usize) -> Result<Vec<Line<'_>>> {
         if content == "..." {
             break;
         }
-        out.push(Line { indent, content, number });
+        out.push(Line {
+            indent,
+            content,
+            number,
+        });
     }
     Ok(out)
 }
@@ -222,7 +232,10 @@ impl<'a, 'b> Parser<'a, 'b> {
                 break;
             }
             let Some((key, val_text)) = split_key(content) else {
-                return Err(Error::new(number, format!("expected `key:`, found `{content}`")));
+                return Err(Error::new(
+                    number,
+                    format!("expected `key:`, found `{content}`"),
+                ));
             };
             self.bump();
             let (k, v) = self.parse_entry_value(key, val_text, indent, number)?;
@@ -357,14 +370,16 @@ fn split_key(s: &str) -> Option<(&str, &str)> {
             b'"' if !in_single => in_double = !in_double,
             b'[' | b'{' if !in_single && !in_double => depth += 1,
             b']' | b'}' if !in_single && !in_double => depth = depth.saturating_sub(1),
-            b':' if !in_single && !in_double && depth == 0 => {
-                if i + 1 == bytes.len() || bytes[i + 1] == b' ' {
-                    let key = s[..i].trim();
-                    if key.is_empty() {
-                        return None;
-                    }
-                    return Some((key, &s[i + 1..]));
+            b':' if !in_single
+                && !in_double
+                && depth == 0
+                && (i + 1 == bytes.len() || bytes[i + 1] == b' ') =>
+            {
+                let key = s[..i].trim();
+                if key.is_empty() {
+                    return None;
                 }
+                return Some((key, &s[i + 1..]));
             }
             _ => {}
         }
@@ -386,11 +401,18 @@ fn unquote_key(key: &str, line: usize) -> Result<String> {
 pub(crate) fn parse_scalar(s: &str, line: usize) -> Result<Value> {
     let s = s.trim();
     if s.starts_with('[') || s.starts_with('{') {
-        let mut fp = FlowParser { src: s.as_bytes(), pos: 0, line };
+        let mut fp = FlowParser {
+            src: s.as_bytes(),
+            pos: 0,
+            line,
+        };
         let v = fp.parse_value()?;
         fp.skip_ws();
         if fp.pos != fp.src.len() {
-            return Err(Error::new(line, "trailing characters after flow collection"));
+            return Err(Error::new(
+                line,
+                "trailing characters after flow collection",
+            ));
         }
         return Ok(v);
     }
@@ -456,9 +478,7 @@ fn unescape_double(s: &str, line: usize) -> Result<String> {
             Some('"') => out.push('"'),
             Some('\\') => out.push('\\'),
             Some('0') => out.push('\0'),
-            Some(other) => {
-                return Err(Error::new(line, format!("unsupported escape `\\{other}`")))
-            }
+            Some(other) => return Err(Error::new(line, format!("unsupported escape `\\{other}`"))),
             None => return Err(Error::new(line, "dangling backslash in scalar")),
         }
     }
@@ -508,7 +528,12 @@ impl<'a> FlowParser<'a> {
                     match self.src.get(self.pos) {
                         Some(b',') => self.pos += 1,
                         Some(b']') => {}
-                        _ => return Err(Error::new(self.line, "expected `,` or `]` in flow sequence")),
+                        _ => {
+                            return Err(Error::new(
+                                self.line,
+                                "expected `,` or `]` in flow sequence",
+                            ))
+                        }
                     }
                 }
                 None => return Err(Error::new(self.line, "unterminated flow sequence")),
@@ -535,7 +560,12 @@ impl<'a> FlowParser<'a> {
                     match self.src.get(self.pos) {
                         Some(b',') => self.pos += 1,
                         Some(b'}') => {}
-                        _ => return Err(Error::new(self.line, "expected `,` or `}` in flow mapping")),
+                        _ => {
+                            return Err(Error::new(
+                                self.line,
+                                "expected `,` or `}` in flow mapping",
+                            ))
+                        }
                     }
                 }
                 None => return Err(Error::new(self.line, "unterminated flow mapping")),
@@ -596,7 +626,10 @@ mod tests {
         assert_eq!(p("a: true").path(&["a"]), Some(&Value::Bool(true)));
         assert_eq!(p("a: null").path(&["a"]), Some(&Value::Null));
         assert_eq!(p("a: ~").path(&["a"]), Some(&Value::Null));
-        assert_eq!(p("a: hello world").path(&["a"]), Some(&Value::str("hello world")));
+        assert_eq!(
+            p("a: hello world").path(&["a"]),
+            Some(&Value::str("hello world"))
+        );
     }
 
     #[test]
@@ -608,7 +641,10 @@ mod tests {
     #[test]
     fn quoted_scalars() {
         assert_eq!(p(r#"a: "x: y""#).path(&["a"]), Some(&Value::str("x: y")));
-        assert_eq!(p(r#"a: "line\nbreak""#).path(&["a"]), Some(&Value::str("line\nbreak")));
+        assert_eq!(
+            p(r#"a: "line\nbreak""#).path(&["a"]),
+            Some(&Value::str("line\nbreak"))
+        );
         assert_eq!(p("a: 'it''s'").path(&["a"]), Some(&Value::str("it's")));
         assert_eq!(p(r#"a: "8080""#).path(&["a"]), Some(&Value::str("8080")));
     }
@@ -637,7 +673,9 @@ mod tests {
 
     #[test]
     fn sequence_of_maps() {
-        let v = p("containers:\n  - name: web\n    image: nginx\n  - name: sidecar\n    image: envoy\n");
+        let v = p(
+            "containers:\n  - name: web\n    image: nginx\n  - name: sidecar\n    image: envoy\n",
+        );
         let seq = v.path(&["containers"]).unwrap().as_seq().unwrap();
         assert_eq!(seq.len(), 2);
         assert_eq!(seq[0].path(&["name"]), Some(&Value::str("web")));
@@ -649,7 +687,12 @@ mod tests {
         let v = p("rules:\n  - ports:\n      - port: 80\n    to:\n      - podSelector: {}\n");
         let rule = &v.path(&["rules"]).unwrap().as_seq().unwrap()[0];
         assert_eq!(rule.path(&["ports", "0", "port"]), Some(&Value::Int(80)));
-        assert!(rule.path(&["to", "0", "podSelector"]).unwrap().as_map().unwrap().is_empty());
+        assert!(rule
+            .path(&["to", "0", "podSelector"])
+            .unwrap()
+            .as_map()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -662,7 +705,10 @@ mod tests {
     #[test]
     fn hash_inside_scalar_is_kept() {
         assert_eq!(p("a: foo#bar").path(&["a"]), Some(&Value::str("foo#bar")));
-        assert_eq!(p(r##"a: "# not a comment""##).path(&["a"]), Some(&Value::str("# not a comment")));
+        assert_eq!(
+            p(r##"a: "# not a comment""##).path(&["a"]),
+            Some(&Value::str("# not a comment"))
+        );
     }
 
     #[test]
@@ -677,7 +723,10 @@ mod tests {
     #[test]
     fn literal_block_scalar() {
         let v = p("script: |\n  line one\n  line two\nafter: 1\n");
-        assert_eq!(v.path(&["script"]), Some(&Value::str("line one\nline two\n")));
+        assert_eq!(
+            v.path(&["script"]),
+            Some(&Value::str("line one\nline two\n"))
+        );
         assert_eq!(v.path(&["after"]), Some(&Value::Int(1)));
     }
 
@@ -702,7 +751,10 @@ mod tests {
     #[test]
     fn dotted_and_slashed_keys() {
         let v = p("app.kubernetes.io/name: web\n");
-        assert_eq!(v.path(&["app.kubernetes.io/name"]), Some(&Value::str("web")));
+        assert_eq!(
+            v.path(&["app.kubernetes.io/name"]),
+            Some(&Value::str("web"))
+        );
     }
 
     #[test]
@@ -750,7 +802,10 @@ mod tests {
     #[test]
     fn url_value() {
         let v = p("url: https://example.org/x?y=1\n");
-        assert_eq!(v.path(&["url"]), Some(&Value::str("https://example.org/x?y=1")));
+        assert_eq!(
+            v.path(&["url"]),
+            Some(&Value::str("https://example.org/x?y=1"))
+        );
     }
 
     #[test]
@@ -777,7 +832,16 @@ spec:
             Some(&Value::Bool(true))
         );
         assert_eq!(
-            v.path(&["spec", "template", "spec", "containers", "0", "ports", "0", "containerPort"]),
+            v.path(&[
+                "spec",
+                "template",
+                "spec",
+                "containers",
+                "0",
+                "ports",
+                "0",
+                "containerPort"
+            ]),
             Some(&Value::Int(9100))
         );
     }

@@ -360,7 +360,8 @@ mod tests {
             },
         };
         assert_eq!(
-            v.path(&["spec", "ports", "0", "port"]).and_then(Value::as_int),
+            v.path(&["spec", "ports", "0", "port"])
+                .and_then(Value::as_int),
             Some(80)
         );
         assert_eq!(v.path(&["spec", "missing"]), None);

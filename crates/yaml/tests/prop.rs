@@ -8,9 +8,8 @@ use proptest::prelude::*;
 /// the scalar grammar covers; scientific notation would round-trip as a
 /// string, which is fine for manifests but out of scope here).
 fn arb_float() -> impl Strategy<Value = f64> {
-    (-1_000_000i64..1_000_000i64, 0u8..4u8).prop_map(|(n, scale)| {
-        n as f64 / 10f64.powi(scale as i32)
-    })
+    (-1_000_000i64..1_000_000i64, 0u8..4u8)
+        .prop_map(|(n, scale)| n as f64 / 10f64.powi(scale as i32))
 }
 
 fn arb_key() -> impl Strategy<Value = String> {

@@ -33,7 +33,12 @@ fn main() {
     );
     for id in MisconfigId::ALL {
         if row.count(id) > 0 {
-            println!("  {:<4} {:>2}  — {}", id.as_str(), row.count(id), id.description());
+            println!(
+                "  {:<4} {:>2}  — {}",
+                id.as_str(),
+                row.count(id),
+                id.description()
+            );
         }
     }
     assert_eq!(row.total(), 27, "the paper's CNCF row sums to 27");
@@ -85,6 +90,9 @@ fn main() {
     );
 
     let round3 = auditor.tick(&mut cluster);
-    assert!(round3.is_quiet(), "nothing changed; the auditor stays quiet");
+    assert!(
+        round3.is_quiet(),
+        "nothing changed; the auditor stays quiet"
+    );
     println!("round 3: quiet (no changes)");
 }

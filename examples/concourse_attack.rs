@@ -49,7 +49,10 @@ fn main() {
 
     // Step 1 — reconnaissance: scan the cluster network.
     let reachable = reachable_pod_endpoints(&cluster, "default/compromised");
-    println!("attacker reconnaissance: {} reachable endpoints", reachable.len());
+    println!(
+        "attacker reconnaissance: {} reachable endpoints",
+        reachable.len()
+    );
     for ep in &reachable {
         println!("  {} {}/{}", ep.pod, ep.port, ep.protocol);
     }
@@ -83,9 +86,18 @@ fn main() {
     for f in &findings {
         println!("  {f}");
     }
-    assert!(findings.iter().any(|f| f.id.as_str() == "M2"), "dynamic tunnel ports");
-    assert!(findings.iter().any(|f| f.id.as_str() == "M1"), "undeclared worker APIs");
-    assert!(findings.iter().any(|f| f.id.as_str() == "M6"), "no isolation");
+    assert!(
+        findings.iter().any(|f| f.id.as_str() == "M2"),
+        "dynamic tunnel ports"
+    );
+    assert!(
+        findings.iter().any(|f| f.id.as_str() == "M1"),
+        "undeclared worker APIs"
+    );
+    assert!(
+        findings.iter().any(|f| f.id.as_str() == "M6"),
+        "no isolation"
+    );
 
     // Step 4 — defense: synthesize declared-ports-only policies and replay.
     let statics = StaticModel::from_objects(&rendered.objects);
@@ -97,7 +109,12 @@ fn main() {
     for ep in &c2 {
         let outcome = cluster.connect("default/compromised", &ep.pod, ep.port, Protocol::Tcp);
         assert_eq!(outcome, Some(ConnectOutcome::DeniedIngress));
-        println!("replayed attack on {}:{} — {:?}", ep.pod, ep.port, outcome.unwrap());
+        println!(
+            "replayed attack on {}:{} — {:?}",
+            ep.pod,
+            ep.port,
+            outcome.unwrap()
+        );
     }
     println!("\nattack surface closed: tunnel endpoints now unreachable");
 }

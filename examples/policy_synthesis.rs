@@ -14,9 +14,7 @@ use inside_job::cluster::{
 };
 use inside_job::core::StaticModel;
 use inside_job::guard::PolicySynthesizer;
-use inside_job::model::{
-    Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec,
-};
+use inside_job::model::{Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec};
 use inside_job::probe::reachable_pod_endpoints;
 
 fn main() {
@@ -41,8 +39,9 @@ fn main() {
             .apply(Object::Pod(Pod::new(
                 ObjectMeta::named(name).with_labels(Labels::from_pairs([("app", name)])),
                 PodSpec {
-                    containers: vec![Container::new(name, image)
-                        .with_ports(vec![ContainerPort::tcp(port)])],
+                    containers: vec![
+                        Container::new(name, image).with_ports(vec![ContainerPort::tcp(port)])
+                    ],
                     ..Default::default()
                 },
             )))
@@ -60,7 +59,10 @@ fn main() {
     cluster.reconcile();
 
     let before = reachable_pod_endpoints(&cluster, "default/attacker");
-    println!("attacker-reachable endpoints BEFORE synthesis ({}):", before.len());
+    println!(
+        "attacker-reachable endpoints BEFORE synthesis ({}):",
+        before.len()
+    );
     for ep in &before {
         println!("  {} {}/{}", ep.pod, ep.port, ep.protocol);
     }
@@ -74,14 +76,20 @@ fn main() {
     let outcome = PolicySynthesizer::new().synthesize(&statics);
     println!("\nsynthesized {} policies:", outcome.policies.len());
     for policy in &outcome.policies {
-        println!("---\n{}", Object::NetworkPolicy(policy.clone()).to_manifest());
+        println!(
+            "---\n{}",
+            Object::NetworkPolicy(policy.clone()).to_manifest()
+        );
     }
     for obj in outcome.objects() {
         cluster.apply(obj).expect("policies admitted");
     }
 
     let after = reachable_pod_endpoints(&cluster, "default/attacker");
-    println!("attacker-reachable endpoints AFTER synthesis ({}):", after.len());
+    println!(
+        "attacker-reachable endpoints AFTER synthesis ({}):",
+        after.len()
+    );
     for ep in &after {
         println!("  {} {}/{}", ep.pod, ep.port, ep.protocol);
     }

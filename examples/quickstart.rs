@@ -125,7 +125,9 @@ spec:
         "the ephemeral port should be flagged"
     );
     assert!(
-        findings.iter().any(|f| f.id.as_str() == "M3" && f.port == Some(6121)),
+        findings
+            .iter()
+            .any(|f| f.id.as_str() == "M3" && f.port == Some(6121)),
         "the never-opened 6121 should be flagged"
     );
 }

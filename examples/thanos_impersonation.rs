@@ -25,11 +25,12 @@ fn imposter() -> Object {
             "thanos-query-frontend",
         )])),
         PodSpec {
-            containers: vec![Container::new("listener", "attacker/listener")
-                .with_ports(vec![
+            containers: vec![
+                Container::new("listener", "attacker/listener").with_ports(vec![
                     ContainerPort::named("http", 9090),
                     ContainerPort::named("grpc", 10902),
-                ])],
+                ]),
+            ],
             ..Default::default()
         },
     ))
@@ -78,7 +79,9 @@ fn main() {
     assert_eq!(before.len(), 1, "only the real frontend");
 
     // The attacker deploys a pod with the colliding label.
-    cluster.apply(imposter()).expect("unguarded cluster accepts it");
+    cluster
+        .apply(imposter())
+        .expect("unguarded cluster accepts it");
     cluster.reconcile();
     let after = cluster.send_to_service("default/grafana", "default", "th-query-frontend", 9090);
     println!("service backends after the attack:  {after:?}");
@@ -89,12 +92,20 @@ fn main() {
 
     // The analyzer had flagged the root cause all along.
     let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
-    let findings =
-        Analyzer::hybrid().analyze_app("thanos", &rendered.objects, &cluster, Some(&runtime), false);
+    let findings = Analyzer::hybrid().analyze_app(
+        "thanos",
+        &rendered.objects,
+        &cluster,
+        Some(&runtime),
+        false,
+    );
     assert!(findings.iter().any(|f| f.id == MisconfigId::M4A));
     assert!(findings.iter().any(|f| f.id == MisconfigId::M4B));
     println!("\nanalyzer findings on the chart itself:");
-    for f in findings.iter().filter(|f| matches!(f.id, MisconfigId::M4A | MisconfigId::M4B)) {
+    for f in findings
+        .iter()
+        .filter(|f| matches!(f.id, MisconfigId::M4A | MisconfigId::M4B))
+    {
         println!("  {f}");
     }
 
@@ -103,7 +114,9 @@ fn main() {
     guarded.push_admission(Box::new(GuardAdmission::new(GuardPolicy::default())));
     // Note: the chart itself already collides internally, so a strictly
     // guarded cluster refuses the second colliding unit of the chart too.
-    let err = guarded.install(&rendered).expect_err("guard rejects the collision");
+    let err = guarded
+        .install(&rendered)
+        .expect_err("guard rejects the collision");
     println!("\nguarded cluster refused the chart: {err}");
 
     // With unique labels (the paper's mitigation) the application installs

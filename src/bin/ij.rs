@@ -127,7 +127,12 @@ fn run() -> Result<(), String> {
                     findings.len()
                 );
                 for f in &findings {
-                    println!("\n[{}] {:?} — {}", f.id, f.id.severity(), f.id.description());
+                    println!(
+                        "\n[{}] {:?} — {}",
+                        f.id,
+                        f.id.severity(),
+                        f.id.description()
+                    );
                     println!("  object: {}", f.object);
                     println!("  detail: {}", f.detail);
                     println!("  fix:    {}", f.id.mitigation());
@@ -136,7 +141,8 @@ fn run() -> Result<(), String> {
 
             if let Some(dot_path) = &args.dot {
                 let dot = connectivity_dot(&cluster);
-                std::fs::write(dot_path, dot).map_err(|e| format!("{}: {e}", dot_path.display()))?;
+                std::fs::write(dot_path, dot)
+                    .map_err(|e| format!("{}: {e}", dot_path.display()))?;
                 eprintln!("wrote connectivity graph to {}", dot_path.display());
             }
             Ok(())

@@ -6,13 +6,13 @@
 //! 3. UDP flakiness filter on/off (§5.1.2's ~8% false positives);
 //! 4. host-baseline subtraction on/off (M7 over-reporting).
 
+use inside_job::chart::Release;
 use inside_job::cluster::{Cluster, ClusterConfig};
 use inside_job::core::{Analyzer, MisconfigId};
 use inside_job::datasets::{
     analyze_one, build_app, corpus, AppSpec, CorpusOptions, NetpolSpec, Org, Plan,
 };
 use inside_job::probe::{HostBaseline, ProbeConfig, RuntimeAnalyzer};
-use inside_job::chart::Release;
 
 /// A representative slice: one org's worth of charts is plenty to measure
 /// recall differences while keeping the test quick.
@@ -49,7 +49,10 @@ fn hybrid_attains_full_recall_on_ground_truth() {
 #[test]
 fn static_only_misses_runtime_classes() {
     let (found, expected) = recall(Analyzer::static_only(), ProbeConfig::default());
-    assert!(found < expected, "static-only should under-detect: {found} vs {expected}");
+    assert!(
+        found < expected,
+        "static-only should under-detect: {found} vs {expected}"
+    );
     // It must still find everything statically visible.
     let statically_expected: usize = slice()
         .iter()
@@ -144,7 +147,10 @@ fn udp_noise_filter_controls_false_positives() {
         .iter()
         .filter(|f| f.id == MisconfigId::M2)
         .collect();
-    assert!(!spurious.is_empty(), "noise leaks through without the filter");
+    assert!(
+        !spurious.is_empty(),
+        "noise leaks through without the filter"
+    );
 
     let noisy_filtered = CorpusOptions {
         probe: ProbeConfig {
@@ -182,7 +188,10 @@ fn baseline_subtraction_prevents_m7_overreporting() {
         },
     );
     let built = build_app(&spec);
-    let rendered = built.chart.render(&Release::new("hostnet-app", "default")).unwrap();
+    let rendered = built
+        .chart
+        .render(&Release::new("hostnet-app", "default"))
+        .unwrap();
 
     let run = |baseline: HostBaseline| {
         let mut cluster = Cluster::new(ClusterConfig {
@@ -192,7 +201,11 @@ fn baseline_subtraction_prevents_m7_overreporting() {
         });
         let real_baseline = HostBaseline::capture(&cluster);
         cluster.install(&rendered).unwrap();
-        let b = if baseline.is_empty() { baseline } else { real_baseline };
+        let b = if baseline.is_empty() {
+            baseline
+        } else {
+            real_baseline
+        };
         let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &b);
         Analyzer::hybrid().analyze_app(
             "hostnet-app",
@@ -203,7 +216,9 @@ fn baseline_subtraction_prevents_m7_overreporting() {
         )
     };
 
-    let with_baseline = run(HostBaseline::capture(&Cluster::new(ClusterConfig::default())));
+    let with_baseline = run(HostBaseline::capture(&Cluster::new(
+        ClusterConfig::default(),
+    )));
     assert_eq!(
         with_baseline.len(),
         spec.plan.expected_local_findings(),

@@ -4,9 +4,7 @@
 use inside_job::chart::Release;
 use inside_job::cluster::{BehaviorRegistry, Cluster, ClusterConfig, ConnectOutcome};
 use inside_job::core::StaticModel;
-use inside_job::datasets::{
-    concourse_behaviors, concourse_chart, thanos_behaviors, thanos_chart,
-};
+use inside_job::datasets::{concourse_behaviors, concourse_chart, thanos_behaviors, thanos_chart};
 use inside_job::guard::{GuardAdmission, GuardPolicy, PolicySynthesizer};
 use inside_job::model::{
     Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec, Protocol,
@@ -38,7 +36,9 @@ fn concourse_c2_attack_succeeds_then_synthesis_closes_it() {
         seed: 77,
         behaviors: registry(concourse_behaviors()),
     });
-    let rendered = concourse_chart().render(&Release::new("ci", "default")).unwrap();
+    let rendered = concourse_chart()
+        .render(&Release::new("ci", "default"))
+        .unwrap();
     cluster.install(&rendered).unwrap();
     cluster.apply(attacker_pod()).unwrap();
     cluster.reconcile();
@@ -103,12 +103,15 @@ fn thanos_impersonation_succeeds_unguarded_and_is_denied_guarded() {
         seed: 88,
         behaviors: registry(thanos_behaviors()),
     });
-    let rendered = thanos_chart().render(&Release::new("th", "default")).unwrap();
+    let rendered = thanos_chart()
+        .render(&Release::new("th", "default"))
+        .unwrap();
     cluster.install(&rendered).unwrap();
     cluster.apply(attacker_pod()).unwrap();
     cluster.apply(imposter.clone()).unwrap();
     cluster.reconcile();
-    let backends = cluster.send_to_service("default/attacker", "default", "th-query-frontend", 9090);
+    let backends =
+        cluster.send_to_service("default/attacker", "default", "th-query-frontend", 9090);
     assert!(backends.contains(&"default/imposter".to_string()));
 
     // Guarded: admission refuses the colliding pod (the chart itself also

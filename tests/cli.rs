@@ -67,7 +67,11 @@ fn ij(args: &[&str]) -> std::process::Output {
 fn analyze_reports_structural_findings() {
     let dir = demo_chart_dir("analyze");
     let out = ij(&["analyze", dir.to_str().unwrap()]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("3 finding(s)"), "{stdout}");
     assert!(stdout.contains("[M5B]"), "{stdout}");
@@ -105,7 +109,12 @@ fn disclose_produces_markdown_report() {
 fn dot_flag_writes_connectivity_graph() {
     let dir = demo_chart_dir("dot");
     let dot_path = dir.join("out.dot");
-    let out = ij(&["analyze", dir.to_str().unwrap(), "--dot", dot_path.to_str().unwrap()]);
+    let out = ij(&[
+        "analyze",
+        dir.to_str().unwrap(),
+        "--dot",
+        dot_path.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let dot = fs::read_to_string(&dot_path).expect("dot written");
     assert!(dot.starts_with("digraph"));
@@ -117,7 +126,12 @@ fn values_override_changes_rendering() {
     let dir = demo_chart_dir("values");
     let values = dir.join("override.yaml");
     fs::write(&values, "replicas: 4\n").unwrap();
-    let out = ij(&["render", dir.to_str().unwrap(), "--values", values.to_str().unwrap()]);
+    let out = ij(&[
+        "render",
+        dir.to_str().unwrap(),
+        "--values",
+        values.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("replicas: 4"), "{stdout}");

@@ -17,24 +17,39 @@ use inside_job::probe::reachable_pod_endpoints;
 
 fn specs() -> Vec<AppSpec> {
     vec![
-        AppSpec::new("app-a", Org::Cncf, "1.0.0", Plan {
-            m1: 2,
-            netpol: NetpolSpec::Missing,
-            m4star_tokens: vec!["shared-operator"],
-            ..Default::default()
-        }),
-        AppSpec::new("app-b", Org::Cncf, "1.0.0", Plan {
-            m1: 1,
-            m2: 1,
-            netpol: NetpolSpec::Missing,
-            m4star_tokens: vec!["shared-operator"],
-            ..Default::default()
-        }),
-        AppSpec::new("app-c", Org::Cncf, "1.0.0", Plan {
-            m7: 1,
-            netpol: NetpolSpec::Missing,
-            ..Default::default()
-        }),
+        AppSpec::new(
+            "app-a",
+            Org::Cncf,
+            "1.0.0",
+            Plan {
+                m1: 2,
+                netpol: NetpolSpec::Missing,
+                m4star_tokens: vec!["shared-operator"],
+                ..Default::default()
+            },
+        ),
+        AppSpec::new(
+            "app-b",
+            Org::Cncf,
+            "1.0.0",
+            Plan {
+                m1: 1,
+                m2: 1,
+                netpol: NetpolSpec::Missing,
+                m4star_tokens: vec!["shared-operator"],
+                ..Default::default()
+            },
+        ),
+        AppSpec::new(
+            "app-c",
+            Org::Cncf,
+            "1.0.0",
+            Plan {
+                m7: 1,
+                netpol: NetpolSpec::Missing,
+                ..Default::default()
+            },
+        ),
     ]
 }
 
@@ -58,7 +73,10 @@ fn co_deployed_cluster() -> (Cluster, Vec<(String, StaticModel)>) {
             .render(&Release::new(&b.spec.name, "default"))
             .expect("renders");
         cluster.install(&rendered).expect("no admission");
-        statics.push((b.spec.name.clone(), StaticModel::from_objects(&rendered.objects)));
+        statics.push((
+            b.spec.name.clone(),
+            StaticModel::from_objects(&rendered.objects),
+        ));
     }
     cluster
         .apply(Object::Pod(Pod::new(
@@ -79,7 +97,9 @@ fn misconfigured_surface(cluster: &Cluster) -> Vec<String> {
     let statics = StaticModel::from_objects(cluster.objects());
     let mut out = Vec::new();
     for ep in reachable_pod_endpoints(cluster, "default/attacker") {
-        let Some(rp) = cluster.pod(&ep.pod) else { continue };
+        let Some(rp) = cluster.pod(&ep.pod) else {
+            continue;
+        };
         let unit = rp.owner.clone().unwrap_or_else(|| ep.pod.clone());
         let declared = statics
             .unit(&unit)

@@ -34,9 +34,8 @@ fn different_seed_same_census_shape() {
         },
     );
     for id in MisconfigId::ALL {
-        let count = |c: &inside_job::core::Census| {
-            c.apps.iter().map(|r| r.count_of(id)).sum::<usize>()
-        };
+        let count =
+            |c: &inside_job::core::Census| c.apps.iter().map(|r| r.count_of(id)).sum::<usize>();
         assert_eq!(count(&a), count(&b), "{id} count differs across seeds");
     }
 }

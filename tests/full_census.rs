@@ -8,12 +8,24 @@ use ij_datasets::{corpus, run_census, CorpusOptions};
 /// Table 2, verbatim: affected, total, M1, M2, M3, M4A, M4B, M4C, M4*, M5A,
 /// M5B, M5C, M5D, M6, M7.
 const TABLE2: [(&str, [usize; 15]); 6] = [
-    ("Banzai Cloud", [51, 51, 13, 2, 17, 8, 4, 0, 0, 0, 2, 0, 0, 51, 0]),
-    ("Bitnami", [158, 158, 106, 26, 40, 25, 10, 0, 5, 2, 14, 3, 0, 156, 7]),
+    (
+        "Banzai Cloud",
+        [51, 51, 13, 2, 17, 8, 4, 0, 0, 0, 2, 0, 0, 51, 0],
+    ),
+    (
+        "Bitnami",
+        [158, 158, 106, 26, 40, 25, 10, 0, 5, 2, 14, 3, 0, 156, 7],
+    ),
     ("CNCF", [7, 10, 10, 0, 4, 0, 0, 0, 0, 6, 0, 0, 0, 7, 0]),
     ("EEA", [8, 19, 7, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0]),
-    ("Prometheus C.", [25, 25, 42, 4, 3, 0, 0, 0, 0, 1, 4, 0, 0, 25, 4]),
-    ("Wikimedia", [10, 27, 10, 3, 2, 2, 1, 1, 0, 2, 1, 0, 0, 2, 0]),
+    (
+        "Prometheus C.",
+        [25, 25, 42, 4, 3, 0, 0, 0, 0, 1, 4, 0, 0, 25, 4],
+    ),
+    (
+        "Wikimedia",
+        [10, 27, 10, 3, 2, 2, 1, 1, 0, 2, 1, 0, 0, 2, 0],
+    ),
 ];
 
 const IDS: [MisconfigId; 13] = MisconfigId::ALL;

@@ -40,7 +40,11 @@ fn figure4b_policy_impact_shape() {
     // pods match.
     let eea = get("EEA");
     assert_eq!(eea.reachable_pods, 13);
-    assert!(eea.affected == 7 || eea.affected == 8, "measured {}", eea.affected);
+    assert!(
+        eea.affected == 7 || eea.affected == 8,
+        "measured {}",
+        eea.affected
+    );
 
     // Wikimedia: paper reports 4 affected / 8 pods (5 dynamic).
     let wiki = get("Wikimedia");

@@ -42,7 +42,12 @@ fn m6_and_m7_are_the_most_recognized() {
     let m7 = found_count(MisconfigId::M7);
     assert!(m7 >= 9, "M7 found by most tools: {m7}");
     assert!(m6 >= 4, "M6 found by several tools: {m6}");
-    for id in [MisconfigId::M1, MisconfigId::M2, MisconfigId::M3, MisconfigId::M4A] {
+    for id in [
+        MisconfigId::M1,
+        MisconfigId::M2,
+        MisconfigId::M3,
+        MisconfigId::M4A,
+    ] {
         assert!(found_count(id) == 0, "{id} should be found by no baseline");
     }
 }
@@ -59,9 +64,21 @@ fn kubescape_partially_hints_at_label_collisions() {
 #[test]
 fn static_tools_get_dashes_for_runtime_classes() {
     let rows = run_comparison();
-    for tool in ["Checkov", "Kubeaudit", "KubeLinter", "Kube-score", "Kubesec", "SLI-KUBE"] {
+    for tool in [
+        "Checkov",
+        "Kubeaudit",
+        "KubeLinter",
+        "Kube-score",
+        "Kubesec",
+        "SLI-KUBE",
+    ] {
         let row = rows.iter().find(|r| r.tool == tool).unwrap();
-        for id in [MisconfigId::M1, MisconfigId::M2, MisconfigId::M3, MisconfigId::M5A] {
+        for id in [
+            MisconfigId::M1,
+            MisconfigId::M2,
+            MisconfigId::M3,
+            MisconfigId::M5A,
+        ] {
             assert_eq!(row.cell(id), Detection::NotApplicable, "{tool} on {id}");
         }
         assert_eq!(row.cell(MisconfigId::M4Star), Detection::NotApplicable);

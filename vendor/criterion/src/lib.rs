@@ -1,0 +1,134 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements just enough of the Criterion API for the workspace's two
+//! benches: `Criterion::bench_function`, `benchmark_group` with
+//! `sample_size`/`bench_function`/`finish`, a `Bencher` with `iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Behaviour mirrors real Criterion's two modes:
+//!
+//! * `cargo bench` passes `--bench`: each benchmark runs a short warm-up
+//!   then a timed loop, and a mean time per iteration is printed.
+//! * `cargo test` runs the bench binary *without* `--bench`: each closure
+//!   executes exactly once as a smoke test, keeping `cargo test -q` fast.
+
+use std::time::{Duration, Instant};
+
+/// True when invoked by `cargo bench` (which passes `--bench`); false under
+/// `cargo test`, where benches run once as smoke tests.
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+pub struct Bencher {
+    bench_mode: bool,
+    /// (iterations, total wall time) of the measured loop.
+    measurement: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if !self.bench_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm up ~50ms, then size the timed loop off the warm-up rate.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let target = Duration::from_millis(300).as_nanos();
+        let iters = ((target / per_iter.max(1)) as u64).clamp(1, 1_000_000);
+        let timed = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.measurement = Some((iters, timed.elapsed()));
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Mirrors `Criterion::configure_from_args`; CLI filtering is not
+    /// implemented in the shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        bench_mode: bench_mode(),
+        measurement: None,
+    };
+    f(&mut b);
+    match b.measurement {
+        Some((iters, total)) => {
+            let per = total.as_nanos() / u128::from(iters.max(1));
+            println!("bench: {name:<40} {per:>12} ns/iter ({iters} iters)");
+        }
+        None if b.bench_mode => println!("bench: {name:<40} (no measurement)"),
+        None => println!("bench (test mode): {name} ok"),
+    }
+}
+
+/// Re-export for compatibility; real criterion has its own black_box.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        compile_error!("criterion shim: config-style criterion_group! is not supported");
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

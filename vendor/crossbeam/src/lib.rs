@@ -1,0 +1,16 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used by the
+//! workspace (the cluster's watch-event fan-out). `std::sync::mpsc` provides
+//! the same unbounded-channel semantics for that use: cloneable senders,
+//! `send` failing once the receiver is dropped (which prunes dead watchers),
+//! and `try_iter` draining without blocking.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel, mirroring `crossbeam_channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -1,0 +1,227 @@
+//! A generator for the regex subset the workspace's suites use: sequences
+//! of literals and character classes (with ranges and `\n`/`\t`/`\\`
+//! escapes), each optionally quantified by `{n}`, `{n,m}`, `?`, `+`, or `*`.
+//! Anchors, groups, alternation, and backreferences are out of scope — the
+//! parser rejects them loudly rather than generating wrong strings.
+
+use crate::TestRng;
+use rand::Rng;
+
+/// One generating unit: a set of candidate chars and a repetition range.
+struct Atom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+pub struct Pattern {
+    atoms: Vec<Atom>,
+}
+
+impl Pattern {
+    pub fn parse(pattern: &str) -> Result<Pattern, String> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let candidates = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| "trailing backslash".to_string())?;
+                    vec![unescape(esc)?]
+                }
+                '.' => (' '..='~').collect(),
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(format!("unsupported regex construct {c:?}"));
+                }
+                other => vec![other],
+            };
+            let (min, max) = parse_quantifier(&mut chars)?;
+            atoms.push(Atom {
+                chars: candidates,
+                min,
+                max,
+            });
+        }
+        Ok(Pattern { atoms })
+    }
+
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                let idx = rng.gen_range(0..atom.chars.len());
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: char) -> Result<char, String> {
+    Ok(match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        '\\' | '-' | ']' | '[' | '.' | '/' | '{' | '}' | '(' | ')' | '?' | '*' | '+' | '|'
+        | '^' | '$' | ' ' => c,
+        other => return Err(format!("unsupported escape \\{other}")),
+    })
+}
+
+/// Parses the interior of `[...]` (opening bracket already consumed).
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, String> {
+    let mut members: Vec<char> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .ok_or_else(|| "unterminated character class".to_string())?;
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    members.push(p);
+                }
+                break;
+            }
+            '-' => {
+                // A range if we hold a left endpoint and a right endpoint
+                // follows; a literal '-' at the start or end of the class.
+                match (pending.take(), chars.peek()) {
+                    (Some(lo), Some(&next)) if next != ']' => {
+                        let hi = match chars.next().unwrap() {
+                            '\\' => unescape(
+                                chars
+                                    .next()
+                                    .ok_or_else(|| "trailing backslash".to_string())?,
+                            )?,
+                            other => other,
+                        };
+                        if lo > hi {
+                            return Err(format!("inverted range {lo:?}-{hi:?}"));
+                        }
+                        members.extend(lo..=hi);
+                    }
+                    (lo, _) => {
+                        if let Some(lo) = lo {
+                            members.push(lo);
+                        }
+                        members.push('-');
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(unescape(
+                    chars
+                        .next()
+                        .ok_or_else(|| "trailing backslash".to_string())?,
+                )?) {
+                    members.push(p);
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    members.push(p);
+                }
+            }
+        }
+    }
+    if members.is_empty() && pending.is_none() {
+        return Err("empty character class".to_string());
+    }
+    members.sort_unstable();
+    members.dedup();
+    Ok(members)
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(u32, u32), String> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().map_err(|e| format!("bad bound: {e}"))?,
+                            hi.trim().parse().map_err(|e| format!("bad bound: {e}"))?,
+                        ),
+                        None => {
+                            let n = body.trim().parse().map_err(|e| format!("bad bound: {e}"))?;
+                            (n, n)
+                        }
+                    };
+                    if min > max {
+                        return Err(format!("inverted quantifier {{{body}}}"));
+                    }
+                    return Ok((min, max));
+                }
+                body.push(c);
+            }
+            Err("unterminated {} quantifier".to_string())
+        }
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, 8))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let p = Pattern::parse(pattern).expect("parse");
+        (0..200u64).map(|i| p.generate(&mut test_rng(i))).collect()
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        for s in gen_many("[ -~\\n\\t]{0,40}") {
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let allowed = |c: char| c.is_ascii_alphanumeric() || "_./-".contains(c);
+        for s in gen_many("[a-zA-Z][a-zA-Z0-9_./-]{0,18}") {
+            assert!(!s.is_empty() && s.len() <= 19);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(allowed), "bad string {s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        for s in gen_many("[ab]{3}") {
+            assert_eq!(s.len(), 3);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(Pattern::parse("(a|b)").is_err());
+        assert!(Pattern::parse("[abc").is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! `sample::select`: uniform choice from a fixed set of values.
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "sample::select needs options");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].clone()
+    }
+}

@@ -1,0 +1,23 @@
+//! `string_regex`: a strategy producing strings matching a regex subset.
+
+use crate::regex::Pattern;
+use crate::{Strategy, TestRng};
+
+pub struct RegexGeneratorStrategy {
+    pattern: Pattern,
+}
+
+/// Compiles `pattern` into a string strategy. Errors (unsupported
+/// constructs, malformed classes) are returned so callers can `.expect`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, String> {
+    Ok(RegexGeneratorStrategy {
+        pattern: Pattern::parse(pattern)?,
+    })
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.pattern.generate(rng)
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only uses serde's *derive surface* (`#[derive(Serialize,
+//! Deserialize)]`) to mark types as wire-ready; nothing in the tree calls a
+//! serializer. The build environment has no network access to crates.io, so
+//! this proc-macro crate accepts the derives (including `#[serde(...)]`
+//! helper attributes) and expands to nothing. Swapping in the real `serde`
+//! is a one-line change in each manifest once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
