@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ij_chart::Release;
 use ij_cluster::{Cluster, ClusterConfig, PolicyEngine};
 use ij_core::{chart_defines_network_policies, Analyzer};
-use ij_datasets::{build_app, AppSpec, CorpusOptions, NetpolSpec, Org, Plan};
+use ij_datasets::{build_app, AppSpec, NetpolSpec, Org, Plan};
 use ij_probe::{HostBaseline, RuntimeAnalyzer};
 use std::hint::black_box;
 
@@ -182,9 +182,17 @@ fn bench_analyzer(c: &mut Criterion) {
 fn bench_end_to_end_app(c: &mut Criterion) {
     let app_spec = busy_spec();
     let built = build_app(&app_spec);
-    let opts = CorpusOptions::default();
+    let pipeline = ij_datasets::CensusPipeline::builder().build();
     c.bench_function("end_to_end_single_app", |b| {
-        b.iter(|| black_box(ij_datasets::analyze_one(&built, &opts).findings.len()))
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .analyze_one(&built)
+                    .expect("bench app analyzes")
+                    .findings
+                    .len(),
+            )
+        })
     });
 }
 

@@ -57,14 +57,14 @@ fn bench_fig4b_policy_impact(c: &mut Criterion) {
     println!("{}", fig4b());
     let mut group = c.benchmark_group("paper");
     group.sample_size(10);
+    let pipeline = ij_datasets::CensusPipeline::builder().build();
     group.bench_function("fig4b_policy_impact", |b| {
         b.iter(|| {
             black_box(
-                ij_datasets::policy_impact(
-                    &ij_datasets::corpus(),
-                    &ij_datasets::CorpusOptions::default(),
-                )
-                .len(),
+                pipeline
+                    .policy_impact(&ij_datasets::corpus())
+                    .expect("policy study runs")
+                    .len(),
             )
         })
     });

@@ -20,26 +20,39 @@ use ij_baselines::run_comparison;
 use ij_chart::Release;
 use ij_cluster::{BehaviorRegistry, Cluster, ClusterConfig, ConnectOutcome};
 use ij_core::{Census, MisconfigId, StaticModel};
-use ij_datasets::{
-    build_app, corpus, policy_impact, representative_charts, run_census, CorpusOptions,
-};
+use ij_datasets::{build_app, corpus, representative_charts, CensusPipeline};
 use ij_guard::{GuardAdmission, GuardPolicy, PolicySynthesizer};
 use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
 
-/// Runs the census over the full corpus with default options.
+/// Runs the census over the full corpus with default options (sequential,
+/// so the criterion benches time the single-threaded pipeline).
 pub fn full_census() -> Census {
-    run_census(&corpus(), &CorpusOptions::default())
+    full_census_threaded(1)
+}
+
+/// Runs the census over the full corpus on `threads` pipeline workers. The
+/// result is byte-identical for every thread count (enforced by the root
+/// determinism suites); only the wall-clock changes.
+pub fn full_census_threaded(threads: usize) -> Census {
+    CensusPipeline::builder()
+        .threads(threads)
+        .build()
+        .run(&corpus())
+        .expect("the synthetic corpus renders and installs")
 }
 
 /// Precision/recall of the hybrid analyzer against the corpus ground truth
 /// (the measurement the original study could not make, §6.3).
 pub fn score() -> String {
     let specs = corpus();
-    let opts = CorpusOptions::default();
+    let pipeline = CensusPipeline::builder().build();
     let mut results: Vec<(usize, Vec<ij_core::Finding>)> = Vec::new();
     for (i, app_spec) in specs.iter().enumerate() {
         let built = build_app(app_spec);
-        results.push((i, ij_datasets::analyze_one(&built, &opts).findings));
+        let analysis = pipeline
+            .analyze_one(&built)
+            .expect("the synthetic corpus renders and installs");
+        results.push((i, analysis.findings));
     }
     let report = ij_datasets::score_corpus(results.iter().map(|(i, f)| (&specs[*i], f.as_slice())));
     format!(
@@ -198,7 +211,10 @@ pub fn fig4a(census: &Census) -> String {
 
 /// Figure 4b: impact of (force-)enabling the charts' own NetworkPolicies.
 pub fn fig4b() -> String {
-    let rows = policy_impact(&corpus(), &CorpusOptions::default());
+    let rows = CensusPipeline::builder()
+        .build()
+        .policy_impact(&corpus())
+        .expect("the synthetic corpus renders and installs");
     let mut out = String::new();
     out.push_str("Figure 4b — impact of network policies on endpoint reachability\n");
     out.push_str(&format!(

@@ -1,9 +1,10 @@
 //! The analysis engine: combines static extraction and runtime observation
-//! and evaluates the rules (§4.2.1).
+//! and evaluates the rules (§4.2.1) by iterating the [`RuleRegistry`].
 
-use crate::finding::Finding;
+use crate::finding::{sort_canonical, Finding};
 use crate::model::StaticModel;
-use crate::rules::{self, RuleContext};
+use crate::registry::{RuleRegistry, RuleScope};
+use crate::rules::RuleContext;
 use ij_chart::Chart;
 use ij_cluster::Cluster;
 use ij_model::Object;
@@ -34,6 +35,9 @@ impl Default for AnalyzerOptions {
 pub struct Analyzer {
     /// Enabled rule groups.
     pub options: AnalyzerOptions,
+    /// The rules to evaluate. Defaults to [`RuleRegistry::standard`];
+    /// disable or replace entries for per-rule ablations and custom rules.
+    pub registry: RuleRegistry,
 }
 
 impl Analyzer {
@@ -49,6 +53,7 @@ impl Analyzer {
                 static_rules: true,
                 runtime_rules: false,
             },
+            ..Analyzer::default()
         }
     }
 
@@ -59,7 +64,20 @@ impl Analyzer {
                 static_rules: false,
                 runtime_rules: true,
             },
+            ..Analyzer::default()
         }
+    }
+
+    /// Replaces the rule registry (builder style).
+    pub fn with_registry(mut self, registry: RuleRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Disables one named rule (builder style); unknown names are ignored.
+    pub fn without_rule(mut self, name: &str) -> Self {
+        self.registry.disable(name);
+        self
     }
 
     /// Analyzes one installed application.
@@ -100,31 +118,36 @@ impl Analyzer {
         };
 
         let mut findings = Vec::new();
-        if self.options.runtime_rules && runtime.is_some() {
-            findings.extend(rules::m1_undeclared_open_ports(&ctx));
-            findings.extend(rules::m2_dynamic_ports(&ctx));
-            findings.extend(rules::m3_declared_not_open(&ctx));
+        for entry in self.registry.entries() {
+            if !entry.is_enabled() || entry.is_global() {
+                continue;
+            }
+            let runnable = match entry.scope() {
+                RuleScope::Runtime => self.options.runtime_rules && runtime.is_some(),
+                RuleScope::Static => self.options.static_rules,
+            };
+            if runnable {
+                findings.extend(entry.run_app(&ctx));
+            }
         }
-        if self.options.static_rules {
-            findings.extend(rules::m4a_unit_collisions(&ctx));
-            findings.extend(rules::m4b_service_collisions(&ctx));
-            findings.extend(rules::m4c_subset_collisions(&ctx));
-            findings.extend(rules::m5_service_references(&ctx));
-            findings.extend(rules::m6_missing_policies(&ctx));
-            findings.extend(rules::m7_host_network(&ctx));
-        }
-        findings.sort_by(|a, b| (a.id, &a.object, a.port).cmp(&(b.id, &b.object, b.port)));
+        sort_canonical(&mut findings);
         findings
     }
 
     /// The cluster-wide pass (§4.2.1): after every application has been
     /// analyzed individually, check labels and selectors *across*
-    /// applications for M4\* collisions.
+    /// applications — the registry's global rules (M4\* collisions).
     pub fn analyze_global(&self, apps: &[(String, StaticModel)]) -> Vec<Finding> {
         if !self.options.static_rules {
             return Vec::new();
         }
-        rules::m4_global_collisions(apps)
+        let mut findings = Vec::new();
+        for entry in self.registry.entries() {
+            if entry.is_enabled() && entry.is_global() {
+                findings.extend(entry.run_global(apps));
+            }
+        }
+        findings
     }
 }
 
@@ -352,6 +375,32 @@ spec:
         assert!(!found.contains(&MisconfigId::M5D));
         assert!(!found.contains(&MisconfigId::M6));
         assert!(!found.contains(&MisconfigId::M7));
+    }
+
+    #[test]
+    fn disabling_one_rule_drops_exactly_that_class() {
+        let full = run_analysis(Analyzer::hybrid());
+        let without = run_analysis(Analyzer::hybrid().without_rule("m7"));
+        assert!(full.iter().any(|f| f.id == MisconfigId::M7));
+        let expected: Vec<_> = full
+            .iter()
+            .filter(|f| f.id != MisconfigId::M7)
+            .cloned()
+            .collect();
+        assert_eq!(
+            without, expected,
+            "disabling m7 must drop exactly the M7 findings"
+        );
+    }
+
+    #[test]
+    fn disabling_global_rule_silences_cluster_wide_pass() {
+        let apps = vec![
+            ("a".to_string(), StaticModel::default()),
+            ("b".to_string(), StaticModel::default()),
+        ];
+        let analyzer = Analyzer::hybrid().without_rule("m4star");
+        assert!(analyzer.analyze_global(&apps).is_empty());
     }
 
     #[test]

@@ -258,6 +258,14 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Sorts findings into the canonical report order: by class (Table 1
+/// order), then object, then port. Every rendered report — per-app
+/// findings, census rows, disclosure output — uses this order, so both the
+/// per-app pass and the cluster-wide M4\* attribution re-sort through it.
+pub fn sort_canonical(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| (a.id, &a.object, a.port).cmp(&(b.id, &b.object, b.port)));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

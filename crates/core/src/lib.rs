@@ -60,17 +60,36 @@
 //! assert_eq!(findings.len(), 1);
 //! assert_eq!(findings[0].id, ij_core::MisconfigId::M6);
 //! ```
+//!
+//! ## The rule registry
+//!
+//! The analyzer evaluates its rules by iterating a [`RuleRegistry`] rather
+//! than a hardcoded call list: every rule of Table 1 is a named entry
+//! ([`RuleRegistry::standard`] registers `m1`–`m7` plus the cluster-wide
+//! `m4star`), individually enable/disable-able for per-rule ablations, and
+//! custom rules can be registered next to the built-in ones:
+//!
+//! ```
+//! use ij_core::Analyzer;
+//!
+//! // Per-rule ablation: everything except hostNetwork checks.
+//! let quiet = Analyzer::hybrid().without_rule("m7");
+//! assert!(!quiet.registry.is_enabled("m7"));
+//! assert!(quiet.registry.is_enabled("m1"));
+//! ```
 
 mod disclosure;
 mod engine;
 mod finding;
 mod model;
+mod registry;
 mod report;
 mod rules;
 
 pub use disclosure::{disclosure_report, questionnaire, THREAT_MODEL};
 pub use engine::{chart_defines_network_policies, Analyzer, AnalyzerOptions};
-pub use finding::{Finding, MisconfigId, Severity};
+pub use finding::{sort_canonical, Finding, MisconfigId, Severity};
 pub use model::{ComputeUnit, StaticModel};
+pub use registry::{AppRule, GlobalRule, RuleEntry, RuleRegistry, RuleScope};
 pub use report::{AppReport, Census, ConcentrationStats, DatasetRow};
 pub use rules::RuleContext;

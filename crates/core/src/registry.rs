@@ -1,0 +1,336 @@
+//! The rule registry: every detection rule of §4.2.1 as a named,
+//! individually enable/disable-able entry.
+//!
+//! The [`crate::Analyzer`] used to call each rule function in a hardcoded
+//! list; it now iterates a [`RuleRegistry`] instead. That makes per-rule
+//! ablations a one-liner (`analyzer.registry.disable("m7")`) and lets
+//! downstream users register custom rules next to the built-in ones without
+//! touching the engine.
+//!
+//! Two rule shapes exist, mirroring the paper's two analysis passes:
+//!
+//! * **application rules** run once per application over a [`RuleContext`]
+//!   (static model + optional runtime report);
+//! * **global rules** run once per census over the static models of every
+//!   application destined for the same cluster (the M4\* pass).
+
+use crate::finding::{Finding, MisconfigId};
+use crate::model::StaticModel;
+use crate::rules::{self, RuleContext};
+use std::fmt;
+
+/// Which evidence a rule consumes — the Table 3 ablation axis. Rules with
+/// [`RuleScope::Runtime`] are skipped in static-only mode (and when no
+/// runtime report is available); rules with [`RuleScope::Static`] are
+/// skipped in runtime-only mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleScope {
+    /// Evaluates the rendered configuration only.
+    Static,
+    /// Needs the probe's runtime observations.
+    Runtime,
+}
+
+/// An application-scoped rule: evaluated once per application.
+pub type AppRule = for<'a> fn(&RuleContext<'a>) -> Vec<Finding>;
+
+/// A census-scoped rule: evaluated once over every application's statics.
+pub type GlobalRule = fn(&[(String, StaticModel)]) -> Vec<Finding>;
+
+#[derive(Clone, Copy)]
+enum RuleBody {
+    App(AppRule),
+    Global(GlobalRule),
+}
+
+/// One registered rule.
+#[derive(Clone)]
+pub struct RuleEntry {
+    name: &'static str,
+    classes: &'static [MisconfigId],
+    scope: RuleScope,
+    body: RuleBody,
+    enabled: bool,
+}
+
+impl RuleEntry {
+    /// The registry key used by [`RuleRegistry::enable`] / [`disable`].
+    ///
+    /// [`disable`]: RuleRegistry::disable
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The misconfiguration classes this rule can emit.
+    pub fn classes(&self) -> &'static [MisconfigId] {
+        self.classes
+    }
+
+    /// Whether the rule consumes static or runtime evidence.
+    pub fn scope(&self) -> RuleScope {
+        self.scope
+    }
+
+    /// False when the rule has been switched off.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// True for census-scoped (cluster-wide) rules.
+    pub fn is_global(&self) -> bool {
+        matches!(self.body, RuleBody::Global(_))
+    }
+
+    /// Runs an application-scoped rule; global rules yield nothing here.
+    pub fn run_app(&self, ctx: &RuleContext<'_>) -> Vec<Finding> {
+        match self.body {
+            RuleBody::App(f) => f(ctx),
+            RuleBody::Global(_) => Vec::new(),
+        }
+    }
+
+    /// Runs a census-scoped rule; application rules yield nothing here.
+    pub fn run_global(&self, apps: &[(String, StaticModel)]) -> Vec<Finding> {
+        match self.body {
+            RuleBody::App(_) => Vec::new(),
+            RuleBody::Global(f) => f(apps),
+        }
+    }
+}
+
+impl fmt::Debug for RuleEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuleEntry")
+            .field("name", &self.name)
+            .field("classes", &self.classes)
+            .field("scope", &self.scope)
+            .field("global", &self.is_global())
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+/// The ordered table of rules an [`crate::Analyzer`] evaluates.
+///
+/// Entry order is the evaluation order; findings are canonically re-sorted
+/// afterwards, so order only matters for reproducible side-effect-free
+/// iteration. Names are unique: registering a name twice replaces the
+/// earlier entry in place (same position, new body), so a custom rule can
+/// shadow a built-in one.
+#[derive(Debug, Clone)]
+pub struct RuleRegistry {
+    entries: Vec<RuleEntry>,
+}
+
+impl Default for RuleRegistry {
+    fn default() -> Self {
+        RuleRegistry::standard()
+    }
+}
+
+impl RuleRegistry {
+    /// A registry with no rules; combine with the `register_*` methods to
+    /// build a custom rule set from scratch.
+    pub fn empty() -> Self {
+        RuleRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The paper's full rule set (Table 1), every entry enabled.
+    pub fn standard() -> Self {
+        use MisconfigId as M;
+        let mut reg = RuleRegistry::empty();
+        reg.register_app_rule(
+            "m1",
+            &[M::M1],
+            RuleScope::Runtime,
+            rules::m1_undeclared_open_ports,
+        );
+        reg.register_app_rule("m2", &[M::M2], RuleScope::Runtime, rules::m2_dynamic_ports);
+        reg.register_app_rule(
+            "m3",
+            &[M::M3],
+            RuleScope::Runtime,
+            rules::m3_declared_not_open,
+        );
+        reg.register_app_rule(
+            "m4a",
+            &[M::M4A],
+            RuleScope::Static,
+            rules::m4a_unit_collisions,
+        );
+        reg.register_app_rule(
+            "m4b",
+            &[M::M4B],
+            RuleScope::Static,
+            rules::m4b_service_collisions,
+        );
+        reg.register_app_rule(
+            "m4c",
+            &[M::M4C],
+            RuleScope::Static,
+            rules::m4c_subset_collisions,
+        );
+        reg.register_app_rule(
+            "m5",
+            &[M::M5A, M::M5B, M::M5C, M::M5D],
+            RuleScope::Static,
+            rules::m5_service_references,
+        );
+        reg.register_app_rule(
+            "m6",
+            &[M::M6],
+            RuleScope::Static,
+            rules::m6_missing_policies,
+        );
+        reg.register_app_rule("m7", &[M::M7], RuleScope::Static, rules::m7_host_network);
+        reg.register_global_rule("m4star", &[M::M4Star], rules::m4_global_collisions);
+        reg
+    }
+
+    /// Registers (or replaces) an application-scoped rule.
+    pub fn register_app_rule(
+        &mut self,
+        name: &'static str,
+        classes: &'static [MisconfigId],
+        scope: RuleScope,
+        rule: AppRule,
+    ) -> &mut Self {
+        self.insert(RuleEntry {
+            name,
+            classes,
+            scope,
+            body: RuleBody::App(rule),
+            enabled: true,
+        })
+    }
+
+    /// Registers (or replaces) a census-scoped rule. Global rules always
+    /// consume static evidence only, so their scope is [`RuleScope::Static`].
+    pub fn register_global_rule(
+        &mut self,
+        name: &'static str,
+        classes: &'static [MisconfigId],
+        rule: GlobalRule,
+    ) -> &mut Self {
+        self.insert(RuleEntry {
+            name,
+            classes,
+            scope: RuleScope::Static,
+            body: RuleBody::Global(rule),
+            enabled: true,
+        })
+    }
+
+    fn insert(&mut self, entry: RuleEntry) -> &mut Self {
+        match self.entries.iter_mut().find(|e| e.name == entry.name) {
+            Some(existing) => *existing = entry,
+            None => self.entries.push(entry),
+        }
+        self
+    }
+
+    /// Every entry, in evaluation order.
+    pub fn entries(&self) -> &[RuleEntry] {
+        &self.entries
+    }
+
+    /// The registered names, in evaluation order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|e| e.name)
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&RuleEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// True when `name` is registered and enabled.
+    pub fn is_enabled(&self, name: &str) -> bool {
+        self.get(name).is_some_and(RuleEntry::is_enabled)
+    }
+
+    /// Switches one rule on or off. Returns `false` when no rule of that
+    /// name is registered (the registry is unchanged).
+    pub fn set_enabled(&mut self, name: &str, enabled: bool) -> bool {
+        match self.entries.iter_mut().find(|e| e.name == name) {
+            Some(e) => {
+                e.enabled = enabled;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enables one rule; `false` when the name is unknown.
+    pub fn enable(&mut self, name: &str) -> bool {
+        self.set_enabled(name, true)
+    }
+
+    /// Disables one rule; `false` when the name is unknown.
+    pub fn disable(&mut self, name: &str) -> bool {
+        self.set_enabled(name, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_covers_every_class() {
+        let reg = RuleRegistry::standard();
+        let covered: std::collections::BTreeSet<MisconfigId> = reg
+            .entries()
+            .iter()
+            .flat_map(|e| e.classes().iter().copied())
+            .collect();
+        for id in MisconfigId::ALL {
+            assert!(covered.contains(&id), "no rule emits {id}");
+        }
+    }
+
+    #[test]
+    fn enable_disable_round_trip() {
+        let mut reg = RuleRegistry::standard();
+        assert!(reg.is_enabled("m7"));
+        assert!(reg.disable("m7"));
+        assert!(!reg.is_enabled("m7"));
+        assert!(reg.enable("m7"));
+        assert!(reg.is_enabled("m7"));
+        assert!(!reg.disable("no-such-rule"));
+    }
+
+    #[test]
+    fn registering_same_name_replaces_in_place() {
+        fn nothing(_: &RuleContext<'_>) -> Vec<Finding> {
+            Vec::new()
+        }
+        let mut reg = RuleRegistry::standard();
+        let before: Vec<&str> = reg.names().collect();
+        reg.register_app_rule("m7", &[], RuleScope::Static, nothing);
+        let after: Vec<&str> = reg.names().collect();
+        assert_eq!(before, after, "replacement must not reorder entries");
+        assert!(reg.get("m7").unwrap().classes().is_empty());
+    }
+
+    #[test]
+    fn global_entry_is_marked_global() {
+        let reg = RuleRegistry::standard();
+        let star = reg.get("m4star").expect("registered");
+        assert!(star.is_global());
+        assert!(!reg.get("m1").unwrap().is_global());
+        // Running a global rule as an app rule (and vice versa) is a no-op.
+        assert!(star
+            .run_app(&RuleContext {
+                app: "x",
+                statics: &StaticModel::default(),
+                runtime: None,
+                ownership: &[],
+                chart_defines_policies: false,
+            })
+            .is_empty());
+        assert!(reg.get("m1").unwrap().run_global(&[]).is_empty());
+    }
+}

@@ -19,9 +19,47 @@
 //! The crate also ships the §2.1 proof-of-concept applications (Concourse
 //! and Thanos) and the representative per-class charts used for the Table 3
 //! tool comparison.
+//!
+//! ## The census pipeline
+//!
+//! [`CensusPipeline`] is the front door to the evaluation: a builder
+//! configures the seed, cluster size, probe, analyzer (including per-rule
+//! registry ablations), worker-thread count, and an optional progress
+//! observer; `run` executes baseline → install → double-pass probe → rule
+//! evaluation → cluster-wide pass and returns a typed [`CensusError`]
+//! instead of panicking when a chart fails to render or install. The
+//! parallel path is deterministic: a `threads(n)` census is byte-identical
+//! to the sequential run for every `n`.
+//!
+//! ```
+//! use ij_datasets::{corpus, CensusPipeline, Org};
+//!
+//! let eea: Vec<_> = corpus().into_iter().filter(|a| a.org == Org::Eea).collect();
+//! let census = CensusPipeline::builder()
+//!     .seed(42)
+//!     .threads(2)
+//!     .build()
+//!     .run(&eea)
+//!     .expect("the synthetic corpus renders and installs");
+//! assert_eq!(census.apps.len(), eea.len());
+//! ```
+//!
+//! ### Migration notes
+//!
+//! The original free functions survive as thin sequential wrappers over the
+//! pipeline, now returning `Result<_, CensusError>` instead of panicking:
+//!
+//! * [`analyze_one`] ≡ `CensusPipeline::builder().options(opts).build().analyze_one(built)`
+//! * [`run_census`] ≡ `…build().run(specs)`
+//! * [`policy_impact`] ≡ `…build().policy_impact(specs)`
+//!
+//! Callers that previously relied on the panic can `.expect()` the result;
+//! callers that want parallelism, progress reporting, or rule ablations
+//! should move to the builder.
 
 mod builder;
 mod orgs;
+mod pipeline;
 mod poc;
 mod representative;
 mod runner;
@@ -30,6 +68,9 @@ mod spec;
 
 pub use builder::{build_app, ports, BuiltApp};
 pub use orgs::corpus;
+pub use pipeline::{
+    CensusError, CensusObserver, CensusPipeline, CensusPipelineBuilder, CensusProgress,
+};
 pub use poc::{concourse_behaviors, concourse_chart, thanos_behaviors, thanos_chart};
 pub use representative::representative_charts;
 pub use runner::{

@@ -1,0 +1,745 @@
+//! The unified census pipeline: a builder-configured front door to the
+//! paper's evaluation (baseline → install → double-pass probe → rule
+//! evaluation → cluster-wide pass) with typed errors and deterministic
+//! parallel execution.
+//!
+//! ```
+//! use ij_datasets::{corpus, CensusPipeline, Org};
+//!
+//! let specs: Vec<_> = corpus()
+//!     .into_iter()
+//!     .filter(|a| a.org == Org::Cncf)
+//!     .collect();
+//! let census = CensusPipeline::builder()
+//!     .seed(42)
+//!     .threads(4)
+//!     .build()
+//!     .run(&specs)
+//!     .expect("the synthetic corpus renders and installs");
+//! assert_eq!(census.apps.len(), specs.len());
+//! ```
+//!
+//! Determinism: every application owns its seed (derived from the base
+//! seed and its name) and its own fresh cluster, so per-app analyses are
+//! independent. The worker pool hands indices out through an atomic
+//! counter, streams results back over the vendored crossbeam channel, and
+//! the collector slots them by index — a `threads(4)` census is therefore
+//! byte-identical to the sequential run (enforced by `tests/smoke.rs` and
+//! `tests/determinism.rs`).
+
+use crate::builder::{build_app, BuiltApp};
+use crate::runner::{AppAnalysis, CorpusOptions, PolicyImpact};
+use crate::spec::AppSpec;
+use ij_chart::Release;
+use ij_cluster::{Cluster, ClusterConfig, ConnectOutcome, InstallError};
+use ij_core::{
+    chart_defines_network_policies, sort_canonical, Analyzer, AppReport, Census, StaticModel,
+};
+use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
+use ij_probe::{HostBaseline, ProbeConfig, RuntimeAnalyzer};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A failure on the corpus path, in the order the pipeline stages run.
+/// Replaces the seed's `panic!`/`expect` calls on render and install.
+#[derive(Debug)]
+pub enum CensusError {
+    /// The chart failed to render (template error, bad values, undecodable
+    /// manifest).
+    Render {
+        /// Application whose chart failed.
+        app: String,
+        /// The underlying chart error.
+        source: ij_chart::Error,
+    },
+    /// The cluster rejected the rendered objects at install time (e.g. an
+    /// admission controller denied an object).
+    Install {
+        /// Application whose install failed.
+        app: String,
+        /// The underlying cluster error.
+        source: InstallError,
+    },
+    /// The analysis could not produce a result for the application — a
+    /// panic inside the probe or rule evaluation (e.g. from a custom
+    /// registry rule) caught by the worker pool.
+    Probe {
+        /// Application whose probe failed.
+        app: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl CensusError {
+    /// The application the failure belongs to.
+    pub fn app(&self) -> &str {
+        match self {
+            CensusError::Render { app, .. }
+            | CensusError::Install { app, .. }
+            | CensusError::Probe { app, .. } => app,
+        }
+    }
+}
+
+impl fmt::Display for CensusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CensusError::Render { app, source } => {
+                write!(f, "chart {app} failed to render: {source}")
+            }
+            CensusError::Install { app, source } => {
+                write!(f, "chart {app} failed to install: {source}")
+            }
+            CensusError::Probe { app, message } => {
+                write!(f, "probe failed for {app}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CensusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CensusError::Render { source, .. } => Some(source),
+            CensusError::Install { source, .. } => Some(source),
+            CensusError::Probe { .. } => None,
+        }
+    }
+}
+
+/// One progress tick of a census run, delivered to the observer hook as
+/// each application's analysis completes. Under parallel execution the
+/// *completion order* follows worker scheduling (only the final census is
+/// deterministic), so `completed / total` is the reliable signal here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CensusProgress {
+    /// Application that just finished.
+    pub app: String,
+    /// Analyses completed so far, including this one.
+    pub completed: usize,
+    /// Total applications in the run.
+    pub total: usize,
+}
+
+/// The observer hook: shared so the pipeline stays cheap to clone and the
+/// callback can be invoked from the collector regardless of thread count.
+pub type CensusObserver = Arc<dyn Fn(&CensusProgress) + Send + Sync>;
+
+/// Builder for [`CensusPipeline`]. Obtained via [`CensusPipeline::builder`];
+/// every knob has the same default as [`CorpusOptions::default`], one
+/// worker thread, and no observer.
+#[derive(Clone, Default)]
+pub struct CensusPipelineBuilder {
+    opts: CorpusOptions,
+    threads: usize,
+    observer: Option<CensusObserver>,
+}
+
+impl CensusPipelineBuilder {
+    /// Replaces the whole option block at once (the migration path from
+    /// code that already owns a [`CorpusOptions`]).
+    pub fn options(mut self, opts: CorpusOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Base seed; each application derives its own from this and its name.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Worker nodes per ephemeral cluster.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.opts.nodes = nodes;
+        self
+    }
+
+    /// Probe configuration (noise injection, filters, double run).
+    pub fn probe(mut self, probe: ProbeConfig) -> Self {
+        self.opts.probe = probe;
+        self
+    }
+
+    /// Analyzer configuration (hybrid / static-only / runtime-only, rule
+    /// registry).
+    pub fn analyzer(mut self, analyzer: Analyzer) -> Self {
+        self.opts.analyzer = analyzer;
+        self
+    }
+
+    /// Number of analysis workers. `0` and `1` both mean sequential; the
+    /// census is byte-identical for every value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Installs a progress observer, called once per completed application.
+    pub fn observer(mut self, observer: impl Fn(&CensusProgress) + Send + Sync + 'static) -> Self {
+        self.observer = Some(Arc::new(observer));
+        self
+    }
+
+    /// Finalizes the pipeline.
+    pub fn build(self) -> CensusPipeline {
+        CensusPipeline {
+            opts: self.opts,
+            // Stored raw; normalization to ≥ 1 lives in
+            // `CensusPipeline::threads` so `Default` (threads: 0) follows
+            // the same rule as `threads(0)`.
+            threads: self.threads,
+            observer: self.observer,
+        }
+    }
+}
+
+/// The configured evaluation pipeline: baseline → install → double-pass
+/// probe → rule evaluation → cluster-wide pass, with typed errors and a
+/// deterministic parallel path. Construct via [`CensusPipeline::builder`].
+#[derive(Clone, Default)]
+pub struct CensusPipeline {
+    opts: CorpusOptions,
+    threads: usize,
+    observer: Option<CensusObserver>,
+}
+
+impl fmt::Debug for CensusPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CensusPipeline")
+            .field("opts", &self.opts)
+            .field("threads", &self.threads())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl CensusPipeline {
+    /// Starts configuring a pipeline.
+    pub fn builder() -> CensusPipelineBuilder {
+        CensusPipelineBuilder::default()
+    }
+
+    /// The options the pipeline runs with.
+    pub fn options(&self) -> &CorpusOptions {
+        &self.opts
+    }
+
+    /// The number of analysis workers (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// Installs one built application into a fresh cluster and analyzes it,
+    /// following §4.2: baseline → install → double-pass runtime analysis →
+    /// rule evaluation.
+    pub fn analyze_one(&self, built: &BuiltApp) -> Result<AppAnalysis, CensusError> {
+        let opts = &self.opts;
+        let app = &built.spec.name;
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: opts.nodes,
+            seed: opts.app_seed(app),
+            behaviors: built.registry(),
+        });
+        let baseline = HostBaseline::capture(&cluster);
+        let rendered = built
+            .chart
+            .render(&Release::new(app, "default"))
+            .map_err(|source| CensusError::Render {
+                app: app.clone(),
+                source,
+            })?;
+        cluster
+            .install(&rendered)
+            .map_err(|source| CensusError::Install {
+                app: app.clone(),
+                source,
+            })?;
+        let mut probe_cfg = opts.probe.clone();
+        probe_cfg.seed = opts.app_seed(app).rotate_left(17);
+        let runtime = RuntimeAnalyzer::new(probe_cfg).analyze(&mut cluster, &baseline);
+        let findings = opts.analyzer.analyze_app(
+            app,
+            &rendered.objects,
+            &cluster,
+            Some(&runtime),
+            chart_defines_network_policies(&built.chart),
+        );
+        Ok(AppAnalysis {
+            app: app.clone(),
+            findings,
+            statics: StaticModel::from_objects(&rendered.objects),
+        })
+    }
+
+    /// Runs the full evaluation over a set of specifications: every
+    /// application in its own cluster (in parallel when
+    /// [`threads`](CensusPipelineBuilder::threads) > 1), then the
+    /// cluster-wide M4\* pass, producing the census behind Table 2 and
+    /// Figures 3–4.
+    pub fn run(&self, specs: &[AppSpec]) -> Result<Census, CensusError> {
+        let analyses = self.analyze_specs(specs)?;
+        let mut reports = Vec::with_capacity(specs.len());
+        let mut statics = Vec::with_capacity(specs.len());
+        for (spec, analysis) in specs.iter().zip(analyses) {
+            statics.push((spec.name.clone(), analysis.statics));
+            reports.push(AppReport {
+                app: spec.name.clone(),
+                dataset: spec.org.as_str().to_string(),
+                version: spec.version.clone(),
+                findings: analysis.findings,
+            });
+        }
+        for finding in self.opts.analyzer.analyze_global(&statics) {
+            if let Some(report) = reports.iter_mut().find(|r| r.app == finding.app) {
+                report.findings.push(finding);
+            }
+        }
+        // The cluster-wide findings were appended after the per-app sort;
+        // restore the canonical order so every report renders identically
+        // however its findings were produced.
+        for report in &mut reports {
+            sort_canonical(&mut report.findings);
+        }
+        Ok(Census { apps: reports })
+    }
+
+    /// Analyzes every spec, returning the analyses in spec order. The
+    /// parallel path is index-slotted so the output (and the first error,
+    /// if any) never depends on worker scheduling.
+    fn analyze_specs(&self, specs: &[AppSpec]) -> Result<Vec<AppAnalysis>, CensusError> {
+        let workers = self.threads().min(specs.len().max(1));
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(specs.len());
+            for (i, spec) in specs.iter().enumerate() {
+                out.push(self.analyze_one(&build_app(spec))?);
+                self.notify(&spec.name, i + 1, specs.len());
+            }
+            return Ok(out);
+        }
+
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let mut slots: Vec<Option<Result<AppAnalysis, CensusError>>> = Vec::new();
+        slots.resize_with(specs.len(), || None);
+        std::thread::scope(|scope| {
+            let next = &next;
+            let failed = &failed;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    // Match the sequential path's stop-at-first-failure
+                    // behaviour: once any analysis errors, stop handing out
+                    // new work (in-flight analyses still complete, keeping
+                    // every slot below the error index filled).
+                    if failed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let result = self.analyze_app_catching(&specs[i]);
+                    if result.is_err() {
+                        failed.store(true, Ordering::SeqCst);
+                    }
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut completed = 0usize;
+            for (i, result) in rx {
+                completed += 1;
+                self.notify(&specs[i].name, completed, specs.len());
+                slots[i] = Some(result);
+            }
+        });
+
+        // Indices are handed out in order and in-flight work drains before
+        // the scope ends, so every slot below the first error is filled;
+        // scanning in spec order therefore yields a deterministic first
+        // error. `None` slots only exist past an error (skipped work).
+        let mut out = Vec::with_capacity(specs.len());
+        for (slot, spec) in slots.into_iter().zip(specs) {
+            match slot {
+                Some(result) => out.push(result?),
+                None => {
+                    return Err(CensusError::Probe {
+                        app: spec.name.clone(),
+                        message: "analysis worker terminated before producing a result".into(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds and analyzes one spec, converting a panic inside the analysis
+    /// (e.g. from a custom registry rule) into [`CensusError::Probe`] so a
+    /// worker thread never unwinds through `std::thread::scope` and the
+    /// pipeline's no-panic contract holds on every path.
+    fn analyze_app_catching(&self, spec: &AppSpec) -> Result<AppAnalysis, CensusError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.analyze_one(&build_app(spec))
+        }))
+        .unwrap_or_else(|payload| {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "analysis panicked".to_string());
+            Err(CensusError::Probe {
+                app: spec.name.clone(),
+                message: format!("analysis panicked: {message}"),
+            })
+        })
+    }
+
+    fn notify(&self, app: &str, completed: usize, total: usize) {
+        if let Some(observer) = &self.observer {
+            observer(&CensusProgress {
+                app: app.to_string(),
+                completed,
+                total,
+            });
+        }
+    }
+
+    /// The §4.3.2 policy-impact study (Figure 4b): force-enables each
+    /// policy-defining chart's policies and measures which misconfigured
+    /// endpoints remain reachable from an unrelated attacker pod.
+    pub fn policy_impact(&self, specs: &[AppSpec]) -> Result<Vec<PolicyImpact>, CensusError> {
+        let opts = &self.opts;
+        let mut rows: Vec<PolicyImpact> = Vec::new();
+        for app_spec in specs {
+            if !app_spec.plan.netpol.defines_policy() {
+                continue;
+            }
+            let row_idx = match rows.iter().position(|r| r.dataset == app_spec.org.as_str()) {
+                Some(i) => i,
+                None => {
+                    rows.push(PolicyImpact {
+                        dataset: app_spec.org.as_str().to_string(),
+                        ..Default::default()
+                    });
+                    rows.len() - 1
+                }
+            };
+            let row = &mut rows[row_idx];
+            row.enabled += 1;
+
+            let built = build_app(app_spec);
+            let mut cluster = Cluster::new(ClusterConfig {
+                nodes: opts.nodes,
+                seed: opts.app_seed(&app_spec.name),
+                behaviors: built.registry(),
+            });
+            let release = Release::new(&app_spec.name, "default")
+                .with_values_yaml("networkPolicy:\n  enabled: true\n")
+                .map_err(|source| CensusError::Render {
+                    app: app_spec.name.clone(),
+                    source,
+                })?;
+            let rendered = built
+                .chart
+                .render(&release)
+                .map_err(|source| CensusError::Render {
+                    app: app_spec.name.clone(),
+                    source,
+                })?;
+            cluster
+                .install(&rendered)
+                .map_err(|source| CensusError::Install {
+                    app: app_spec.name.clone(),
+                    source,
+                })?;
+            // Vantage point: an unrelated attacker pod in the same cluster.
+            cluster
+                .apply(Object::Pod(Pod::new(
+                    ObjectMeta::named("ij-attacker"),
+                    PodSpec {
+                        containers: vec![Container::new("sh", "attacker/recon")],
+                        ..Default::default()
+                    },
+                )))
+                .map_err(|source| CensusError::Install {
+                    app: app_spec.name.clone(),
+                    source,
+                })?;
+            cluster.reconcile();
+
+            let statics = StaticModel::from_objects(&rendered.objects);
+            let declares = |owner: &Option<String>, pod_name: &str, port: u16, proto| {
+                let unit_name = owner.clone().unwrap_or_else(|| pod_name.to_string());
+                statics
+                    .unit(&unit_name)
+                    .map(|u| u.declares(port, proto))
+                    .unwrap_or(true)
+            };
+
+            let mut pods_hit = 0usize;
+            let mut dynamic_hit = 0usize;
+            for rp in cluster.pods() {
+                let name = rp.qualified_name();
+                if name.ends_with("/ij-attacker") {
+                    continue;
+                }
+                let mut hit = false;
+                let mut dynamic = false;
+                for socket in &rp.sockets {
+                    if socket.loopback_only {
+                        continue;
+                    }
+                    let misconfigured = socket.ephemeral
+                        || !declares(&rp.owner, &name, socket.port, socket.protocol);
+                    if !misconfigured {
+                        continue;
+                    }
+                    if cluster.connect("default/ij-attacker", &name, socket.port, socket.protocol)
+                        == Some(ConnectOutcome::Connected)
+                    {
+                        hit = true;
+                        dynamic |= socket.ephemeral;
+                    }
+                }
+                if hit {
+                    pods_hit += 1;
+                    row.reachable_pods += 1;
+                    if dynamic {
+                        dynamic_hit += 1;
+                        row.reachable_dynamic_pods += 1;
+                    }
+                }
+            }
+
+            // Services that still forward to an undeclared target port.
+            let mut services_hit = 0usize;
+            for ep in cluster.endpoints() {
+                let svc_ns = ep.meta.namespace.clone();
+                let svc_name = ep.meta.name.clone();
+                let mut svc_hit = false;
+                for addr in &ep.addresses {
+                    let Some(dst) = cluster.pod(&addr.pod) else {
+                        continue;
+                    };
+                    if declares(&dst.owner, &addr.pod, addr.port, addr.protocol) {
+                        continue;
+                    }
+                    if !dst.listens_on(addr.port, addr.protocol) {
+                        continue;
+                    }
+                    let svc = cluster
+                        .services()
+                        .find(|s| s.meta.namespace == svc_ns && s.meta.name == svc_name);
+                    if let Some(svc) = svc {
+                        for sp in &svc.spec.ports {
+                            if sp.name == addr.port_name
+                                && !cluster
+                                    .send_to_service(
+                                        "default/ij-attacker",
+                                        &svc_ns,
+                                        &svc_name,
+                                        sp.port,
+                                    )
+                                    .is_empty()
+                            {
+                                svc_hit = true;
+                            }
+                        }
+                    }
+                }
+                if svc_hit {
+                    services_hit += 1;
+                    row.reachable_services += 1;
+                }
+            }
+
+            if pods_hit > 0 || dynamic_hit > 0 || services_hit > 0 {
+                row.affected += 1;
+            }
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{NetpolSpec, Org, Plan};
+    use std::sync::Mutex;
+
+    fn specs() -> Vec<AppSpec> {
+        vec![
+            AppSpec::new(
+                "pipe-alpha",
+                Org::Cncf,
+                "1.0.0",
+                Plan {
+                    m1: 2,
+                    m2: 1,
+                    m4a: 1,
+                    m4star_tokens: vec!["pipe-shared"],
+                    netpol: NetpolSpec::Missing,
+                    ..Default::default()
+                },
+            ),
+            AppSpec::new(
+                "pipe-beta",
+                Org::Cncf,
+                "1.0.0",
+                Plan {
+                    m5b: 1,
+                    m5d: 1,
+                    m4star_tokens: vec!["pipe-shared"],
+                    netpol: NetpolSpec::Enabled { loose: false },
+                    ..Default::default()
+                },
+            ),
+            AppSpec::new("pipe-gamma", Org::Wikimedia, "1.0.0", Plan::clean()),
+            AppSpec::new(
+                "pipe-delta",
+                Org::Eea,
+                "1.0.0",
+                Plan {
+                    m3: 1,
+                    m7: 1,
+                    ..Default::default()
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn parallel_census_is_byte_identical_to_sequential() {
+        let sequential = CensusPipeline::builder()
+            .seed(11)
+            .build()
+            .run(&specs())
+            .expect("sequential run");
+        for threads in [2, 4, 16] {
+            let parallel = CensusPipeline::builder()
+                .seed(11)
+                .threads(threads)
+                .build()
+                .run(&specs())
+                .expect("parallel run");
+            assert_eq!(
+                format!("{sequential:#?}"),
+                format!("{parallel:#?}"),
+                "threads({threads}) diverged from the sequential census"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_sequential() {
+        let pipeline = CensusPipeline::builder().threads(0).build();
+        assert_eq!(pipeline.threads(), 1);
+        pipeline.run(&specs()).expect("runs sequentially");
+    }
+
+    #[test]
+    fn observer_sees_every_app_exactly_once() {
+        let seen: Arc<Mutex<Vec<CensusProgress>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        CensusPipeline::builder()
+            .threads(3)
+            .observer(move |p: &CensusProgress| sink.lock().unwrap().push(p.clone()))
+            .build()
+            .run(&specs())
+            .expect("observed run");
+        let ticks = seen.lock().unwrap();
+        assert_eq!(ticks.len(), specs().len());
+        // Completion counters are contiguous even though app order is
+        // scheduling-dependent under parallel execution.
+        let mut counters: Vec<usize> = ticks.iter().map(|p| p.completed).collect();
+        counters.sort_unstable();
+        assert_eq!(counters, (1..=specs().len()).collect::<Vec<_>>());
+        let mut apps: Vec<&str> = ticks.iter().map(|p| p.app.as_str()).collect();
+        apps.sort_unstable();
+        assert_eq!(
+            apps,
+            ["pipe-alpha", "pipe-beta", "pipe-delta", "pipe-gamma"]
+        );
+        assert!(ticks.iter().all(|p| p.total == specs().len()));
+    }
+
+    #[test]
+    fn builder_knobs_land_in_options() {
+        let pipeline = CensusPipeline::builder()
+            .seed(99)
+            .nodes(5)
+            .threads(8)
+            .analyzer(Analyzer::static_only())
+            .build();
+        assert_eq!(pipeline.options().seed, 99);
+        assert_eq!(pipeline.options().nodes, 5);
+        assert_eq!(pipeline.threads(), 8);
+        assert!(!pipeline.options().analyzer.options.runtime_rules);
+        let debug = format!("{pipeline:?}");
+        assert!(debug.contains("threads: 8"), "{debug}");
+    }
+
+    #[test]
+    fn panicking_rule_surfaces_as_probe_error_not_a_panic() {
+        fn exploding_rule(_: &ij_core::RuleContext<'_>) -> Vec<ij_core::Finding> {
+            panic!("rule exploded")
+        }
+        let mut analyzer = Analyzer::hybrid();
+        analyzer.registry.register_app_rule(
+            "exploding",
+            &[],
+            ij_core::RuleScope::Static,
+            exploding_rule,
+        );
+        // Silence the default panic hook for the duration: the panic is
+        // expected and caught, the backtrace would only be noise.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = CensusPipeline::builder()
+            .analyzer(analyzer)
+            .threads(2)
+            .build()
+            .run(&specs());
+        std::panic::set_hook(hook);
+        let err = result.expect_err("the exploding rule must fail the census");
+        match &err {
+            CensusError::Probe { message, .. } => {
+                assert!(message.contains("rule exploded"), "{message}")
+            }
+            other => panic!("expected CensusError::Probe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rule_ablation_flows_through_the_pipeline() {
+        let full = CensusPipeline::builder()
+            .build()
+            .run(&specs())
+            .expect("full run");
+        let without_m4star = CensusPipeline::builder()
+            .analyzer(Analyzer::hybrid().without_rule("m4star"))
+            .build()
+            .run(&specs())
+            .expect("ablated run");
+        let count = |census: &Census| {
+            census
+                .apps
+                .iter()
+                .map(|a| a.count_of(ij_core::MisconfigId::M4Star))
+                .sum::<usize>()
+        };
+        assert!(count(&full) > 0);
+        assert_eq!(count(&without_m4star), 0);
+        // Everything else is untouched.
+        assert_eq!(
+            full.total_misconfigurations() - count(&full),
+            without_m4star.total_misconfigurations()
+        );
+    }
+}

@@ -165,7 +165,8 @@ mod tests {
         for rep_case in representative_charts() {
             if rep_case.id == MisconfigId::M4Star {
                 // Needs the cluster-wide pass over both apps.
-                let census = run_census(&rep_case.apps, &CorpusOptions::default());
+                let census = run_census(&rep_case.apps, &CorpusOptions::default())
+                    .expect("representative charts run");
                 assert_eq!(census.total_misconfigurations(), 1);
                 let finding = census
                     .apps
@@ -177,7 +178,8 @@ mod tests {
                 continue;
             }
             let built = build_app(&rep_case.apps[0]);
-            let analysis = analyze_one(&built, &CorpusOptions::default());
+            let analysis =
+                analyze_one(&built, &CorpusOptions::default()).expect("corpus app analyzes");
             assert_eq!(
                 analysis.findings.len(),
                 1,

@@ -1,13 +1,17 @@
 //! The evaluation harness: per-application fresh-cluster analysis (§4.2),
 //! the cluster-wide pass, and the §4.3.2 policy-impact experiment.
+//!
+//! The free functions here ([`analyze_one`], [`run_census`],
+//! [`policy_impact`]) are thin wrappers over [`CensusPipeline`], preserved
+//! for callers of the original API. They run sequentially with no observer;
+//! use the pipeline builder directly for parallel execution, progress
+//! hooks, or rule ablations.
 
-use crate::builder::{build_app, BuiltApp};
+use crate::builder::BuiltApp;
+use crate::pipeline::{CensusError, CensusPipeline};
 use crate::spec::AppSpec;
-use ij_chart::Release;
-use ij_cluster::{Cluster, ClusterConfig, ConnectOutcome};
-use ij_core::{chart_defines_network_policies, Analyzer, AppReport, Census, Finding, StaticModel};
-use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
-use ij_probe::{HostBaseline, ProbeConfig, RuntimeAnalyzer};
+use ij_core::{Analyzer, Census, Finding, StaticModel};
+use ij_probe::ProbeConfig;
 
 /// Options for a corpus run.
 #[derive(Debug, Clone)]
@@ -34,7 +38,7 @@ impl Default for CorpusOptions {
 }
 
 impl CorpusOptions {
-    fn app_seed(&self, name: &str) -> u64 {
+    pub(crate) fn app_seed(&self, name: &str) -> u64 {
         // FNV-1a over the name, mixed with the base seed.
         let mut h: u64 = 0xcbf29ce484222325;
         for b in name.bytes() {
@@ -42,6 +46,10 @@ impl CorpusOptions {
             h = h.wrapping_mul(0x100000001b3);
         }
         h ^ self.seed
+    }
+
+    fn pipeline(&self) -> CensusPipeline {
+        CensusPipeline::builder().options(self.clone()).build()
     }
 }
 
@@ -59,60 +67,20 @@ pub struct AppAnalysis {
 /// Installs one built application into a fresh cluster and analyzes it,
 /// following the paper's methodology: baseline → install → double-pass
 /// runtime analysis → rule evaluation.
-pub fn analyze_one(built: &BuiltApp, opts: &CorpusOptions) -> AppAnalysis {
-    let mut cluster = Cluster::new(ClusterConfig {
-        nodes: opts.nodes,
-        seed: opts.app_seed(&built.spec.name),
-        behaviors: built.registry(),
-    });
-    let baseline = HostBaseline::capture(&cluster);
-    let rendered = built
-        .chart
-        .render(&Release::new(&built.spec.name, "default"))
-        .unwrap_or_else(|e| panic!("chart {} failed to render: {e}", built.spec.name));
-    cluster
-        .install(&rendered)
-        .unwrap_or_else(|e| panic!("chart {} failed to install: {e}", built.spec.name));
-    let mut probe_cfg = opts.probe.clone();
-    probe_cfg.seed = opts.app_seed(&built.spec.name).rotate_left(17);
-    let runtime = RuntimeAnalyzer::new(probe_cfg).analyze(&mut cluster, &baseline);
-    let findings = opts.analyzer.analyze_app(
-        &built.spec.name,
-        &rendered.objects,
-        &cluster,
-        Some(&runtime),
-        chart_defines_network_policies(&built.chart),
-    );
-    AppAnalysis {
-        app: built.spec.name.clone(),
-        findings,
-        statics: StaticModel::from_objects(&rendered.objects),
-    }
+///
+/// Thin wrapper over [`CensusPipeline::analyze_one`].
+pub fn analyze_one(built: &BuiltApp, opts: &CorpusOptions) -> Result<AppAnalysis, CensusError> {
+    opts.pipeline().analyze_one(built)
 }
 
 /// Runs the full evaluation over a set of specifications: every application
 /// in its own cluster, then the cluster-wide M4\* pass, producing the census
 /// behind Table 2 and Figures 3–4.
-pub fn run_census(specs: &[AppSpec], opts: &CorpusOptions) -> Census {
-    let mut reports = Vec::with_capacity(specs.len());
-    let mut statics = Vec::with_capacity(specs.len());
-    for app_spec in specs {
-        let built = build_app(app_spec);
-        let analysis = analyze_one(&built, opts);
-        statics.push((app_spec.name.clone(), analysis.statics));
-        reports.push(AppReport {
-            app: app_spec.name.clone(),
-            dataset: app_spec.org.as_str().to_string(),
-            version: app_spec.version.clone(),
-            findings: analysis.findings,
-        });
-    }
-    for finding in opts.analyzer.analyze_global(&statics) {
-        if let Some(report) = reports.iter_mut().find(|r| r.app == finding.app) {
-            report.findings.push(finding);
-        }
-    }
-    Census { apps: reports }
+///
+/// Thin wrapper over [`CensusPipeline::run`] (sequential; use
+/// `CensusPipeline::builder().threads(n)` to parallelize).
+pub fn run_census(specs: &[AppSpec], opts: &CorpusOptions) -> Result<Census, CensusError> {
+    opts.pipeline().run(specs)
 }
 
 /// One dataset row of the §4.3.2 policy-impact study (Figure 4b).
@@ -134,145 +102,28 @@ pub struct PolicyImpact {
 
 /// Force-enables each policy-defining chart's policies and measures which
 /// misconfigured endpoints remain reachable from an unrelated attacker pod.
-pub fn policy_impact(specs: &[AppSpec], opts: &CorpusOptions) -> Vec<PolicyImpact> {
-    let mut rows: Vec<PolicyImpact> = Vec::new();
-    for app_spec in specs {
-        if !app_spec.plan.netpol.defines_policy() {
-            continue;
-        }
-        let row = match rows.iter_mut().find(|r| r.dataset == app_spec.org.as_str()) {
-            Some(r) => r,
-            None => {
-                rows.push(PolicyImpact {
-                    dataset: app_spec.org.as_str().to_string(),
-                    ..Default::default()
-                });
-                rows.last_mut().expect("just pushed")
-            }
-        };
-        row.enabled += 1;
-
-        let built = build_app(app_spec);
-        let mut cluster = Cluster::new(ClusterConfig {
-            nodes: opts.nodes,
-            seed: opts.app_seed(&app_spec.name),
-            behaviors: built.registry(),
-        });
-        let release = Release::new(&app_spec.name, "default")
-            .with_values_yaml("networkPolicy:\n  enabled: true\n")
-            .expect("static override");
-        let rendered = built.chart.render(&release).expect("corpus charts render");
-        cluster.install(&rendered).expect("no admission configured");
-        // Vantage point: an unrelated attacker pod in the same cluster.
-        cluster
-            .apply(Object::Pod(Pod::new(
-                ObjectMeta::named("ij-attacker"),
-                PodSpec {
-                    containers: vec![Container::new("sh", "attacker/recon")],
-                    ..Default::default()
-                },
-            )))
-            .expect("no admission configured");
-        cluster.reconcile();
-
-        let statics = StaticModel::from_objects(&rendered.objects);
-        let declares = |owner: &Option<String>, pod_name: &str, port: u16, proto| {
-            let unit_name = owner.clone().unwrap_or_else(|| pod_name.to_string());
-            statics
-                .unit(&unit_name)
-                .map(|u| u.declares(port, proto))
-                .unwrap_or(true)
-        };
-
-        let mut pods_hit = 0usize;
-        let mut dynamic_hit = 0usize;
-        for rp in cluster.pods() {
-            let name = rp.qualified_name();
-            if name.ends_with("/ij-attacker") {
-                continue;
-            }
-            let mut hit = false;
-            let mut dynamic = false;
-            for socket in &rp.sockets {
-                if socket.loopback_only {
-                    continue;
-                }
-                let misconfigured =
-                    socket.ephemeral || !declares(&rp.owner, &name, socket.port, socket.protocol);
-                if !misconfigured {
-                    continue;
-                }
-                if cluster.connect("default/ij-attacker", &name, socket.port, socket.protocol)
-                    == Some(ConnectOutcome::Connected)
-                {
-                    hit = true;
-                    dynamic |= socket.ephemeral;
-                }
-            }
-            if hit {
-                pods_hit += 1;
-                row.reachable_pods += 1;
-                if dynamic {
-                    dynamic_hit += 1;
-                    row.reachable_dynamic_pods += 1;
-                }
-            }
-        }
-
-        // Services that still forward to an undeclared target port.
-        let mut services_hit = 0usize;
-        for ep in cluster.endpoints() {
-            let svc_ns = ep.meta.namespace.clone();
-            let svc_name = ep.meta.name.clone();
-            let mut svc_hit = false;
-            for addr in &ep.addresses {
-                let Some(dst) = cluster.pod(&addr.pod) else {
-                    continue;
-                };
-                if declares(&dst.owner, &addr.pod, addr.port, addr.protocol) {
-                    continue;
-                }
-                if !dst.listens_on(addr.port, addr.protocol) {
-                    continue;
-                }
-                let svc = cluster
-                    .services()
-                    .find(|s| s.meta.namespace == svc_ns && s.meta.name == svc_name);
-                if let Some(svc) = svc {
-                    for sp in &svc.spec.ports {
-                        if sp.name == addr.port_name
-                            && !cluster
-                                .send_to_service("default/ij-attacker", &svc_ns, &svc_name, sp.port)
-                                .is_empty()
-                        {
-                            svc_hit = true;
-                        }
-                    }
-                }
-            }
-            if svc_hit {
-                services_hit += 1;
-                row.reachable_services += 1;
-            }
-        }
-
-        if pods_hit > 0 || dynamic_hit > 0 || services_hit > 0 {
-            row.affected += 1;
-        }
-    }
-    rows
+///
+/// Thin wrapper over [`CensusPipeline::policy_impact`].
+pub fn policy_impact(
+    specs: &[AppSpec],
+    opts: &CorpusOptions,
+) -> Result<Vec<PolicyImpact>, CensusError> {
+    opts.pipeline().policy_impact(specs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::build_app;
     use crate::spec::{NetpolSpec, Org, Plan};
-    use ij_core::MisconfigId;
+    use ij_core::{sort_canonical, MisconfigId};
 
     fn analyze_plan(plan: Plan) -> Vec<Finding> {
         let app_spec = AppSpec::new("probe-app", Org::Cncf, "1.0.0", plan);
         let built = build_app(&app_spec);
-        analyze_one(&built, &CorpusOptions::default()).findings
+        analyze_one(&built, &CorpusOptions::default())
+            .expect("corpus app analyzes")
+            .findings
     }
 
     fn count(findings: &[Finding], id: MisconfigId) -> usize {
@@ -348,7 +199,7 @@ mod tests {
                 },
             ),
         ];
-        let census = run_census(&specs, &CorpusOptions::default());
+        let census = run_census(&specs, &CorpusOptions::default()).expect("corpus slice runs");
         assert_eq!(census.apps.len(), 2);
         // alpha: M1 + M6 + the global M4* (attributed to the first app).
         let alpha = &census.apps[0];
@@ -358,6 +209,52 @@ mod tests {
         // beta: policies enabled, clean except for its role as partner.
         assert_eq!(census.apps[1].total(), 0);
         assert_eq!(census.total_misconfigurations(), 3);
+    }
+
+    #[test]
+    fn census_reports_stay_canonically_ordered_after_global_attribution() {
+        // The M4* findings are attributed after the per-app pass; the
+        // report must still come out in canonical (id, object, port) order,
+        // i.e. with M4* *between* M4C and M5A, not appended at the end.
+        let specs = vec![
+            AppSpec::new(
+                "order-alpha",
+                Org::Cncf,
+                "1.0.0",
+                Plan {
+                    m1: 1,
+                    m5d: 1,
+                    m7: 1,
+                    m4star_tokens: vec!["order-shared"],
+                    netpol: NetpolSpec::Missing,
+                    ..Default::default()
+                },
+            ),
+            AppSpec::new(
+                "order-beta",
+                Org::Cncf,
+                "1.0.0",
+                Plan {
+                    m4star_tokens: vec!["order-shared"],
+                    netpol: NetpolSpec::Enabled { loose: false },
+                    ..Default::default()
+                },
+            ),
+        ];
+        let census = run_census(&specs, &CorpusOptions::default()).expect("corpus slice runs");
+        let alpha = &census.apps[0];
+        let mut canonical = alpha.findings.clone();
+        sort_canonical(&mut canonical);
+        assert_eq!(alpha.findings, canonical, "report order must be canonical");
+        let pos = |id: MisconfigId| {
+            alpha
+                .findings
+                .iter()
+                .position(|f| f.id == id)
+                .unwrap_or_else(|| panic!("{id} missing from {:#?}", alpha.findings))
+        };
+        assert!(pos(MisconfigId::M4Star) < pos(MisconfigId::M5D));
+        assert!(pos(MisconfigId::M5D) < pos(MisconfigId::M7));
     }
 
     #[test]
@@ -385,7 +282,7 @@ mod tests {
                 },
             ),
         ];
-        let rows = policy_impact(&specs, &CorpusOptions::default());
+        let rows = policy_impact(&specs, &CorpusOptions::default()).expect("policy study runs");
         assert_eq!(rows.len(), 1);
         let row = &rows[0];
         assert_eq!(row.enabled, 2);

@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn hybrid_scores_perfectly() {
         let built = build_app(&spec());
-        let analysis = analyze_one(&built, &CorpusOptions::default());
+        let analysis = analyze_one(&built, &CorpusOptions::default()).expect("corpus app analyzes");
         let report = score_app(&spec(), &analysis.findings);
         let o = report.overall();
         assert_eq!(o.false_positives, 0);
@@ -196,7 +196,7 @@ mod tests {
             analyzer: Analyzer::static_only(),
             ..Default::default()
         };
-        let analysis = analyze_one(&built, &opts);
+        let analysis = analyze_one(&built, &opts).expect("corpus app analyzes");
         let report = score_app(&spec(), &analysis.findings);
         assert!((report.overall().precision() - 1.0).abs() < 1e-9);
         assert!(report.overall().recall() < 1.0);
@@ -215,7 +215,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let analysis = analyze_one(&built, &opts);
+        let analysis = analyze_one(&built, &opts).expect("corpus app analyzes");
         let report = score_app(&spec(), &analysis.findings);
         assert!(report.overall().precision() < 1.0, "{}", report.render());
         assert!((report.overall().recall() - 1.0).abs() < 1e-9);
@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn render_includes_overall_row() {
         let built = build_app(&spec());
-        let analysis = analyze_one(&built, &CorpusOptions::default());
+        let analysis = analyze_one(&built, &CorpusOptions::default()).expect("corpus app analyzes");
         let report = score_app(&spec(), &analysis.findings);
         let text = report.render();
         assert!(text.contains("all"));

@@ -55,7 +55,7 @@ proptest! {
         let spec = AppSpec::new("prop-app", Org::Bitnami, "0.0.1", plan.clone());
         let built = build_app(&spec);
         let opts = CorpusOptions { seed, ..Default::default() };
-        let analysis = analyze_one(&built, &opts);
+        let analysis = analyze_one(&built, &opts).expect("corpus app analyzes");
         for id in MisconfigId::ALL {
             let measured = analysis.findings.iter().filter(|f| f.id == id).count();
             prop_assert_eq!(

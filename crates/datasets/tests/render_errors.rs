@@ -1,10 +1,13 @@
 //! The corpus runner trusts its generated charts to render; hand-built
 //! charts may not. These tests pin down the failure behaviour: `ij-chart`
-//! returns typed errors, and `analyze_one` surfaces them as a panic naming
-//! the chart (the `unwrap_or_else` paths in `runner.rs`).
+//! returns typed errors, and the census pipeline surfaces them as
+//! [`CensusError::Render`] naming the chart — never a panic.
 
 use ij_chart::{Chart, Error, Release};
-use ij_datasets::{analyze_one, build_app, AppSpec, BuiltApp, CorpusOptions, Org, Plan};
+use ij_datasets::{
+    analyze_one, build_app, AppSpec, BuiltApp, CensusError, CensusPipeline, CorpusOptions, Org,
+    Plan,
+};
 
 /// A template that renders to structurally invalid YAML (a sequence item
 /// where a mapping value is required).
@@ -49,14 +52,43 @@ fn render_reports_template_syntax_errors() {
 }
 
 #[test]
-#[should_panic(expected = "chart malformed-app failed to render")]
-fn analyze_one_panics_on_malformed_chart() {
+fn analyze_one_returns_typed_render_error() {
     // Reuse a real built app for the spec/behaviours, then swap in a chart
-    // that cannot render — the runner must fail loudly, naming the chart.
+    // that cannot render — the pipeline must return a typed error naming
+    // the chart instead of panicking (the seed's behaviour).
     let spec = AppSpec::new("malformed-app", Org::Cncf, "0.0.1", Plan::clean());
     let built = BuiltApp {
         chart: malformed_chart(),
         ..build_app(&spec)
     };
-    let _ = analyze_one(&built, &CorpusOptions::default());
+    let err = analyze_one(&built, &CorpusOptions::default())
+        .expect_err("malformed chart must surface an error");
+    assert_eq!(err.app(), "malformed-app");
+    match &err {
+        CensusError::Render { app, source } => {
+            assert_eq!(app, "malformed-app");
+            assert!(matches!(source, Error::RenderedYaml { .. }), "{source:?}");
+        }
+        other => panic!("expected CensusError::Render, got {other:?}"),
+    }
+    // The rendered message names the chart, like the old panic did.
+    assert!(err
+        .to_string()
+        .contains("chart malformed-app failed to render"));
+    // std::error::Error wiring: the chart error is the source.
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn pipeline_analyze_one_matches_wrapper_error() {
+    let spec = AppSpec::new("malformed-app", Org::Cncf, "0.0.1", Plan::clean());
+    let built = BuiltApp {
+        chart: malformed_chart(),
+        ..build_app(&spec)
+    };
+    let err = CensusPipeline::builder()
+        .build()
+        .analyze_one(&built)
+        .expect_err("malformed chart must surface an error");
+    assert!(matches!(err, CensusError::Render { .. }));
 }

@@ -4,14 +4,15 @@
 //! cargo run --example cluster_audit
 //! ```
 //!
-//! Part 1 runs the full evaluation pipeline over the CNCF dataset (ten
-//! charts, each in its own fresh cluster) and prints its Table-2 row.
+//! Part 1 runs the census pipeline over the CNCF dataset (ten charts, each
+//! in its own fresh cluster, analyzed on four worker threads with a
+//! progress observer) and prints its Table-2 row.
 //! Part 2 attaches the continuous auditor to a live cluster and shows a
 //! misconfiguration being introduced and caught between audit rounds.
 
 use inside_job::cluster::{Cluster, ClusterConfig};
 use inside_job::core::MisconfigId;
-use inside_job::datasets::{corpus, run_census, CorpusOptions, Org};
+use inside_job::datasets::{corpus, CensusPipeline, Org};
 use inside_job::guard::ContinuousAuditor;
 use inside_job::model::{Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec};
 use inside_job::probe::HostBaseline;
@@ -23,7 +24,12 @@ fn main() {
         .filter(|a| a.org == Org::Cncf)
         .collect();
     println!("auditing the {} CNCF charts…", cncf.len());
-    let census = run_census(&cncf, &CorpusOptions::default());
+    let census = CensusPipeline::builder()
+        .threads(4)
+        .observer(|p| eprintln!("  [{}/{}] {}", p.completed, p.total, p.app))
+        .build()
+        .run(&cncf)
+        .expect("the synthetic corpus renders and installs");
     let row = census.dataset_row("CNCF");
     println!(
         "CNCF: {}/{} applications affected, {} misconfigurations total",

@@ -21,7 +21,8 @@ fn main() {
         "analyzing {} Wikimedia charts and drafting the disclosure…\n",
         wikimedia.len()
     );
-    let census = run_census(&wikimedia, &CorpusOptions::default());
+    let census = run_census(&wikimedia, &CorpusOptions::default())
+        .expect("the synthetic corpus renders and installs");
     let report = disclosure_report(&census, "Wikimedia");
     println!("{report}");
 

@@ -4,6 +4,7 @@
 //! ij analyze <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
 //! ij render  <chart-dir> [--values <file>]
 //! ij disclose <chart-dir> [--values <file>]
+//! ij census  [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress]
 //! ```
 //!
 //! * `analyze` — render the chart, install it into a fresh simulated
@@ -13,6 +14,13 @@
 //! * `render` — print the rendered manifests.
 //! * `disclose` — produce a responsible-disclosure markdown report for the
 //!   chart's findings.
+//! * `census` — run the evaluation pipeline over the built-in synthetic
+//!   corpus (optionally one dataset) and print the Table-2 style breakdown;
+//!   `--threads` parallelizes the per-application analyses without changing
+//!   a byte of the output, `--progress` streams completion ticks to stderr.
+//!
+//! Failures map to distinct exit codes so scripts can tell them apart:
+//! `2` usage, `3` chart render, `4` cluster install, `1` anything else.
 //!
 //! Unknown container images behave exactly as declared (no runtime delta),
 //! so on-disk charts are analyzed for their *structural* misconfigurations
@@ -22,13 +30,65 @@
 use inside_job::chart::{Chart, Release};
 use inside_job::cluster::{Cluster, ClusterConfig};
 use inside_job::core::{
-    chart_defines_network_policies, disclosure_report, Analyzer, AppReport, Census,
+    chart_defines_network_policies, disclosure_report, Analyzer, AppReport, Census, MisconfigId,
 };
+use inside_job::datasets::{corpus, CensusError, CensusPipeline, Org};
 use inside_job::probe::{connectivity_dot, HostBaseline, RuntimeAnalyzer};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-struct Args {
+/// Exit code for malformed invocations.
+const EXIT_USAGE: u8 = 2;
+/// Exit code when a chart fails to render.
+const EXIT_RENDER: u8 = 3;
+/// Exit code when the simulated cluster rejects an install.
+const EXIT_INSTALL: u8 = 4;
+
+/// A CLI failure carrying its exit code; no user input can panic the
+/// binary — every error path flows through here.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn usage() -> Self {
+        CliError {
+            code: EXIT_USAGE,
+            message: String::new(),
+        }
+    }
+
+    fn other(message: impl Into<String>) -> Self {
+        CliError {
+            code: 1,
+            message: message.into(),
+        }
+    }
+
+    fn render(message: impl Into<String>) -> Self {
+        CliError {
+            code: EXIT_RENDER,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<CensusError> for CliError {
+    fn from(err: CensusError) -> Self {
+        let code = match &err {
+            CensusError::Render { .. } => EXIT_RENDER,
+            CensusError::Install { .. } => EXIT_INSTALL,
+            CensusError::Probe { .. } => 1,
+        };
+        CliError {
+            code,
+            message: err.to_string(),
+        }
+    }
+}
+
+struct ChartArgs {
     command: String,
     chart_dir: PathBuf,
     values: Option<PathBuf>,
@@ -36,18 +96,25 @@ struct Args {
     dot: Option<PathBuf>,
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: ij <analyze|render|disclose> <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]"
-    );
-    ExitCode::from(2)
+struct CensusArgs {
+    org: Option<Org>,
+    seed: u64,
+    threads: usize,
+    static_only: bool,
+    progress: bool,
 }
 
-fn parse_args() -> Option<Args> {
-    let mut argv = std::env::args().skip(1);
-    let command = argv.next()?;
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ij <analyze|render|disclose> <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
+       ij census [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress]"
+    );
+    ExitCode::from(EXIT_USAGE)
+}
+
+fn parse_chart_args(command: String, mut argv: std::env::Args) -> Option<ChartArgs> {
     let chart_dir = PathBuf::from(argv.next()?);
-    let mut args = Args {
+    let mut args = ChartArgs {
         command,
         chart_dir,
         values: None,
@@ -65,23 +132,125 @@ fn parse_args() -> Option<Args> {
     Some(args)
 }
 
-fn load_release(args: &Args, name: &str) -> Result<Release, String> {
+fn parse_census_args(mut argv: std::env::Args) -> Result<CensusArgs, CliError> {
+    let mut args = CensusArgs {
+        org: None,
+        seed: 42,
+        threads: 1,
+        static_only: false,
+        progress: false,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--org" => {
+                let name = argv.next().ok_or_else(CliError::usage)?;
+                let org = Org::ALL
+                    .into_iter()
+                    .find(|o| o.as_str().eq_ignore_ascii_case(&name));
+                args.org = Some(org.ok_or_else(|| {
+                    let known: Vec<&str> = Org::ALL.iter().map(|o| o.as_str()).collect();
+                    CliError::other(format!(
+                        "unknown dataset `{name}`; expected one of: {}",
+                        known.join(", ")
+                    ))
+                })?);
+            }
+            "--seed" => {
+                let raw = argv.next().ok_or_else(CliError::usage)?;
+                args.seed = raw
+                    .parse()
+                    .map_err(|_| CliError::other(format!("invalid --seed `{raw}`")))?;
+            }
+            "--threads" => {
+                let raw = argv.next().ok_or_else(CliError::usage)?;
+                args.threads = raw
+                    .parse()
+                    .map_err(|_| CliError::other(format!("invalid --threads `{raw}`")))?;
+            }
+            "--static-only" => args.static_only = true,
+            "--progress" => args.progress = true,
+            _ => return Err(CliError::usage()),
+        }
+    }
+    Ok(args)
+}
+
+fn load_release(args: &ChartArgs, name: &str) -> Result<Release, CliError> {
     let mut release = Release::new(name, "default");
     if let Some(values_path) = &args.values {
         let src = std::fs::read_to_string(values_path)
-            .map_err(|e| format!("{}: {e}", values_path.display()))?;
-        release = release.with_values_yaml(&src).map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::other(format!("{}: {e}", values_path.display())))?;
+        release = release
+            .with_values_yaml(&src)
+            .map_err(|e| CliError::render(e.to_string()))?;
     }
     Ok(release)
 }
 
-fn run() -> Result<(), String> {
-    let Some(args) = parse_args() else {
-        return Err("bad arguments".to_string());
+fn run_census_command(args: CensusArgs) -> Result<(), CliError> {
+    let specs: Vec<_> = match args.org {
+        Some(org) => corpus().into_iter().filter(|a| a.org == org).collect(),
+        None => corpus(),
     };
-    let chart = Chart::from_dir(Path::new(&args.chart_dir)).map_err(|e| e.to_string())?;
+    let analyzer = if args.static_only {
+        Analyzer::static_only()
+    } else {
+        Analyzer::hybrid()
+    };
+    let mut builder = CensusPipeline::builder()
+        .seed(args.seed)
+        .threads(args.threads)
+        .analyzer(analyzer);
+    if args.progress {
+        builder = builder.observer(|p| eprintln!("[{}/{}] {}", p.completed, p.total, p.app));
+    }
+    let census = builder.build().run(&specs)?;
+    print!("{}", census_table(&census));
+    Ok(())
+}
+
+/// Renders the census as the Table-2 style breakdown.
+fn census_table(census: &Census) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<14} {:>9}", "Dataset", "Affected"));
+    for id in MisconfigId::ALL {
+        out.push_str(&format!(" {:>4}", id.as_str()));
+    }
+    out.push('\n');
+    let (mut affected, mut total) = (0usize, 0usize);
+    let mut totals = [0usize; MisconfigId::ALL.len()];
+    for row in census.table2() {
+        out.push_str(&format!(
+            "{:<14} {:>5}/{:<3}",
+            row.dataset, row.affected, row.total_apps
+        ));
+        for (i, id) in MisconfigId::ALL.iter().enumerate() {
+            out.push_str(&format!(" {:>4}", row.count(*id)));
+            totals[i] += row.count(*id);
+        }
+        out.push('\n');
+        affected += row.affected;
+        total += row.total_apps;
+    }
+    out.push_str(&format!("{:<14} {:>5}/{:<3}", "Total", affected, total));
+    for t in totals {
+        out.push_str(&format!(" {:>4}", t));
+    }
+    out.push_str(&format!(
+        "\n{} misconfiguration(s) across {} application(s)\n",
+        census.total_misconfigurations(),
+        census.apps.len()
+    ));
+    out
+}
+
+fn run_chart_command(args: ChartArgs) -> Result<(), CliError> {
+    let chart =
+        Chart::from_dir(Path::new(&args.chart_dir)).map_err(|e| CliError::other(e.to_string()))?;
     let release = load_release(&args, &chart.name.clone())?;
-    let rendered = chart.render(&release).map_err(|e| e.to_string())?;
+    let rendered = chart
+        .render(&release)
+        .map_err(|e| CliError::render(format!("chart {} failed to render: {e}", chart.name)))?;
 
     match args.command.as_str() {
         "render" => {
@@ -94,7 +263,10 @@ fn run() -> Result<(), String> {
         "analyze" | "disclose" => {
             let mut cluster = Cluster::new(ClusterConfig::default());
             let baseline = HostBaseline::capture(&cluster);
-            cluster.install(&rendered).map_err(|e| e.to_string())?;
+            cluster.install(&rendered).map_err(|e| CliError {
+                code: EXIT_INSTALL,
+                message: format!("chart {} failed to install: {e}", chart.name),
+            })?;
             let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
             let analyzer = if args.static_only {
                 Analyzer::static_only()
@@ -142,24 +314,38 @@ fn run() -> Result<(), String> {
             if let Some(dot_path) = &args.dot {
                 let dot = connectivity_dot(&cluster);
                 std::fs::write(dot_path, dot)
-                    .map_err(|e| format!("{}: {e}", dot_path.display()))?;
+                    .map_err(|e| CliError::other(format!("{}: {e}", dot_path.display())))?;
                 eprintln!("wrote connectivity graph to {}", dot_path.display());
             }
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::other(format!("unknown command `{other}`"))),
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let mut argv = std::env::args();
+    let _ = argv.next(); // program name
+    let command = argv.next().ok_or_else(CliError::usage)?;
+    match command.as_str() {
+        "census" => run_census_command(parse_census_args(argv)?),
+        "analyze" | "render" | "disclose" => {
+            let args = parse_chart_args(command, argv).ok_or_else(CliError::usage)?;
+            run_chart_command(args)
+        }
+        other => Err(CliError::other(format!("unknown command `{other}`"))),
     }
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            if msg == "bad arguments" {
+        Err(err) => {
+            if err.code == EXIT_USAGE && err.message.is_empty() {
                 return usage();
             }
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", err.message);
+            ExitCode::from(err.code)
         }
     }
 }

@@ -33,7 +33,7 @@ fn recall(analyzer: Analyzer, probe: ProbeConfig) -> (usize, usize) {
     let mut expected = 0usize;
     for spec in slice() {
         let built = build_app(&spec);
-        let analysis = analyze_one(&built, &opts);
+        let analysis = analyze_one(&built, &opts).expect("corpus app analyzes");
         found += analysis.findings.len();
         expected += spec.plan.expected_local_findings();
     }
@@ -103,7 +103,7 @@ fn single_pass_loses_m2_and_misclassifies_m1() {
         },
     );
     let built = build_app(&spec);
-    let analysis = analyze_one(&built, &opts);
+    let analysis = analyze_one(&built, &opts).expect("corpus app analyzes");
     assert!(
         !analysis.findings.iter().any(|f| f.id == MisconfigId::M2),
         "single pass cannot distinguish dynamic ports"
@@ -141,7 +141,7 @@ fn udp_noise_filter_controls_false_positives() {
         },
         ..Default::default()
     };
-    let unfiltered = analyze_one(&built, &noisy_unfiltered);
+    let unfiltered = analyze_one(&built, &noisy_unfiltered).expect("corpus app analyzes");
     let spurious: Vec<_> = unfiltered
         .findings
         .iter()
@@ -160,7 +160,7 @@ fn udp_noise_filter_controls_false_positives() {
         },
         ..Default::default()
     };
-    let filtered = analyze_one(&built, &noisy_filtered);
+    let filtered = analyze_one(&built, &noisy_filtered).expect("corpus app analyzes");
     assert!(
         !filtered.findings.iter().any(|f| f.id == MisconfigId::M2),
         "{:#?}",
@@ -234,4 +234,34 @@ fn baseline_subtraction_prevents_m7_overreporting() {
         m1_spurious >= 3,
         "node daemons leak into the report without subtraction: {without_baseline:#?}"
     );
+}
+
+#[test]
+fn registry_ablation_drops_exactly_one_class() {
+    // 5. per-rule ablations via the RuleRegistry: disabling `m2` must drop
+    //    the M2 findings and *only* them, app by app against the ground
+    //    truth slice — everything else is byte-identical.
+    let full = CorpusOptions::default();
+    let ablated = CorpusOptions {
+        analyzer: Analyzer::hybrid().without_rule("m2"),
+        ..Default::default()
+    };
+    let mut dropped = 0usize;
+    for spec in slice() {
+        let built = build_app(&spec);
+        let with = analyze_one(&built, &full)
+            .expect("corpus app analyzes")
+            .findings;
+        let without = analyze_one(&built, &ablated)
+            .expect("corpus app analyzes")
+            .findings;
+        let expected: Vec<_> = with
+            .iter()
+            .filter(|f| f.id != MisconfigId::M2)
+            .cloned()
+            .collect();
+        dropped += with.len() - expected.len();
+        assert_eq!(without, expected, "app {}", spec.name);
+    }
+    assert!(dropped > 0, "the slice must carry M2 findings to ablate");
 }

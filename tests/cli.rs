@@ -144,6 +144,73 @@ fn bad_usage_exits_nonzero() {
     assert!(!out.status.success());
     let out = ij(&[]);
     assert!(!out.status.success());
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing command is a usage error"
+    );
+}
+
+#[test]
+fn census_subcommand_prints_dataset_breakdown() {
+    let out = ij(&["census", "--org", "CNCF", "--threads", "4", "--progress"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Dataset"), "{stdout}");
+    assert!(stdout.contains("CNCF"), "{stdout}");
+    assert!(stdout.contains("misconfiguration(s) across"), "{stdout}");
+    // --progress streams one completion tick per application to stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[1/10]"), "{stderr}");
+    assert!(stderr.contains("[10/10]"), "{stderr}");
+}
+
+#[test]
+fn census_is_identical_across_thread_counts() {
+    let sequential = ij(&["census", "--org", "Wikimedia"]);
+    let parallel = ij(&["census", "--org", "Wikimedia", "--threads", "4"]);
+    assert!(sequential.status.success());
+    assert!(parallel.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&sequential.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "--threads must not change a byte of the census output"
+    );
+}
+
+#[test]
+fn census_rejects_unknown_dataset_and_bad_flags() {
+    let out = ij(&["census", "--org", "NotADataset"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown dataset"), "{stderr}");
+    assert!(stderr.contains("Banzai Cloud"), "names the valid datasets");
+
+    let out = ij(&["census", "--threads", "many"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    let out = ij(&["census", "--bogus-flag"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+}
+
+#[test]
+fn render_failure_uses_render_exit_code() {
+    let dir = std::env::temp_dir().join(format!("ij-cli-test-badchart-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    write(&dir.join("Chart.yaml"), "name: bad\nversion: 0.0.1\n");
+    write(
+        &dir.join("templates/broken.yaml"),
+        "value: {{ .Values.x\n", // unclosed template action
+    );
+    let out = ij(&["analyze", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "render failures exit with 3");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("failed to render"), "{stderr}");
+    let _ = fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,7 +1,8 @@
-//! Reproducibility: the whole evaluation is a pure function of the seed.
+//! Reproducibility: the whole evaluation is a pure function of the seed —
+//! independent of how many pipeline workers analyze the corpus.
 
 use inside_job::core::MisconfigId;
-use inside_job::datasets::{corpus, run_census, CorpusOptions, Org};
+use inside_job::datasets::{corpus, run_census, CensusPipeline, CorpusOptions, Org};
 
 #[test]
 fn census_is_deterministic_across_runs() {
@@ -9,12 +10,53 @@ fn census_is_deterministic_across_runs() {
         .into_iter()
         .filter(|a| a.org == Org::PrometheusCommunity)
         .collect();
-    let a = run_census(&slice, &CorpusOptions::default());
-    let b = run_census(&slice, &CorpusOptions::default());
+    let a = run_census(&slice, &CorpusOptions::default()).expect("corpus slice runs");
+    let b = run_census(&slice, &CorpusOptions::default()).expect("corpus slice runs");
     assert_eq!(a.apps.len(), b.apps.len());
     for (x, y) in a.apps.iter().zip(b.apps.iter()) {
         assert_eq!(x.findings, y.findings, "app {}", x.app);
     }
+}
+
+#[test]
+fn parallel_census_is_byte_identical_to_sequential() {
+    // The acceptance bar of the pipeline redesign: a `threads(4)` census
+    // must equal the sequential same-seed run byte for byte (via the
+    // canonical Debug rendering), not merely in counts.
+    let slice: Vec<_> = corpus()
+        .into_iter()
+        .filter(|a| a.org == Org::PrometheusCommunity)
+        .collect();
+    let sequential = CensusPipeline::builder()
+        .build()
+        .run(&slice)
+        .expect("sequential census runs");
+    let parallel = CensusPipeline::builder()
+        .threads(4)
+        .build()
+        .run(&slice)
+        .expect("parallel census runs");
+    assert_eq!(
+        format!("{sequential:#?}"),
+        format!("{parallel:#?}"),
+        "threads(4) census diverged from the sequential run"
+    );
+}
+
+#[test]
+fn legacy_wrapper_matches_pipeline_census() {
+    // The preserved free function and the pipeline front door are the same
+    // computation.
+    let slice: Vec<_> = corpus()
+        .into_iter()
+        .filter(|a| a.org == Org::Wikimedia)
+        .collect();
+    let wrapper = run_census(&slice, &CorpusOptions::default()).expect("wrapper runs");
+    let pipeline = CensusPipeline::builder()
+        .build()
+        .run(&slice)
+        .expect("pipeline runs");
+    assert_eq!(format!("{wrapper:#?}"), format!("{pipeline:#?}"));
 }
 
 #[test]
@@ -25,14 +67,15 @@ fn different_seed_same_census_shape() {
         .into_iter()
         .filter(|a| a.org == Org::Wikimedia)
         .collect();
-    let a = run_census(&slice, &CorpusOptions::default());
+    let a = run_census(&slice, &CorpusOptions::default()).expect("corpus slice runs");
     let b = run_census(
         &slice,
         &CorpusOptions {
             seed: 0xDEADBEEF,
             ..Default::default()
         },
-    );
+    )
+    .expect("corpus slice runs");
     for id in MisconfigId::ALL {
         let count =
             |c: &inside_job::core::Census| c.apps.iter().map(|r| r.count_of(id)).sum::<usize>();

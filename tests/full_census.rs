@@ -32,7 +32,7 @@ const IDS: [MisconfigId; 13] = MisconfigId::ALL;
 
 #[test]
 fn full_pipeline_reproduces_table2() {
-    let census = run_census(&corpus(), &CorpusOptions::default());
+    let census = run_census(&corpus(), &CorpusOptions::default()).expect("the full corpus runs");
     assert_eq!(census.total_misconfigurations(), 634, "the paper's total");
     assert_eq!(census.affected_apps().0, 259, "the paper's affected count");
     for (dataset, row) in TABLE2 {

@@ -5,7 +5,7 @@ use inside_job::datasets::{corpus, policy_impact, CorpusOptions};
 
 #[test]
 fn figure4b_policy_impact_shape() {
-    let rows = policy_impact(&corpus(), &CorpusOptions::default());
+    let rows = policy_impact(&corpus(), &CorpusOptions::default()).expect("policy study runs");
     let get = |name: &str| rows.iter().find(|r| r.dataset == name).unwrap();
 
     // Banzai Cloud defines no policies at all → absent from the table.

@@ -8,7 +8,9 @@
 //! (parallelism, hash-map ordering, time-dependent logic) sneaking into the
 //! pipeline.
 
-use inside_job::datasets::{run_census, AppSpec, CorpusOptions, NetpolSpec, Org, Plan};
+use inside_job::datasets::{
+    run_census, AppSpec, CensusPipeline, CorpusOptions, NetpolSpec, Org, Plan,
+};
 
 /// A small corpus that still exercises the interesting machinery: runtime
 /// deltas (M1/M2 incl. seeded ephemeral ports), label collisions, service
@@ -55,8 +57,8 @@ fn same_seed_census_is_byte_identical() {
         seed: 7,
         ..Default::default()
     };
-    let first = run_census(&specs, &opts);
-    let second = run_census(&specs, &opts);
+    let first = run_census(&specs, &opts).expect("smoke corpus runs");
+    let second = run_census(&specs, &opts).expect("smoke corpus runs");
 
     // Per-app first so a regression names the offending application…
     assert_eq!(first.apps.len(), second.apps.len());
@@ -89,15 +91,42 @@ fn different_seed_keeps_finding_structure() {
             seed: 7,
             ..Default::default()
         },
-    );
+    )
+    .expect("smoke corpus runs");
     let b = run_census(
         &specs,
         &CorpusOptions {
             seed: 1337,
             ..Default::default()
         },
-    );
+    )
+    .expect("smoke corpus runs");
     for (x, y) in a.apps.iter().zip(b.apps.iter()) {
         assert_eq!(x.findings, y.findings, "findings diverged for {}", x.app);
+    }
+}
+
+#[test]
+fn threaded_census_is_byte_identical_to_sequential() {
+    // Same byte-identity bar as the same-seed test, but across thread
+    // counts: worker scheduling must never leak into the census.
+    let specs = small_specs();
+    let sequential = CensusPipeline::builder()
+        .seed(7)
+        .build()
+        .run(&specs)
+        .expect("smoke corpus runs");
+    for threads in [2, 4] {
+        let parallel = CensusPipeline::builder()
+            .seed(7)
+            .threads(threads)
+            .build()
+            .run(&specs)
+            .expect("smoke corpus runs");
+        assert_eq!(
+            format!("{sequential:#?}"),
+            format!("{parallel:#?}"),
+            "threads({threads}) census differs from the sequential run"
+        );
     }
 }
