@@ -1,0 +1,139 @@
+//! Naive vs indexed reachability census, at three cluster sizes.
+//!
+//! "Naive" is the seed behaviour: every probe rebuilds a [`PolicyEngine`]
+//! from the object store and re-matches every selector (what
+//! `Cluster::connect` did before the compiled index). "Indexed" is one
+//! [`ReachMatrix`] pass over the cluster's cached
+//! [`PolicyIndex`](ij_cluster::PolicyIndex). Both count the same reachable
+//! (src, dst, socket) triples — asserted at setup — so the timings are an
+//! apples-to-apples measure of the compiled-index speedup recorded in
+//! `BENCH_reach.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ij_cluster::{Cluster, ClusterConfig, PolicyEngine};
+use ij_model::{
+    Container, ContainerPort, LabelSelector, Labels, NetworkPolicy, NetworkPolicyPeer, Object,
+    ObjectMeta, Pod, PodSpec, PolicyPort,
+};
+use ij_probe::ReachMatrix;
+use std::hint::black_box;
+
+/// Builds a cluster of `apps` three-tier applications (web, api, db pod
+/// each) locked down by per-tier NetworkPolicies, plus one hostNetwork
+/// exporter per app — the §4.3.2 shape at a controllable size.
+fn tiered_cluster(apps: usize) -> Cluster {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: 17,
+        behaviors: Default::default(),
+    });
+    for a in 0..apps {
+        for (tier, port) in [("web", 8080u16), ("api", 9090), ("db", 5432)] {
+            let labels = Labels::from_pairs([("app", format!("a{a}")), ("tier", tier.to_string())]);
+            cluster
+                .apply(Object::Pod(Pod::new(
+                    ObjectMeta::named(format!("a{a}-{tier}")).with_labels(labels),
+                    PodSpec {
+                        containers: vec![Container::new(tier, format!("img/{tier}"))
+                            .with_ports(vec![ContainerPort::named("main", port)])],
+                        ..Default::default()
+                    },
+                )))
+                .expect("pod applies");
+        }
+        cluster
+            .apply(Object::Pod(Pod::new(
+                ObjectMeta::named(format!("a{a}-exporter"))
+                    .with_labels(Labels::from_pairs([("app", format!("a{a}"))])),
+                PodSpec {
+                    containers: vec![Container::new("exp", "img/exporter")
+                        .with_ports(vec![ContainerPort::tcp(9100)])],
+                    host_network: true,
+                    node_name: None,
+                },
+            )))
+            .expect("exporter applies");
+        // api may talk to db; web may talk to api; everything else is cut.
+        for (tier, from, port) in [("db", "api", 5432u16), ("api", "web", 9090)] {
+            cluster
+                .apply(Object::NetworkPolicy(NetworkPolicy::allow_ingress(
+                    ObjectMeta::named(format!("a{a}-lock-{tier}")),
+                    LabelSelector::from_labels(Labels::from_pairs([
+                        ("app", format!("a{a}")),
+                        ("tier", tier.to_string()),
+                    ])),
+                    vec![NetworkPolicyPeer::pods(LabelSelector::from_labels(
+                        Labels::from_pairs([("app", format!("a{a}")), ("tier", from.to_string())]),
+                    ))],
+                    vec![PolicyPort::tcp(port)],
+                )))
+                .expect("policy applies");
+        }
+    }
+    cluster.reconcile();
+    cluster
+}
+
+/// The seed-shaped census: rebuild the engine for every single probe.
+fn naive_census(cluster: &Cluster) -> usize {
+    let policies: Vec<NetworkPolicy> = cluster.network_policies().into_iter().cloned().collect();
+    let mut reachable = 0usize;
+    for src in cluster.pods() {
+        for dst in cluster.pods() {
+            if src.qualified_name() == dst.qualified_name() {
+                continue;
+            }
+            for socket in &dst.sockets {
+                if socket.loopback_only {
+                    continue;
+                }
+                let engine = PolicyEngine::new(&policies, cluster.namespace_labels());
+                if engine
+                    .verdict(src, dst, socket.port, socket.protocol)
+                    .is_allowed()
+                {
+                    reachable += 1;
+                }
+            }
+        }
+    }
+    reachable
+}
+
+/// The indexed census: one matrix pass, then bit probes.
+fn indexed_census(cluster: &Cluster) -> usize {
+    let matrix = ReachMatrix::compute(cluster);
+    let mut reachable = 0usize;
+    for dst in 0..matrix.pod_count() {
+        for k in 0..matrix.sockets(dst).len() {
+            let column = matrix.allowed_sources(dst, k);
+            reachable += column.count() - usize::from(column.contains(dst));
+        }
+    }
+    reachable
+}
+
+fn bench_reach_matrix(c: &mut Criterion) {
+    for (label, apps) in [("small", 3usize), ("medium", 12), ("large", 48)] {
+        let cluster = tiered_cluster(apps);
+        assert_eq!(
+            naive_census(&cluster),
+            indexed_census(&cluster),
+            "naive and indexed censuses must count the same triples ({label})"
+        );
+        c.bench_function(&format!("reach_census_naive_{label}"), |b| {
+            b.iter(|| black_box(naive_census(&cluster)))
+        });
+        c.bench_function(&format!("reach_census_indexed_{label}"), |b| {
+            b.iter(|| {
+                // A fresh matrix per iteration: the generation is unchanged,
+                // so this times allowed_sources over the cached index — the
+                // steady-state census path.
+                black_box(indexed_census(&cluster))
+            })
+        });
+    }
+}
+
+criterion_group!(reach, bench_reach_matrix);
+criterion_main!(reach);

@@ -18,11 +18,12 @@
 
 use ij_baselines::run_comparison;
 use ij_chart::Release;
-use ij_cluster::{BehaviorRegistry, Cluster, ClusterConfig, ConnectOutcome};
+use ij_cluster::{BehaviorRegistry, Cluster, ClusterConfig};
 use ij_core::{Census, MisconfigId, StaticModel};
 use ij_datasets::{build_app, corpus, representative_charts, CensusPipeline};
 use ij_guard::{GuardAdmission, GuardPolicy, PolicySynthesizer};
 use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
+use ij_probe::ReachMatrix;
 
 /// Runs the census over the full corpus with default options (sequential,
 /// so the criterion benches time the single-threaded pipeline).
@@ -352,10 +353,14 @@ pub fn defense_outcomes() -> Vec<DefenseOutcome> {
 }
 
 /// Counts attacker-reachable endpoints that are misconfigured (undeclared
-/// stable ports or dynamic ports).
+/// stable ports or dynamic ports). One [`ReachMatrix`] pass per call.
 fn reachable_misconfigured(cluster: &Cluster, statics: &StaticModel) -> usize {
+    let matrix = ReachMatrix::compute(cluster);
+    let Some(attacker) = matrix.pod_index("default/attacker") else {
+        return 0;
+    };
     let mut count = 0;
-    for rp in cluster.pods() {
+    for (dst, rp) in cluster.pods().iter().enumerate() {
         let name = rp.qualified_name();
         if name.ends_with("/attacker") {
             continue;
@@ -370,8 +375,7 @@ fn reachable_misconfigured(cluster: &Cluster, statics: &StaticModel) -> usize {
                 .map(|u| u.declares(socket.port, socket.protocol))
                 .unwrap_or(true);
             if (socket.ephemeral || !declared)
-                && cluster.connect("default/attacker", &name, socket.port, socket.protocol)
-                    == Some(ConnectOutcome::Connected)
+                && matrix.connected(attacker, dst, socket.port, socket.protocol)
             {
                 count += 1;
             }

@@ -2,7 +2,8 @@
 
 use crate::admission::{AdmissionController, AdmissionOutcome, AdmissionReview};
 use crate::behavior::{BehaviorRegistry, PortSpec};
-use crate::netpol::{ConnectionVerdict, PolicyEngine};
+use crate::index::PolicyIndex;
+use crate::netpol::ConnectionVerdict;
 use crate::node::Node;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ij_chart::RenderedRelease;
@@ -14,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -174,6 +176,12 @@ pub struct Cluster {
     next_cluster_ip: u32,
     events: Vec<String>,
     watchers: Vec<Sender<WatchEvent>>,
+    /// Bumped on every mutation of objects or pods; the policy-index cache
+    /// key.
+    generation: u64,
+    /// Cached compiled [`PolicyIndex`] for [`Cluster::policy_index`],
+    /// tagged with the generation it was built at.
+    index_cache: Mutex<Option<(u64, Arc<PolicyIndex>)>>,
 }
 
 impl Cluster {
@@ -193,6 +201,8 @@ impl Cluster {
             next_cluster_ip: 1,
             events: Vec::new(),
             watchers: Vec::new(),
+            generation: 0,
+            index_cache: Mutex::new(None),
         }
     }
 
@@ -229,6 +239,36 @@ impl Cluster {
 
     fn notify(&mut self, event: WatchEvent) {
         self.watchers.retain(|w| w.send(event.clone()).is_ok());
+    }
+
+    /// Marks the cluster mutated: bumps the generation so the next
+    /// [`Cluster::policy_index`] call recompiles.
+    fn touch(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// The current mutation generation. Any change to objects or pods bumps
+    /// it; equal generations guarantee an identical policy index.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The compiled policy index for the cluster's current state.
+    ///
+    /// The index is built on first use and cached until the next mutation
+    /// (generation bump); repeated probes — the census hot path — share one
+    /// compilation. The returned [`Arc`] stays valid (as a snapshot) even
+    /// if the cluster mutates afterwards.
+    pub fn policy_index(&self) -> Arc<PolicyIndex> {
+        let mut cache = self.index_cache.lock().expect("index cache poisoned");
+        if let Some((generation, index)) = &*cache {
+            if *generation == self.generation {
+                return Arc::clone(index);
+            }
+        }
+        let index = Arc::new(PolicyIndex::build(self));
+        *cache = Some((self.generation, Arc::clone(&index)));
+        index
     }
 
     /// All persisted objects.
@@ -333,6 +373,7 @@ impl Cluster {
             }
         }
         self.objects.push(object);
+        self.touch();
         Ok(warnings)
     }
 
@@ -352,6 +393,7 @@ impl Cluster {
                 Ok(mut w) => warnings.append(&mut w),
                 Err(e) => {
                     self.objects.truncate(checkpoint);
+                    self.touch();
                     return Err(e);
                 }
             }
@@ -378,6 +420,7 @@ impl Cluster {
             existing.contains(&definer)
         });
         self.events.push(format!("uninstall {release_name}"));
+        self.touch();
     }
 
     /// Removes everything — the paper's per-application fresh cluster.
@@ -387,6 +430,7 @@ impl Cluster {
         self.cluster_ips.clear();
         self.events.push("reset".to_string());
         self.notify(WatchEvent::Reset);
+        self.touch();
     }
 
     /// Runs the controller loop: expands workloads into pods, schedules and
@@ -426,6 +470,7 @@ impl Cluster {
         }
         self.pods = pods;
         self.notify(WatchEvent::PodsRestarted);
+        self.touch();
     }
 
     fn expand_workload(&self, w: &Workload) -> Vec<(Option<String>, Pod)> {
@@ -502,6 +547,7 @@ impl Cluster {
             sockets,
             owner,
         });
+        self.touch();
     }
 
     /// Instantiates the behaviour model of every container in a pod.
@@ -544,24 +590,10 @@ impl Cluster {
         sockets
     }
 
-    /// The policy engine over the current policy set.
-    pub fn policy_engine(&self) -> PolicyEngine<'_> {
-        // Safety of lifetimes: engine borrows policies from object storage.
-        let policies: Vec<&NetworkPolicy> = self
-            .objects
-            .iter()
-            .filter_map(|o| match o {
-                Object::NetworkPolicy(n) => Some(n),
-                _ => None,
-            })
-            .collect();
-        // PolicyEngine wants a slice; keep a cached Vec inside self would
-        // complicate mutation, so we leak through an owned clone-free path:
-        // build from the stored objects each call.
-        PolicyEngine::from_refs(policies, self.namespace_labels())
-    }
-
-    /// Simulates a connection from one pod to another.
+    /// Simulates a connection from one pod to another. Verdicts come from
+    /// the cached [`PolicyIndex`]; the naive
+    /// [`PolicyEngine`](crate::PolicyEngine) remains available as the
+    /// reference oracle for tests.
     pub fn connect(
         &self,
         src: &str,
@@ -569,10 +601,11 @@ impl Cluster {
         port: u16,
         protocol: Protocol,
     ) -> Option<ConnectOutcome> {
-        let src = self.pod(src)?;
-        let dst = self.pod(dst)?;
-        let engine = self.policy_engine();
-        Some(match engine.verdict(src, dst, port, protocol) {
+        let index = self.policy_index();
+        let src_idx = index.pod_index(src)?;
+        let dst_idx = index.pod_index(dst)?;
+        let dst = &self.pods[dst_idx];
+        Some(match index.verdict(src_idx, dst_idx, port, protocol) {
             ConnectionVerdict::DeniedIngress => ConnectOutcome::DeniedIngress,
             ConnectionVerdict::DeniedEgress => ConnectOutcome::DeniedEgress,
             ConnectionVerdict::Allowed(_) => {
@@ -677,7 +710,8 @@ impl Cluster {
         name: &str,
         port: u16,
     ) -> Vec<String> {
-        let Some(src_pod) = self.pod(src) else {
+        let index = self.policy_index();
+        let Some(src_idx) = index.pod_index(src) else {
             return Vec::new();
         };
         let Some(svc) = self
@@ -693,22 +727,21 @@ impl Cluster {
             Some(e) => e,
             None => return Vec::new(),
         };
-        let engine = self.policy_engine();
         let mut receivers = Vec::new();
         for addr in &endpoints.addresses {
             if addr.port_name != sp.name {
                 continue;
             }
-            let Some(dst) = self.pod(&addr.pod) else {
+            let Some(dst_idx) = index.pod_index(&addr.pod) else {
                 continue;
             };
-            if !engine
-                .verdict(src_pod, dst, addr.port, sp.protocol)
+            if !index
+                .verdict(src_idx, dst_idx, addr.port, sp.protocol)
                 .is_allowed()
             {
                 continue;
             }
-            if dst.listens_on(addr.port, sp.protocol) {
+            if self.pods[dst_idx].listens_on(addr.port, sp.protocol) {
                 receivers.push(addr.pod.clone());
             }
         }
@@ -1107,6 +1140,45 @@ spec:
         // Endpoints follow: the removed release's service is gone.
         assert!(cluster.endpoints_for("default", "d-web").is_none());
         assert!(cluster.endpoints_for("default", "e-web").is_some());
+    }
+
+    #[test]
+    fn policy_index_cached_until_mutation() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        let first = cluster.policy_index();
+        let second = cluster.policy_index();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "same generation must share one compilation"
+        );
+        let generation = cluster.generation();
+        cluster
+            .apply(Object::NetworkPolicy(NetworkPolicy::deny_all_ingress(
+                ij_model::ObjectMeta::named("deny"),
+                ij_model::LabelSelector::everything(),
+            )))
+            .unwrap();
+        assert_ne!(cluster.generation(), generation, "apply bumps generation");
+        let third = cluster.policy_index();
+        assert!(
+            !Arc::ptr_eq(&first, &third),
+            "mutation must invalidate the cached index"
+        );
+        assert_eq!(third.policy_count(), 1);
+        // The old Arc remains a consistent pre-mutation snapshot.
+        assert_eq!(first.policy_count(), 0);
+    }
+
+    #[test]
+    fn restart_and_reset_invalidate_the_index() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        let g0 = cluster.generation();
+        cluster.restart_pods();
+        let g1 = cluster.generation();
+        assert_ne!(g0, g1);
+        cluster.reset();
+        assert_ne!(cluster.generation(), g1);
+        assert_eq!(cluster.policy_index().pod_count(), 0);
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! * **CNI / NetworkPolicy engine** — default-allow flat network; additive
 //!   allow-list policies; hostNetwork bypass — exactly the semantics that
 //!   make M6/M7 dangerous.
+//! * **Compiled policy index** — [`Cluster::policy_index`] caches a
+//!   [`PolicyIndex`] (interned selectors, per-policy matched-pod bitsets,
+//!   per-rule peer bitsets) behind a generation counter, so the probe hot
+//!   path evaluates policies with integer ops; the naive [`PolicyEngine`]
+//!   remains the property-tested oracle.
 //!
 //! Everything is reproducible from a single seed: ephemeral port draws are
 //! the only randomness.
@@ -30,6 +35,7 @@
 pub mod admission;
 pub mod behavior;
 pub mod cluster;
+pub mod index;
 pub mod netpol;
 pub mod node;
 
@@ -38,5 +44,6 @@ pub use behavior::{BehaviorRegistry, ContainerBehavior, ListenerSpec, PortSpec};
 pub use cluster::{
     Cluster, ClusterConfig, ConnectOutcome, InstallError, OpenSocket, RunningPod, WatchEvent,
 };
+pub use index::{PodSet, PolicyIndex};
 pub use netpol::{ConnectionVerdict, PolicyEngine};
 pub use node::Node;

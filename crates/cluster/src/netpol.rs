@@ -205,43 +205,42 @@ fn ports_match(
     ports.iter().any(|p| p.covers(port, protocol, &resolve))
 }
 
+/// Parses a dotted-quad IPv4 address. Shared with the compiled
+/// [`PolicyIndex`](crate::PolicyIndex) so both paths agree on what counts
+/// as a parseable address.
+pub(crate) fn parse_v4(s: &str) -> Option<u32> {
+    let mut out: u32 = 0;
+    let mut parts = 0;
+    for seg in s.split('.') {
+        let n: u32 = seg.parse().ok()?;
+        if n > 255 {
+            return None;
+        }
+        out = (out << 8) | n;
+        parts += 1;
+    }
+    (parts == 4).then_some(out)
+}
+
+/// Parses a CIDR (or bare address) into `(network, mask)`; `None` means
+/// malformed, which never matches anything.
+pub(crate) fn parse_cidr(cidr: &str) -> Option<(u32, u32)> {
+    let (net, len) = match cidr.split_once('/') {
+        Some((net, len)) => (parse_v4(net)?, len.parse::<u32>().ok()?.min(32)),
+        None => (parse_v4(cidr)?, 32),
+    };
+    let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+    Some((net, mask))
+}
+
 /// Minimal IPv4 CIDR containment test.
 fn ip_in_cidr(ip: &str, cidr: &str) -> bool {
-    fn parse_v4(s: &str) -> Option<u32> {
-        let mut out: u32 = 0;
-        let mut parts = 0;
-        for seg in s.split('.') {
-            let n: u32 = seg.parse().ok()?;
-            if n > 255 {
-                return None;
-            }
-            out = (out << 8) | n;
-            parts += 1;
-        }
-        (parts == 4).then_some(out)
-    }
     let Some(addr) = parse_v4(ip) else {
         return false;
     };
-    let (net, len) = match cidr.split_once('/') {
-        Some((net, len)) => {
-            let Some(net) = parse_v4(net) else {
-                return false;
-            };
-            let Ok(len) = len.parse::<u32>() else {
-                return false;
-            };
-            (net, len.min(32))
-        }
-        None => match parse_v4(cidr) {
-            Some(net) => (net, 32),
-            None => return false,
-        },
+    let Some((net, mask)) = parse_cidr(cidr) else {
+        return false;
     };
-    if len == 0 {
-        return true;
-    }
-    let mask = u32::MAX << (32 - len);
     (addr & mask) == (net & mask)
 }
 

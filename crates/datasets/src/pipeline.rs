@@ -31,12 +31,12 @@ use crate::builder::{build_app, BuiltApp};
 use crate::runner::{AppAnalysis, CorpusOptions, PolicyImpact};
 use crate::spec::AppSpec;
 use ij_chart::Release;
-use ij_cluster::{Cluster, ClusterConfig, ConnectOutcome, InstallError};
+use ij_cluster::{Cluster, ClusterConfig, InstallError};
 use ij_core::{
     chart_defines_network_policies, sort_canonical, Analyzer, AppReport, Census, StaticModel,
 };
 use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
-use ij_probe::{HostBaseline, ProbeConfig, RuntimeAnalyzer};
+use ij_probe::{HostBaseline, ProbeConfig, ReachMatrix, RuntimeAnalyzer};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -482,9 +482,18 @@ impl CensusPipeline {
                     .unwrap_or(true)
             };
 
+            // One reachability matrix per rendered chart: the batch pass
+            // over the cluster's cached policy index replaces the per-pair
+            // connect loop, and the same index snapshot then serves the
+            // service leg below (`send_to_service` shares the cache).
+            // A missing attacker pod degrades to "nothing reachable", the
+            // same answer the per-pair probe gave (connect → None).
+            let matrix = ReachMatrix::compute(&cluster);
+            let attacker = matrix.pod_index("default/ij-attacker");
+
             let mut pods_hit = 0usize;
             let mut dynamic_hit = 0usize;
-            for rp in cluster.pods() {
+            for (dst, rp) in cluster.pods().iter().enumerate() {
                 let name = rp.qualified_name();
                 if name.ends_with("/ij-attacker") {
                     continue;
@@ -500,8 +509,8 @@ impl CensusPipeline {
                     if !misconfigured {
                         continue;
                     }
-                    if cluster.connect("default/ij-attacker", &name, socket.port, socket.protocol)
-                        == Some(ConnectOutcome::Connected)
+                    if attacker
+                        .is_some_and(|a| matrix.connected(a, dst, socket.port, socket.protocol))
                     {
                         hit = true;
                         dynamic |= socket.ephemeral;
@@ -667,6 +676,23 @@ mod tests {
             ["pipe-alpha", "pipe-beta", "pipe-delta", "pipe-gamma"]
         );
         assert!(ticks.iter().all(|p| p.total == specs().len()));
+    }
+
+    #[test]
+    fn policy_impact_stable_across_repeats_and_threaded_runs() {
+        // The §4.3.2 study rides on the per-chart cached policy index; its
+        // output must not depend on how often the cache was rebuilt or on
+        // an unrelated threaded census in between.
+        let pipeline = CensusPipeline::builder().seed(11).build();
+        let first = pipeline.policy_impact(&specs()).expect("first impact run");
+        CensusPipeline::builder()
+            .seed(11)
+            .threads(4)
+            .build()
+            .run(&specs())
+            .expect("threaded census");
+        let second = pipeline.policy_impact(&specs()).expect("second impact run");
+        assert_eq!(format!("{first:#?}"), format!("{second:#?}"));
     }
 
     #[test]

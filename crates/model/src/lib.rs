@@ -17,6 +17,7 @@
 mod codec;
 mod endpoints;
 mod error;
+mod intern;
 mod meta;
 mod netpol;
 mod object;
@@ -26,6 +27,7 @@ mod workload;
 
 pub use endpoints::{EndpointAddress, Endpoints};
 pub use error::{Error, Result};
+pub use intern::{KeyId, LabelId, LabelInterner, LabelSet, SelectorMatcher};
 pub use meta::{LabelSelector, Labels, ObjectMeta, SelectorOp, SelectorRequirement};
 pub use netpol::{
     IpBlock, NetworkPolicy, NetworkPolicyPeer, NetworkPolicyRule, NetworkPolicySpec, PolicyPort,

@@ -1,8 +1,9 @@
 //! Property tests for label algebra and object codec round trips.
 
 use ij_model::{
-    decode_manifest, ContainerPort, LabelSelector, Labels, NetworkPolicy, NetworkPolicyPeer,
-    Object, ObjectMeta, PolicyPort, Protocol, Service, ServicePort,
+    decode_manifest, ContainerPort, LabelInterner, LabelSelector, Labels, NetworkPolicy,
+    NetworkPolicyPeer, Object, ObjectMeta, PolicyPort, Protocol, SelectorMatcher, SelectorOp,
+    SelectorRequirement, Service, ServicePort,
 };
 use proptest::prelude::*;
 
@@ -20,6 +21,29 @@ fn arb_protocol() -> impl Strategy<Value = Protocol> {
         Just(Protocol::Udp),
         Just(Protocol::Sctp)
     ]
+}
+
+/// A deliberately narrow alphabet so selectors and label sets collide often
+/// — the interesting cases for matcher equivalence.
+fn arb_dense_labels() -> impl Strategy<Value = Labels> {
+    prop::collection::btree_map("[ab]", "[xy]", 0..3).prop_map(Labels)
+}
+
+fn arb_selector() -> impl Strategy<Value = LabelSelector> {
+    let op = prop_oneof![
+        Just(SelectorOp::In),
+        Just(SelectorOp::NotIn),
+        Just(SelectorOp::Exists),
+        Just(SelectorOp::DoesNotExist)
+    ];
+    let requirement = ("[abc]", op, prop::collection::vec("[xyz]", 0..3))
+        .prop_map(|(key, op, values)| SelectorRequirement { key, op, values });
+    (arb_dense_labels(), prop::collection::vec(requirement, 0..3)).prop_map(
+        |(match_labels, match_expressions)| LabelSelector {
+            match_labels,
+            match_expressions,
+        },
+    )
 }
 
 proptest! {
@@ -44,6 +68,40 @@ proptest! {
     fn equality_selector_matches_iff_subset(pod in arb_labels(), sel in arb_labels()) {
         let selector = LabelSelector::from_labels(sel.clone());
         prop_assert_eq!(selector.matches(&pod), pod.contains_all(&sel));
+    }
+
+    /// The compiled [`SelectorMatcher`] agrees with the string-based
+    /// [`LabelSelector::matches`] on every candidate label set, whichever
+    /// order selector and candidates hit the intern table.
+    #[test]
+    fn compiled_selector_equals_naive(
+        selector in arb_selector(),
+        candidates in prop::collection::vec(arb_dense_labels(), 1..6),
+        compile_first in any::<bool>(),
+    ) {
+        let mut interner = LabelInterner::new();
+        if compile_first {
+            let matcher = SelectorMatcher::compile(&selector, &mut interner);
+            for labels in &candidates {
+                let set = interner.intern(labels);
+                prop_assert_eq!(matcher.matches(&set), selector.matches(labels), "{selector:?} vs {labels}");
+            }
+        } else {
+            let sets: Vec<_> = candidates.iter().map(|l| interner.intern(l)).collect();
+            let matcher = SelectorMatcher::compile(&selector, &mut interner);
+            for (labels, set) in candidates.iter().zip(&sets) {
+                prop_assert_eq!(matcher.matches(set), selector.matches(labels), "{selector:?} vs {labels}");
+            }
+        }
+    }
+
+    /// Interned `contains_all` is exactly the string subset relation.
+    #[test]
+    fn interned_contains_all_equals_subset(a in arb_dense_labels(), b in arb_dense_labels()) {
+        let mut interner = LabelInterner::new();
+        let set_a = interner.intern(&a);
+        let matcher = SelectorMatcher::compile(&LabelSelector::from_labels(b.clone()), &mut interner);
+        prop_assert_eq!(matcher.matches(&set_a), a.contains_all(&b));
     }
 
     #[test]

@@ -18,16 +18,21 @@
 //!   Both the injection rate and the filter are configurable so the
 //!   false-positive ablation can be reproduced.
 //!
-//! The crate also provides the reachability matrix used by the paper's
-//! §4.3.2 network-policy impact study.
+//! The crate also provides the batch reachability matrix ([`ReachMatrix`])
+//! behind the paper's §4.3.2 network-policy impact study: the full
+//! src × dst × socket reachability computed in one pass over the cluster's
+//! cached policy index, bit-for-bit identical to the sequential per-pair
+//! probe it replaced.
 
 mod baseline;
+mod matrix;
 mod reach;
 mod report;
 mod snapshot;
 mod topology;
 
 pub use baseline::HostBaseline;
+pub use matrix::ReachMatrix;
 pub use reach::{reachable_pod_endpoints, reachable_service_ports, ReachableEndpoint};
 pub use report::{PodRuntime, RuntimeReport};
 pub use snapshot::{ObservedSocket, ProbeConfig, RuntimeAnalyzer, Snapshot};

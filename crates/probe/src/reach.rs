@@ -4,7 +4,8 @@
 //! chart's own NetworkPolicies, how many *misconfigured* endpoints remain
 //! reachable from an unrelated pod in the cluster?
 
-use ij_cluster::{Cluster, ConnectOutcome};
+use crate::matrix::ReachMatrix;
+use ij_cluster::Cluster;
 use ij_model::Protocol;
 
 /// One endpoint reachable from the vantage pod.
@@ -20,52 +21,25 @@ pub struct ReachableEndpoint {
 
 /// Probes every open socket of every other pod from `src` and returns the
 /// endpoints where a connection would succeed.
+///
+/// One call computes a [`ReachMatrix`] column set over the cluster's cached
+/// policy index; probing several vantage pods is cheaper still via
+/// [`ReachMatrix::reachable_from`] on one shared matrix.
 pub fn reachable_pod_endpoints(cluster: &Cluster, src: &str) -> Vec<ReachableEndpoint> {
-    let mut out = Vec::new();
-    let Some(src_pod) = cluster.pod(src) else {
-        return out;
-    };
-    for dst in cluster.pods() {
-        if dst.qualified_name() == src_pod.qualified_name() {
-            continue;
-        }
-        for socket in &dst.sockets {
-            if socket.loopback_only {
-                continue;
-            }
-            if cluster.connect(src, &dst.qualified_name(), socket.port, socket.protocol)
-                == Some(ConnectOutcome::Connected)
-            {
-                out.push(ReachableEndpoint {
-                    pod: dst.qualified_name(),
-                    port: socket.port,
-                    protocol: socket.protocol,
-                });
-            }
-        }
-    }
-    out.sort_by(|a, b| (&a.pod, a.port).cmp(&(&b.pod, b.port)));
-    out
+    ReachMatrix::compute(cluster).reachable_from(src)
 }
 
 /// Probes every service port from `src`, returning `(service qualified
 /// name, port)` pairs for which at least one backend would answer.
 pub fn reachable_service_ports(cluster: &Cluster, src: &str) -> Vec<(String, u16)> {
     let mut out = Vec::new();
-    let services: Vec<(String, String, Vec<u16>)> = cluster
-        .services()
-        .map(|s| {
-            (
-                s.meta.namespace.clone(),
-                s.meta.name.clone(),
-                s.spec.ports.iter().map(|p| p.port).collect(),
-            )
-        })
-        .collect();
-    for (ns, name, ports) in services {
-        for port in ports {
-            if !cluster.send_to_service(src, &ns, &name, port).is_empty() {
-                out.push((format!("{ns}/{name}"), port));
+    for svc in cluster.services() {
+        for sp in &svc.spec.ports {
+            if !cluster
+                .send_to_service(src, &svc.meta.namespace, &svc.meta.name, sp.port)
+                .is_empty()
+            {
+                out.push((svc.meta.qualified_name(), sp.port));
             }
         }
     }

@@ -7,7 +7,8 @@
 //! `src → dst:port` path, with undeclared/dynamic destination ports
 //! highlighted so the dangerous edges stand out.
 
-use ij_cluster::{Cluster, ConnectOutcome};
+use crate::matrix::ReachMatrix;
+use ij_cluster::Cluster;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
@@ -42,22 +43,18 @@ pub fn connectivity_dot(cluster: &Cluster) -> String {
         );
     }
 
-    for src in cluster.pods() {
-        for dst in cluster.pods() {
-            if src.qualified_name() == dst.qualified_name() {
+    // One matrix pass answers every (src, dst, socket) edge query.
+    let matrix = ReachMatrix::compute(cluster);
+    for (src_idx, src) in cluster.pods().iter().enumerate() {
+        for (dst_idx, dst) in cluster.pods().iter().enumerate() {
+            if src_idx == dst_idx {
                 continue;
             }
             for socket in &dst.sockets {
                 if socket.loopback_only {
                     continue;
                 }
-                let outcome = cluster.connect(
-                    &src.qualified_name(),
-                    &dst.qualified_name(),
-                    socket.port,
-                    socket.protocol,
-                );
-                if outcome != Some(ConnectOutcome::Connected) {
+                if !matrix.connected(src_idx, dst_idx, socket.port, socket.protocol) {
                     continue;
                 }
                 let declared = dst
