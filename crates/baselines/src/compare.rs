@@ -103,7 +103,7 @@ pub fn run_comparison() -> Vec<ComparisonRow> {
         let mut objects = Vec::new();
         for b in &builts {
             let rendered = b
-                .chart
+                .chart()
                 .render(&Release::new(&b.spec.name, "default"))
                 .expect("representative charts render");
             cluster.install(&rendered).expect("no admission");
@@ -127,7 +127,7 @@ pub fn run_comparison() -> Vec<ComparisonRow> {
         let mut statics_per_app = Vec::new();
         for b in &builts {
             let rendered = b
-                .chart
+                .chart()
                 .render(&Release::new(&b.spec.name, "default"))
                 .expect("already rendered once");
             let findings = Analyzer::hybrid().analyze_app(
@@ -135,7 +135,7 @@ pub fn run_comparison() -> Vec<ComparisonRow> {
                 &rendered.objects,
                 &cluster,
                 Some(&runtime),
-                chart_defines_network_policies(&b.chart),
+                chart_defines_network_policies(b.chart()),
             );
             found.extend(findings);
             statics_per_app.push((

@@ -65,14 +65,14 @@ fn bench_chart_render(c: &mut Criterion) {
     let built = build_app(&busy_spec());
     let release = Release::new("bench-app", "default");
     c.bench_function("chart_render_busy_app", |b| {
-        b.iter(|| black_box(built.chart.render(&release).unwrap().objects.len()))
+        b.iter(|| black_box(built.chart().render(&release).unwrap().objects.len()))
     });
 }
 
 fn bench_cluster_install(c: &mut Criterion) {
     let built = build_app(&busy_spec());
     let rendered = built
-        .chart
+        .chart()
         .render(&Release::new("bench-app", "default"))
         .unwrap();
     c.bench_function("cluster_install_reconcile", |b| {
@@ -91,7 +91,7 @@ fn bench_cluster_install(c: &mut Criterion) {
 fn bench_policy_engine(c: &mut Criterion) {
     let built = build_app(&busy_spec());
     let rendered = built
-        .chart
+        .chart()
         .render(
             &Release::new("bench-app", "default")
                 .with_values_yaml("networkPolicy:\n  enabled: true\n")
@@ -129,7 +129,7 @@ fn bench_policy_engine(c: &mut Criterion) {
 fn bench_probe(c: &mut Criterion) {
     let built = build_app(&busy_spec());
     let rendered = built
-        .chart
+        .chart()
         .render(&Release::new("bench-app", "default"))
         .unwrap();
     c.bench_function("probe_double_run", |b| {
@@ -150,7 +150,7 @@ fn bench_probe(c: &mut Criterion) {
 fn bench_analyzer(c: &mut Criterion) {
     let built = build_app(&busy_spec());
     let rendered = built
-        .chart
+        .chart()
         .render(&Release::new("bench-app", "default"))
         .unwrap();
     let mut cluster = Cluster::new(ClusterConfig {
@@ -161,7 +161,7 @@ fn bench_analyzer(c: &mut Criterion) {
     let baseline = HostBaseline::capture(&cluster);
     cluster.install(&rendered).unwrap();
     let runtime = RuntimeAnalyzer::default().analyze(&mut cluster, &baseline);
-    let defines = chart_defines_network_policies(&built.chart);
+    let defines = chart_defines_network_policies(built.chart());
     c.bench_function("analyzer_hybrid_app", |b| {
         b.iter(|| {
             black_box(

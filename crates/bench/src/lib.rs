@@ -290,9 +290,12 @@ pub fn defense_outcomes() -> Vec<DefenseOutcome> {
             guarded.push_admission(Box::new(GuardAdmission::new(policy)));
             let mut blocked = false;
             for spec in &case.apps {
+                // Built fresh and rendered exactly once: the parse-per-call
+                // path is the right trade-off here (no compilation to
+                // amortize).
                 let built = build_app(spec);
                 let rendered = built
-                    .chart
+                    .chart()
                     .render(&Release::new(&spec.name, "default"))
                     .expect("representative charts render");
                 if guarded.install(&rendered).is_err() {
@@ -317,7 +320,7 @@ pub fn defense_outcomes() -> Vec<DefenseOutcome> {
             let mut objects = Vec::new();
             for b in &builts {
                 let rendered = b
-                    .chart
+                    .chart()
                     .render(&Release::new(&b.spec.name, "default"))
                     .expect("representative charts render");
                 cluster.install(&rendered).expect("unguarded install");

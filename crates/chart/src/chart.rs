@@ -1,7 +1,7 @@
 //! Chart packaging and the render pipeline.
 
 use crate::error::{Error, Result};
-use crate::template::{merge_defines, parse_template, render_parsed, Context};
+use crate::template::{build_root, parse_template, render_file, shared_defines};
 use ij_model::Object;
 use ij_yaml::{Map, Value};
 
@@ -114,6 +114,14 @@ impl Chart {
         })
     }
 
+    /// Compiles this chart for render-many workloads: every template file
+    /// (including dependencies) is lexed and parsed exactly once, and
+    /// action-free files are decoded to objects ahead of time. See
+    /// [`CompiledChart`](crate::CompiledChart).
+    pub fn compile(&self) -> Result<crate::CompiledChart> {
+        crate::CompiledChart::compile(self)
+    }
+
     /// Renders this chart with pre-merged `values`, appending objects.
     fn render_into(
         &self,
@@ -121,47 +129,30 @@ impl Chart {
         values: &Value,
         objects: &mut Vec<Object>,
     ) -> Result<()> {
-        let ctx = Context {
-            values: values.clone(),
-            release_name: release.name.clone(),
-            release_namespace: release.namespace.clone(),
-            chart_name: self.name.clone(),
-            chart_version: self.version.clone(),
-        };
         // Two passes, like Helm: first collect every file's named partials
         // (so `_helpers.tpl` definitions are visible chart-wide), then
-        // render the non-partial files against the shared set.
+        // render the non-partial files against the shared set. The shared
+        // set borrows the parsed partials and the root dot is built once
+        // per chart level, so per-file work is evaluation only.
         let mut parsed = Vec::with_capacity(self.templates.len());
         for (tpl_name, source) in &self.templates {
-            parsed.push((tpl_name, parse_template(tpl_name, source)?));
+            parsed.push((tpl_name.as_str(), parse_template(tpl_name, source)?));
         }
-        let shared = merge_defines(&parsed.iter().map(|(_, t)| t.clone()).collect::<Vec<_>>());
+        let shared = shared_defines(parsed.iter().map(|(_, t)| t));
+        let root = build_root(
+            values.clone(),
+            &release.name,
+            &release.namespace,
+            &self.name,
+            &self.version,
+        );
         for (tpl_name, template) in &parsed {
             // Underscore files only contribute partials.
             if tpl_name.starts_with('_') {
                 continue;
             }
-            let rendered = render_parsed(tpl_name, template, &shared, &ctx)?;
-            if rendered.trim().is_empty() {
-                continue;
-            }
-            let docs = ij_yaml::parse_all(&rendered).map_err(|e| Error::RenderedYaml {
-                template: (*tpl_name).clone(),
-                source: e,
-                rendered: rendered.clone(),
-            })?;
-            for doc in docs.iter().filter(|d| !d.is_null()) {
-                let mut obj = Object::decode(doc).map_err(|e| Error::Decode {
-                    template: (*tpl_name).clone(),
-                    message: e.to_string(),
-                })?;
-                // Helm stamps the release namespace onto namespaced objects
-                // that do not set one themselves.
-                if obj.kind() != "Namespace" && obj.meta().namespace == "default" {
-                    obj.meta_mut().namespace = release.namespace.clone();
-                }
-                objects.push(obj);
-            }
+            let rendered = render_file(tpl_name, template, &shared, &root)?;
+            decode_rendered(tpl_name, &rendered, &release.namespace, objects)?;
         }
         for dep in &self.dependencies {
             if let Some(cond) = &dep.condition {
@@ -184,8 +175,44 @@ impl Chart {
     }
 }
 
+/// Parses a rendered template's text into typed objects, stamping the
+/// release namespace onto namespaced objects that do not set one (Helm's
+/// behaviour). Shared by the per-render path and the compiled render layer.
+pub(crate) fn decode_rendered(
+    tpl_name: &str,
+    rendered: &str,
+    release_namespace: &str,
+    objects: &mut Vec<Object>,
+) -> Result<()> {
+    if rendered.trim().is_empty() {
+        return Ok(());
+    }
+    let docs = ij_yaml::parse_all(rendered).map_err(|e| Error::RenderedYaml {
+        template: tpl_name.to_string(),
+        source: e,
+        rendered: rendered.to_string(),
+    })?;
+    for doc in docs.iter().filter(|d| !d.is_null()) {
+        let mut obj = Object::decode(doc).map_err(|e| Error::Decode {
+            template: tpl_name.to_string(),
+            message: e.to_string(),
+        })?;
+        stamp_namespace(&mut obj, release_namespace);
+        objects.push(obj);
+    }
+    Ok(())
+}
+
+/// Helm stamps the release namespace onto namespaced objects that do not
+/// set one themselves.
+pub(crate) fn stamp_namespace(obj: &mut Object, release_namespace: &str) {
+    if obj.kind() != "Namespace" && obj.meta().namespace == "default" {
+        obj.meta_mut().namespace = release_namespace.to_string();
+    }
+}
+
 /// Deep-merges `overlay` onto `base`; both must be mappings (or null).
-fn merge_values(base: &Value, overlay: &Value) -> Result<Value> {
+pub(crate) fn merge_values(base: &Value, overlay: &Value) -> Result<Value> {
     let mut out = match base {
         Value::Map(m) => m.clone(),
         Value::Null => Map::new(),

@@ -1,0 +1,401 @@
+//! Compile-once chart rendering.
+//!
+//! [`Chart::render`] is a parse-per-call API: every call re-lexes and
+//! re-parses each template file of the chart and its dependencies. That is
+//! the right trade-off for a one-shot `ij render`, but the census pipeline
+//! renders hundreds of charts (and renders some of them several times:
+//! census, policy-impact, repeated studies). [`CompiledChart`] front-loads
+//! all of that work:
+//!
+//! * every template file — including dependency charts — is lexed and
+//!   parsed exactly **once**, at compile time;
+//! * files without template actions (the common case for generated corpus
+//!   charts) are rendered and decoded to typed objects at compile time;
+//!   rendering them again is a clone plus a namespace stamp;
+//! * per render, the root dot (`.Values`/`.Release`/`.Chart`) is built once
+//!   per chart level and the shared partial set is borrowed — no partial
+//!   body or values subtree is ever deep-cloned.
+//!
+//! Output is byte-identical to [`Chart::render`] (property-tested against
+//! random corpus charts in `ij-datasets`). The one behavioural difference
+//! is error timing: [`Chart::compile`] surfaces template syntax errors and
+//! static-file decode errors eagerly — even for files of a dependency whose
+//! enable condition is off — where the parse-per-call path only reports
+//! them when the file is actually rendered.
+//!
+//! The handle is `Arc`-backed: clones share the compiled representation and
+//! are cheap enough to cache per app (see `BuiltApp::compiled` in
+//! `ij-datasets`).
+
+use crate::chart::{
+    decode_rendered, merge_values, stamp_namespace, Chart, Release, RenderedRelease,
+};
+use crate::error::Result;
+use crate::template::{
+    build_root, parse_template, render_file, shared_defines, Node, ParsedTemplate,
+};
+use ij_model::Object;
+use ij_yaml::{Map, Value};
+use std::sync::Arc;
+
+/// A chart compiled for render-many workloads: cached template ASTs, a
+/// pre-decoded object set for action-free files, and per-release contexts
+/// built exactly once per chart level. Build via [`Chart::compile`]; clone
+/// freely (clones share the compiled representation).
+#[derive(Debug, Clone)]
+pub struct CompiledChart {
+    root: Arc<CompiledLevel>,
+}
+
+/// One chart level (the root chart or a dependency): its identity, default
+/// values, compiled template files, and compiled dependencies.
+#[derive(Debug)]
+struct CompiledLevel {
+    name: String,
+    version: String,
+    values: Value,
+    files: Vec<CompiledFile>,
+    deps: Vec<CompiledDep>,
+}
+
+#[derive(Debug)]
+struct CompiledDep {
+    /// The dependency chart's name (also its values scope in the parent).
+    chart_name: String,
+    /// Dotted enable condition into the parent's merged values.
+    condition: Option<String>,
+    level: CompiledLevel,
+}
+
+#[derive(Debug)]
+struct CompiledFile {
+    name: String,
+    parsed: ParsedTemplate,
+    plan: RenderPlan,
+}
+
+/// What rendering a compiled file amounts to.
+#[derive(Debug)]
+enum RenderPlan {
+    /// Underscore file: contributes partials, renders nothing.
+    Partial,
+    /// Action-free file whose output is all whitespace: renders nothing.
+    Blank,
+    /// Action-free file: output never depends on the release, so the typed
+    /// objects are decoded once at compile time and cloned per render.
+    Static(Vec<Object>),
+    /// File with template actions: evaluated per render (the cached AST is
+    /// replayed; only evaluation happens).
+    Dynamic,
+}
+
+impl CompiledChart {
+    /// Compiles a chart: parses every template file (including
+    /// dependencies) once and pre-decodes action-free files.
+    pub fn compile(chart: &Chart) -> Result<CompiledChart> {
+        Ok(CompiledChart {
+            root: Arc::new(compile_level(chart)?),
+        })
+    }
+
+    /// Root chart name.
+    pub fn name(&self) -> &str {
+        &self.root.name
+    }
+
+    /// Root chart version.
+    pub fn version(&self) -> &str {
+        &self.root.version
+    }
+
+    /// An identity token for the compiled representation: equal for two
+    /// handles iff they share the same compilation (clones do; compiling
+    /// the same chart twice does not). Useful as a render-memoization key —
+    /// keep a handle alive alongside the key, since the token is only
+    /// meaningful while the compilation it names exists.
+    pub fn instance_key(&self) -> usize {
+        Arc::as_ptr(&self.root) as usize
+    }
+
+    /// Renders the chart (and enabled dependencies) into typed objects.
+    /// Byte-identical to [`Chart::render`] for the same chart and release.
+    pub fn render(&self, release: &Release) -> Result<RenderedRelease> {
+        let merged = merge_values(&self.root.values, &release.overrides)?;
+        let mut objects = Vec::new();
+        self.root.render_into(release, merged, &mut objects)?;
+        Ok(RenderedRelease {
+            release_name: release.name.clone(),
+            namespace: release.namespace.clone(),
+            chart_name: self.root.name.clone(),
+            objects,
+        })
+    }
+}
+
+fn compile_level(chart: &Chart) -> Result<CompiledLevel> {
+    let mut files = Vec::with_capacity(chart.templates.len());
+    for (tpl_name, source) in &chart.templates {
+        let parsed = parse_template(tpl_name, source)?;
+        let plan = if tpl_name.starts_with('_') {
+            RenderPlan::Partial
+        } else if parsed.nodes.iter().all(|n| matches!(n, Node::Text(_))) {
+            // No actions anywhere: the output is the concatenated text,
+            // independent of values and release — decode it now. Stamping
+            // with the "default" namespace is the identity, so the cached
+            // objects carry their manifest namespaces and the release
+            // namespace is stamped per render.
+            let rendered: String = parsed
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Text(t) => t.as_str(),
+                    _ => unreachable!("checked all-text above"),
+                })
+                .collect();
+            if rendered.trim().is_empty() {
+                RenderPlan::Blank
+            } else {
+                let mut objects = Vec::new();
+                decode_rendered(tpl_name, &rendered, "default", &mut objects)?;
+                RenderPlan::Static(objects)
+            }
+        } else {
+            RenderPlan::Dynamic
+        };
+        files.push(CompiledFile {
+            name: tpl_name.clone(),
+            parsed,
+            plan,
+        });
+    }
+    let mut deps = Vec::with_capacity(chart.dependencies.len());
+    for dep in &chart.dependencies {
+        deps.push(CompiledDep {
+            chart_name: dep.chart.name.clone(),
+            condition: dep.condition.clone(),
+            level: compile_level(&dep.chart)?,
+        });
+    }
+    Ok(CompiledLevel {
+        name: chart.name.clone(),
+        version: chart.version.clone(),
+        values: chart.values.clone(),
+        files,
+        deps,
+    })
+}
+
+impl CompiledLevel {
+    /// Replays this level's cached templates for one release, appending
+    /// objects, then recurses into enabled dependencies — the compiled
+    /// mirror of `Chart::render_into`. `values` is owned: it moves into the
+    /// root dot instead of being cloned per file.
+    fn render_into(
+        &self,
+        release: &Release,
+        values: Value,
+        objects: &mut Vec<Object>,
+    ) -> Result<()> {
+        let shared = shared_defines(self.files.iter().map(|f| &f.parsed));
+        let root = build_root(
+            values,
+            &release.name,
+            &release.namespace,
+            &self.name,
+            &self.version,
+        );
+        for file in &self.files {
+            match &file.plan {
+                RenderPlan::Partial | RenderPlan::Blank => {}
+                RenderPlan::Static(objs) => {
+                    for obj in objs {
+                        let mut obj = obj.clone();
+                        stamp_namespace(&mut obj, &release.namespace);
+                        objects.push(obj);
+                    }
+                }
+                RenderPlan::Dynamic => {
+                    let rendered = render_file(&file.name, &file.parsed, &shared, &root)?;
+                    decode_rendered(&file.name, &rendered, &release.namespace, objects)?;
+                }
+            }
+        }
+        let values = root.get("Values").expect("root always carries Values");
+        for dep in &self.deps {
+            if let Some(cond) = &dep.condition {
+                let path: Vec<&str> = cond.split('.').collect();
+                let enabled = values.path(&path).map(Value::truthy).unwrap_or(false);
+                if !enabled {
+                    continue;
+                }
+            }
+            // The subchart sees its own defaults overlaid with the parent's
+            // values scoped under the subchart's name.
+            let scoped = values
+                .get(&dep.chart_name)
+                .cloned()
+                .unwrap_or(Value::Map(Map::new()));
+            let sub_values = merge_values(&dep.level.values, &scoped)?;
+            dep.level.render_into(release, sub_values, objects)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::Dependency;
+
+    fn chart_with_everything() -> Chart {
+        let db = Chart::builder("db")
+            .values_yaml("port: 5432\nenabled: true\n")
+            .unwrap()
+            .template(
+                "svc.yaml",
+                "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}-db
+spec:
+  selector:
+    app: db
+  ports:
+    - port: {{ .Values.port }}
+",
+            )
+            .build();
+        Chart::builder("app")
+            .version("2.4.8")
+            .values_yaml("db:\n  enabled: true\n  port: 6543\nreplicas: 3\n")
+            .unwrap()
+            .template(
+                "_helpers.tpl",
+                "{{ define \"app.labels\" }}app: {{ .Chart.Name }}{{ end }}",
+            )
+            .template(
+                "static.yaml",
+                "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: static-svc
+spec:
+  selector:
+    app: app
+  ports:
+    - port: 80
+",
+            )
+            .template(
+                "dynamic.yaml",
+                "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-app
+spec:
+  replicas: {{ .Values.replicas }}
+  selector:
+    matchLabels:{{ include \"app.labels\" . | nindent 6 }}
+  template:
+    metadata:
+      labels:{{ include \"app.labels\" . | nindent 8 }}
+    spec:
+      containers:
+        - name: app
+          image: img/app
+",
+            )
+            .template("blank.yaml", "{{ if .Values.never }}kind: Pod\n{{ end }}")
+            .dependency_if(db, "db.enabled")
+            .build()
+    }
+
+    fn bytes(r: &RenderedRelease) -> String {
+        format!("{r:#?}")
+    }
+
+    #[test]
+    fn compiled_render_matches_per_call_render() {
+        let chart = chart_with_everything();
+        let compiled = chart.compile().expect("compiles");
+        for release in [
+            Release::new("demo", "apps"),
+            Release::new("other", "default"),
+            Release::new("off", "apps")
+                .with_values_yaml("db:\n  enabled: false\nreplicas: 7\n")
+                .unwrap(),
+        ] {
+            let naive = chart.render(&release).expect("per-call render");
+            let replay = compiled.render(&release).expect("compiled render");
+            assert_eq!(bytes(&naive), bytes(&replay), "release {}", release.name);
+            // Replays are stable.
+            let again = compiled.render(&release).expect("second compiled render");
+            assert_eq!(bytes(&replay), bytes(&again));
+        }
+    }
+
+    #[test]
+    fn static_files_are_predecoded_and_namespace_stamped() {
+        let chart = chart_with_everything();
+        let compiled = chart.compile().expect("compiles");
+        let r = compiled
+            .render(&Release::new("r", "prod"))
+            .expect("renders");
+        let svc = r
+            .objects
+            .iter()
+            .find(|o| o.meta().name == "static-svc")
+            .expect("static service rendered");
+        assert_eq!(svc.meta().namespace, "prod", "release namespace stamped");
+    }
+
+    #[test]
+    fn clones_share_the_compiled_representation() {
+        let compiled = chart_with_everything().compile().expect("compiles");
+        let clone = compiled.clone();
+        assert_eq!(compiled.instance_key(), clone.instance_key());
+        let recompiled = chart_with_everything().compile().expect("compiles");
+        assert_ne!(compiled.instance_key(), recompiled.instance_key());
+    }
+
+    #[test]
+    fn compile_surfaces_template_errors_eagerly() {
+        let chart = Chart::builder("bad")
+            .template("broken.yaml", "{{ if .Values.x }}no end")
+            .build();
+        assert!(chart.compile().is_err());
+    }
+
+    #[test]
+    fn compile_surfaces_disabled_dependency_errors_eagerly() {
+        // The parse-per-call path only parses a dependency when its
+        // condition enables it; the compiled path parses everything up
+        // front — the documented (stricter) difference.
+        let bad_dep = Chart::builder("dep")
+            .template("broken.yaml", "{{ end }}")
+            .build();
+        let chart = Chart {
+            name: "parent".into(),
+            version: "1.0.0".into(),
+            description: String::new(),
+            values: ij_yaml::parse("dep:\n  enabled: false\n").unwrap(),
+            templates: Vec::new(),
+            dependencies: vec![Dependency {
+                chart: bad_dep,
+                condition: Some("dep.enabled".into()),
+            }],
+        };
+        assert!(chart.render(&Release::new("r", "default")).is_ok());
+        assert!(chart.compile().is_err());
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let compiled = chart_with_everything().compile().expect("compiles");
+        assert_eq!(compiled.name(), "app");
+        assert_eq!(compiled.version(), "2.4.8");
+    }
+}

@@ -17,6 +17,16 @@
 //!   enable conditions, deep value overlays;
 //! * a render pipeline producing typed [`ij_model::Object`]s for a release.
 //!
+//! Rendering comes in two forms, byte-identical in output:
+//!
+//! * [`Chart::render`] — parse-per-call, for render-once workloads;
+//! * [`Chart::compile`] → [`CompiledChart::render`] — the parse-once /
+//!   render-many form (Helm's own engine shape): template ASTs are cached,
+//!   action-free files are pre-decoded to objects, and each render builds
+//!   one context per chart level while borrowing everything else.
+//!   Template evaluation itself is copy-on-write — `.Values.a.b` lookups
+//!   borrow from the values tree instead of cloning the addressed subtree.
+//!
 //! ```
 //! use ij_chart::{Chart, Release};
 //!
@@ -40,11 +50,13 @@
 //! ```
 
 mod chart;
+mod compiled;
 mod error;
 mod fsload;
 mod template;
 
 pub use chart::{Chart, ChartBuilder, Dependency, Release, RenderedRelease};
+pub use compiled::CompiledChart;
 pub use error::{Error, Result};
 pub use template::{
     merge_defines, parse_template, render_parsed, render_template, Context, Node, ParsedTemplate,

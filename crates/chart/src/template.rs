@@ -20,6 +20,7 @@
 
 use crate::error::{Error, Result};
 use ij_yaml::{Map, Value};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// The evaluation context of a render: `.Values`, `.Release`, `.Chart`.
@@ -40,25 +41,45 @@ pub struct Context {
 impl Context {
     /// Builds the root dot value visible to templates.
     fn root_dot(&self) -> Value {
-        let mut release = Map::new();
-        release.insert("Name", Value::str(&self.release_name));
-        release.insert("Namespace", Value::str(&self.release_namespace));
-        let mut chart = Map::new();
-        chart.insert("Name", Value::str(&self.chart_name));
-        chart.insert("Version", Value::str(&self.chart_version));
-        let mut root = Map::new();
-        root.insert("Values", self.values.clone());
-        root.insert("Release", Value::Map(release));
-        root.insert("Chart", Value::Map(chart));
-        Value::Map(root)
+        build_root(
+            self.values.clone(),
+            &self.release_name,
+            &self.release_namespace,
+            &self.chart_name,
+            &self.chart_version,
+        )
     }
+}
+
+/// Builds the root dot value (`.Values` / `.Release` / `.Chart`) for a
+/// render, taking ownership of the merged values tree so the chart render
+/// path pays exactly one values clone per chart level per render (the seed
+/// cloned the full tree once per template file).
+pub(crate) fn build_root(
+    values: Value,
+    release_name: &str,
+    release_namespace: &str,
+    chart_name: &str,
+    chart_version: &str,
+) -> Value {
+    let mut release = Map::new();
+    release.insert("Name", Value::str(release_name));
+    release.insert("Namespace", Value::str(release_namespace));
+    let mut chart = Map::new();
+    chart.insert("Name", Value::str(chart_name));
+    chart.insert("Version", Value::str(chart_version));
+    let mut root = Map::new();
+    root.insert("Values", values);
+    root.insert("Release", Value::Map(release));
+    root.insert("Chart", Value::Map(chart));
+    Value::Map(root)
 }
 
 /// A parsed template file: its body plus any named partials it defines.
 #[derive(Debug, Clone)]
 pub struct ParsedTemplate {
-    nodes: Vec<Node>,
-    defines: HashMap<String, Vec<Node>>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) defines: HashMap<String, Vec<Node>>,
 }
 
 impl ParsedTemplate {
@@ -100,24 +121,60 @@ pub fn render_parsed(
     ctx: &Context,
 ) -> Result<String> {
     let root = ctx.root_dot();
-    let mut merged: HashMap<&str, &Vec<Node>> = HashMap::new();
-    for (k, v) in shared_defines {
-        merged.insert(k.as_str(), v);
+    let shared: SharedDefines<'_> = shared_defines
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_slice()))
+        .collect();
+    render_file(name, template, &shared, &root)
+}
+
+/// A borrowed view of the partials shared across a chart's template files.
+/// Built once per render from the parsed templates — no `Vec<Node>` is ever
+/// cloned to assemble it (the seed's `merge_defines` deep-cloned every
+/// partial body on every render).
+pub(crate) type SharedDefines<'a> = HashMap<&'a str, &'a [Node]>;
+
+/// Collects every file's defines into one borrowed shared set; a later
+/// file's define wins, like `merge_defines`.
+pub(crate) fn shared_defines<'a, I>(templates: I) -> SharedDefines<'a>
+where
+    I: IntoIterator<Item = &'a ParsedTemplate>,
+{
+    let mut out = SharedDefines::new();
+    for t in templates {
+        for (k, v) in &t.defines {
+            out.insert(k.as_str(), v.as_slice());
+        }
     }
-    for (k, v) in &template.defines {
-        merged.insert(k.as_str(), v);
-    }
+    out
+}
+
+/// Renders a parsed file against a pre-built root dot and a borrowed shared
+/// partial set. This is the chart render path: the root is built once per
+/// chart level and the defines are borrowed, so per-file work is evaluation
+/// only.
+pub(crate) fn render_file(
+    name: &str,
+    template: &ParsedTemplate,
+    shared: &SharedDefines<'_>,
+    root: &Value,
+) -> Result<String> {
     let env = EvalEnv {
         name,
-        defines: &merged,
-        root: &root,
+        shared,
+        own: &template.defines,
+        root,
     };
     let mut out = String::new();
-    eval_block(&env, &template.nodes, &root, &mut out, 0)?;
+    eval_block(&env, &template.nodes, root, &mut out, 0)?;
     Ok(out)
 }
 
 /// Collects the partials of several parsed templates into one shared set.
+///
+/// Kept for callers that pair it with [`render_parsed`]; the chart render
+/// paths use a borrowed equivalent internally and never clone partial
+/// bodies.
 pub fn merge_defines(templates: &[ParsedTemplate]) -> HashMap<String, Vec<Node>> {
     let mut out = HashMap::new();
     for t in templates {
@@ -621,21 +678,34 @@ impl<'a> ExprLexer<'a> {
 // Evaluation.
 // ---------------------------------------------------------------------------
 
-/// Shared evaluation state: the template's name, the partial set visible to
-/// `include`, and the root dot.
+/// Shared evaluation state: the template's name, the partial sets visible
+/// to `include` (the file's own defines shadow the chart-wide shared set),
+/// and the root dot.
 struct EvalEnv<'a> {
     name: &'a str,
-    defines: &'a HashMap<&'a str, &'a Vec<Node>>,
+    shared: &'a SharedDefines<'a>,
+    own: &'a HashMap<String, Vec<Node>>,
     root: &'a Value,
+}
+
+impl<'a> EvalEnv<'a> {
+    /// Looks up a partial: the file's own defines take precedence over the
+    /// shared chart-wide set (the precedence `render_parsed` always had).
+    fn partial(&self, name: &str) -> Option<&'a [Node]> {
+        match self.own.get(name) {
+            Some(v) => Some(v.as_slice()),
+            None => self.shared.get(name).copied(),
+        }
+    }
 }
 
 /// Guard against mutually-recursive partials.
 const MAX_INCLUDE_DEPTH: usize = 64;
 
-fn eval_block(
-    env: &EvalEnv<'_>,
-    nodes: &[Node],
-    dot: &Value,
+fn eval_block<'a>(
+    env: &EvalEnv<'a>,
+    nodes: &'a [Node],
+    dot: &'a Value,
     out: &mut String,
     depth: usize,
 ) -> Result<()> {
@@ -644,7 +714,7 @@ fn eval_block(
             Node::Text(t) => out.push_str(t),
             Node::Output { pipeline, line } => {
                 let v = eval_pipeline(env, pipeline, dot, *line, depth)?;
-                out.push_str(&v.render_scalar());
+                v.write_scalar(out);
             }
             Node::If { branches, line } => {
                 for (cond, body) in branches {
@@ -664,9 +734,9 @@ fn eval_block(
                 line,
             } => {
                 let coll = eval_pipeline(env, pipeline, dot, *line, depth)?;
-                match coll {
+                match coll.as_ref() {
                     Value::Seq(items) => {
-                        for item in &items {
+                        for item in items {
                             eval_block(env, body, item, out, depth)?;
                         }
                     }
@@ -692,7 +762,7 @@ fn eval_block(
             } => {
                 let v = eval_pipeline(env, pipeline, dot, *line, depth)?;
                 if v.truthy() {
-                    eval_block(env, body, &v, out, depth)?;
+                    eval_block(env, body, v.as_ref(), out, depth)?;
                 }
             }
         }
@@ -700,28 +770,33 @@ fn eval_block(
     Ok(())
 }
 
-fn eval_pipeline(
-    env: &EvalEnv<'_>,
-    pipeline: &Pipeline,
-    dot: &Value,
+/// Evaluated values are copy-on-write: path lookups borrow straight out of
+/// the values tree (the seed cloned the addressed subtree on every lookup)
+/// and only function results own their data.
+type Evaluated<'a> = Cow<'a, Value>;
+
+fn eval_pipeline<'a>(
+    env: &EvalEnv<'a>,
+    pipeline: &'a Pipeline,
+    dot: &'a Value,
     line: usize,
     depth: usize,
-) -> Result<Value> {
-    let mut piped: Option<Value> = None;
+) -> Result<Evaluated<'a>> {
+    let mut piped: Option<Evaluated<'a>> = None;
     for cmd in &pipeline.commands {
         piped = Some(eval_command(env, cmd, piped, dot, line, depth)?);
     }
     Ok(piped.expect("pipeline has at least one command"))
 }
 
-fn eval_command(
-    env: &EvalEnv<'_>,
-    cmd: &Command,
-    piped: Option<Value>,
-    dot: &Value,
+fn eval_command<'a>(
+    env: &EvalEnv<'a>,
+    cmd: &'a Command,
+    piped: Option<Evaluated<'a>>,
+    dot: &'a Value,
     line: usize,
     depth: usize,
-) -> Result<Value> {
+) -> Result<Evaluated<'a>> {
     match &cmd.terms[0] {
         Term::Ident(func) => {
             let mut args = Vec::with_capacity(cmd.terms.len());
@@ -756,12 +831,12 @@ fn eval_command(
 
 /// `include "name" CTX` — renders the named partial with CTX as its dot and
 /// returns the text as a string value.
-fn include_partial(
-    env: &EvalEnv<'_>,
-    args: Vec<Value>,
+fn include_partial<'a>(
+    env: &EvalEnv<'a>,
+    args: Vec<Evaluated<'_>>,
     line: usize,
     depth: usize,
-) -> Result<Value> {
+) -> Result<Evaluated<'a>> {
     if args.len() != 2 {
         return Err(template_err(
             env.name,
@@ -780,7 +855,7 @@ fn include_partial(
         ));
     }
     let partial_name = args[0].render_scalar();
-    let Some(body) = env.defines.get(partial_name.as_str()) else {
+    let Some(body) = env.partial(&partial_name) else {
         return Err(template_err(
             env.name,
             line,
@@ -788,21 +863,21 @@ fn include_partial(
         ));
     };
     let mut out = String::new();
-    eval_block(env, body, &args[1], &mut out, depth + 1)?;
-    Ok(Value::Str(out))
+    eval_block(env, body, args[1].as_ref(), &mut out, depth + 1)?;
+    Ok(Cow::Owned(Value::Str(out)))
 }
 
-fn eval_term(
-    env: &EvalEnv<'_>,
-    term: &Term,
-    dot: &Value,
+fn eval_term<'a>(
+    env: &EvalEnv<'a>,
+    term: &'a Term,
+    dot: &'a Value,
     line: usize,
     depth: usize,
-) -> Result<Value> {
+) -> Result<Evaluated<'a>> {
     match term {
-        Term::Path(segs) => Ok(walk(dot, segs)),
-        Term::RootPath(segs) => Ok(walk(env.root, segs)),
-        Term::Literal(v) => Ok(v.clone()),
+        Term::Path(segs) => Ok(borrowed_or_null(walk(dot, segs))),
+        Term::RootPath(segs) => Ok(borrowed_or_null(walk(env.root, segs))),
+        Term::Literal(v) => Ok(Cow::Borrowed(v)),
         Term::Sub(p) => eval_pipeline(env, p, dot, line, depth),
         Term::Ident(f) => Err(template_err(
             env.name,
@@ -812,21 +887,32 @@ fn eval_term(
     }
 }
 
-fn walk(base: &Value, segs: &[String]) -> Value {
+fn borrowed_or_null(v: Option<&Value>) -> Evaluated<'_> {
+    match v {
+        Some(v) => Cow::Borrowed(v),
+        None => Cow::Owned(Value::Null),
+    }
+}
+
+/// Walks map keys from `base`; `None` stands for the missing-path `Null`
+/// without cloning anything on the hit path.
+fn walk<'v>(base: &'v Value, segs: &[String]) -> Option<&'v Value> {
     let mut cur = base;
     for s in segs {
         match cur {
-            Value::Map(m) => match m.get(s) {
-                Some(v) => cur = v,
-                None => return Value::Null,
-            },
-            _ => return Value::Null,
+            Value::Map(m) => cur = m.get(s)?,
+            _ => return None,
         }
     }
-    cur.clone()
+    Some(cur)
 }
 
-fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Result<Value> {
+fn call_function<'a>(
+    name: &str,
+    func: &str,
+    mut args: Vec<Evaluated<'a>>,
+    line: usize,
+) -> Result<Evaluated<'a>> {
     let argc = args.len();
     let bad_arity = |want: &str| {
         Err(template_err(
@@ -835,15 +921,16 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             format!("`{func}` expects {want} argument(s), got {argc}"),
         ))
     };
+    let owned = |v: Value| Ok(Cow::Owned(v));
     match func {
         "default" => {
             if argc != 2 {
                 return bad_arity("2");
             }
             Ok(if args[1].truthy() {
-                args[1].clone()
+                args.swap_remove(1)
             } else {
-                args[0].clone()
+                args.swap_remove(0)
             })
         }
         "required" => {
@@ -851,7 +938,7 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
                 return bad_arity("2");
             }
             if args[1].truthy() {
-                Ok(args[1].clone())
+                Ok(args.swap_remove(1))
             } else {
                 Err(Error::Required(args[0].render_scalar()))
             }
@@ -860,26 +947,26 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             if argc != 1 {
                 return bad_arity("1");
             }
-            Ok(Value::Str(format!("\"{}\"", args[0].render_scalar())))
+            owned(Value::Str(format!("\"{}\"", args[0].render_scalar())))
         }
         "squote" => {
             if argc != 1 {
                 return bad_arity("1");
             }
-            Ok(Value::Str(format!("'{}'", args[0].render_scalar())))
+            owned(Value::Str(format!("'{}'", args[0].render_scalar())))
         }
         "not" => {
             if argc != 1 {
                 return bad_arity("1");
             }
-            Ok(Value::Bool(!args[0].truthy()))
+            owned(Value::Bool(!args[0].truthy()))
         }
         "eq" | "ne" => {
             if argc != 2 {
                 return bad_arity("2");
             }
-            let equal = scalars_equal(&args[0], &args[1]);
-            Ok(Value::Bool(if func == "eq" { equal } else { !equal }))
+            let equal = scalars_equal(args[0].as_ref(), args[1].as_ref());
+            owned(Value::Bool(if func == "eq" { equal } else { !equal }))
         }
         "lt" | "le" | "gt" | "ge" => {
             if argc != 2 {
@@ -895,27 +982,25 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
                 "gt" => a > b,
                 _ => a >= b,
             };
-            Ok(Value::Bool(r))
+            owned(Value::Bool(r))
         }
         "and" => {
             if argc < 2 {
                 return bad_arity("2+");
             }
-            Ok(args
-                .iter()
-                .find(|a| !a.truthy())
-                .cloned()
-                .unwrap_or_else(|| args.last().expect("non-empty").clone()))
+            Ok(match args.iter().position(|a| !a.truthy()) {
+                Some(i) => args.swap_remove(i),
+                None => args.pop().expect("non-empty"),
+            })
         }
         "or" => {
             if argc < 2 {
                 return bad_arity("2+");
             }
-            Ok(args
-                .iter()
-                .find(|a| a.truthy())
-                .cloned()
-                .unwrap_or_else(|| args.last().expect("non-empty").clone()))
+            Ok(match args.iter().position(|a| a.truthy()) {
+                Some(i) => args.swap_remove(i),
+                None => args.pop().expect("non-empty"),
+            })
         }
         "add" | "sub" | "mul" => {
             if argc != 2 {
@@ -925,7 +1010,7 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
                 (Some(a), Some(b)) => (a, b),
                 _ => return Err(template_err(name, line, format!("`{func}` needs integers"))),
             };
-            Ok(Value::Int(match func {
+            owned(Value::Int(match func {
                 "add" => a + b,
                 "sub" => a - b,
                 _ => a * b,
@@ -935,7 +1020,7 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             if argc != 1 {
                 return bad_arity("1");
             }
-            Ok(Value::Int(match &args[0] {
+            owned(Value::Int(match args[0].as_ref() {
                 Value::Seq(s) => s.len() as i64,
                 Value::Map(m) => m.len() as i64,
                 Value::Str(s) => s.len() as i64,
@@ -946,13 +1031,13 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             if argc != 1 {
                 return bad_arity("1");
             }
-            Ok(Value::Str(args[0].render_scalar().to_uppercase()))
+            owned(Value::Str(args[0].render_scalar().to_uppercase()))
         }
         "lower" => {
             if argc != 1 {
                 return bad_arity("1");
             }
-            Ok(Value::Str(args[0].render_scalar().to_lowercase()))
+            owned(Value::Str(args[0].render_scalar().to_lowercase()))
         }
         "trunc" => {
             if argc != 2 {
@@ -960,7 +1045,7 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             }
             let n = args[0].as_int().unwrap_or(0).max(0) as usize;
             let s = args[1].render_scalar();
-            Ok(Value::Str(s.chars().take(n).collect()))
+            owned(Value::Str(s.chars().take(n).collect()))
         }
         "trimSuffix" => {
             if argc != 2 {
@@ -968,7 +1053,7 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             }
             let suffix = args[0].render_scalar();
             let s = args[1].render_scalar();
-            Ok(Value::Str(
+            owned(Value::Str(
                 s.strip_suffix(&suffix).unwrap_or(&s).to_string(),
             ))
         }
@@ -977,23 +1062,22 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
                 return bad_arity("3");
             }
             let s = args[2].render_scalar();
-            Ok(Value::Str(s.replace(
-                &args[0].render_scalar(),
-                &args[1].render_scalar(),
-            )))
+            owned(Value::Str(
+                s.replace(&args[0].render_scalar(), &args[1].render_scalar()),
+            ))
         }
         "printf" => {
             if argc < 1 {
                 return bad_arity("1+");
             }
-            printf(name, &args, line)
+            printf(name, &args, line).map(Cow::Owned)
         }
         "toYaml" => {
             if argc != 1 {
                 return bad_arity("1");
             }
-            Ok(Value::Str(
-                ij_yaml::to_string(&args[0]).trim_end().to_string(),
+            owned(Value::Str(
+                ij_yaml::to_string(args[0].as_ref()).trim_end().to_string(),
             ))
         }
         "indent" | "nindent" => {
@@ -1014,7 +1098,7 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
                 })
                 .collect::<Vec<_>>()
                 .join("\n");
-            Ok(Value::Str(if func == "nindent" {
+            owned(Value::Str(if func == "nindent" {
                 format!("\n{indented}")
             } else {
                 indented
@@ -1025,9 +1109,9 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
                 return bad_arity("3");
             }
             Ok(if args[2].truthy() {
-                args[0].clone()
+                args.swap_remove(0)
             } else {
-                args[1].clone()
+                args.swap_remove(1)
             })
         }
         "hasKey" => {
@@ -1035,7 +1119,7 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
                 return bad_arity("2");
             }
             let key = args[1].render_scalar();
-            Ok(Value::Bool(
+            owned(Value::Bool(
                 args[0].as_map().is_some_and(|m| m.contains_key(&key)),
             ))
         }
@@ -1043,20 +1127,20 @@ fn call_function(name: &str, func: &str, args: Vec<Value>, line: usize) -> Resul
             if argc != 1 {
                 return bad_arity("1");
             }
-            Ok(Value::Str(args[0].render_scalar()))
+            owned(Value::Str(args[0].render_scalar()))
         }
         "int" => {
             if argc != 1 {
                 return bad_arity("1");
             }
-            let v = match &args[0] {
+            let v = match args[0].as_ref() {
                 Value::Int(i) => *i,
                 Value::Float(f) => *f as i64,
                 Value::Str(s) => s.trim().parse::<i64>().unwrap_or(0),
                 Value::Bool(true) => 1,
                 _ => 0,
             };
-            Ok(Value::Int(v))
+            owned(Value::Int(v))
         }
         other => Err(template_err(
             name,
@@ -1078,7 +1162,7 @@ fn scalars_equal(a: &Value, b: &Value) -> bool {
     }
 }
 
-fn printf(name: &str, args: &[Value], line: usize) -> Result<Value> {
+fn printf(name: &str, args: &[Evaluated<'_>], line: usize) -> Result<Value> {
     let fmt = args[0].render_scalar();
     let mut out = String::new();
     let mut arg_i = 1usize;

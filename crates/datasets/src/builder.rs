@@ -7,12 +7,13 @@
 //! `corpus.rs`).
 
 use crate::spec::AppSpec;
-use ij_chart::Chart;
+use ij_chart::{Chart, CompiledChart};
 use ij_cluster::{BehaviorRegistry, ContainerBehavior, ListenerSpec};
 use ij_model::{
     Container, ContainerPort, Labels, Object, ObjectMeta, Pod, PodSpec, Service, ServicePort,
     Workload, WorkloadKind,
 };
+use std::sync::OnceLock;
 
 /// Well-known ports used by the generated components.
 pub mod ports {
@@ -51,13 +52,33 @@ pub mod ports {
 pub struct BuiltApp {
     /// The source specification.
     pub spec: AppSpec,
-    /// The generated chart.
-    pub chart: Chart,
     /// `(image, behaviour)` pairs for the cluster's registry.
     pub behaviors: Vec<(String, ContainerBehavior)>,
+    // Private so the chart and its cached compilation can never desync:
+    // a swapped-in chart with a stale `compiled` would render one chart
+    // and analyze another. Read via `chart()`; build a fresh `BuiltApp`
+    // to change the chart.
+    chart: Chart,
+    compiled: OnceLock<Result<CompiledChart, ij_chart::Error>>,
 }
 
 impl BuiltApp {
+    /// Wraps a chart and its behaviours; the compiled render form is built
+    /// lazily on first use.
+    pub fn new(spec: AppSpec, chart: Chart, behaviors: Vec<(String, ContainerBehavior)>) -> Self {
+        BuiltApp {
+            spec,
+            chart,
+            behaviors,
+            compiled: OnceLock::new(),
+        }
+    }
+
+    /// The generated chart.
+    pub fn chart(&self) -> &Chart {
+        &self.chart
+    }
+
     /// A registry holding only this app's behaviours.
     pub fn registry(&self) -> BehaviorRegistry {
         let mut reg = BehaviorRegistry::new();
@@ -65,6 +86,16 @@ impl BuiltApp {
             reg.register(image.clone(), b.clone());
         }
         reg
+    }
+
+    /// The compiled chart: all template files parsed exactly once per app.
+    /// The census pipeline renders through this instead of re-parsing the
+    /// chart on every [`Chart::render`] call.
+    pub fn compiled(&self) -> Result<&CompiledChart, ij_chart::Error> {
+        self.compiled
+            .get_or_init(|| self.chart.compile())
+            .as_ref()
+            .map_err(Clone::clone)
     }
 }
 
@@ -374,11 +405,7 @@ pub fn build_app(spec: &AppSpec) -> BuiltApp {
             netpol_template(app, plan, &objects),
         );
     }
-    BuiltApp {
-        spec: spec.clone(),
-        chart: builder.build(),
-        behaviors,
-    }
+    BuiltApp::new(spec.clone(), builder.build(), behaviors)
 }
 
 /// The NetworkPolicy template: gated on `networkPolicy.enabled`, selecting
@@ -434,7 +461,7 @@ mod tests {
     fn clean_app_renders_policy_and_two_objects() {
         let built = build(Plan::clean());
         let rendered = built
-            .chart
+            .chart()
             .render(&Release::new("testapp", "default"))
             .unwrap();
         assert_eq!(rendered.of_kind("Deployment").count(), 1);
@@ -450,16 +477,16 @@ mod tests {
             ..Default::default()
         });
         let rendered = built
-            .chart
+            .chart()
             .render(&Release::new("testapp", "default"))
             .unwrap();
         assert_eq!(rendered.of_kind("NetworkPolicy").count(), 0);
-        assert!(ij_core::chart_defines_network_policies(&built.chart));
+        assert!(ij_core::chart_defines_network_policies(built.chart()));
         // Force-enable (the §4.3.2 methodology).
         let enabled = Release::new("testapp", "default")
             .with_values_yaml("networkPolicy:\n  enabled: true\n")
             .unwrap();
-        let rendered = built.chart.render(&enabled).unwrap();
+        let rendered = built.chart().render(&enabled).unwrap();
         assert_eq!(rendered.of_kind("NetworkPolicy").count(), 1);
     }
 
@@ -480,7 +507,7 @@ mod tests {
             ..Default::default()
         });
         let rendered = built
-            .chart
+            .chart()
             .render(&Release::new("testapp", "default"))
             .unwrap();
         // server + worker + 2×peer + dup + 2×mode + store + api + db = 10
@@ -499,7 +526,7 @@ mod tests {
             ..Default::default()
         });
         let rendered = built
-            .chart
+            .chart()
             .render(&Release::new("testapp", "default"))
             .unwrap();
         let pod = rendered.of_kind("Pod").next().unwrap();

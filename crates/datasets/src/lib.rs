@@ -70,6 +70,7 @@ pub use builder::{build_app, ports, BuiltApp};
 pub use orgs::corpus;
 pub use pipeline::{
     CensusError, CensusObserver, CensusPipeline, CensusPipelineBuilder, CensusProgress,
+    PhaseReport, PhaseTimings,
 };
 pub use poc::{concourse_behaviors, concourse_chart, thanos_behaviors, thanos_chart};
 pub use representative::representative_charts;

@@ -163,229 +163,225 @@ fn banzai_cloud() -> Vec<AppSpec> {
 // Table 2 row: M1 106, M2 26, M3 40, M4A 25, M4B 10, M4* 5, M5A 2, M5B 14,
 //              M5C 3, M6 156, M7 7.
 // ---------------------------------------------------------------------------
-// The push sequences interleave with comments and loops that mirror the
-// paper's dataset tables; collapsing them into one `vec![]` would lose that
-// structure, so the style lint is waived here.
-#[allow(clippy::vec_init_then_push)]
 fn bitnami() -> Vec<AppSpec> {
     let org = Org::Bitnami;
-    let mut apps = Vec::new();
-
-    // Named applications of Figures 3a/3b, with their M4* partner tokens.
-    apps.push(spec(
-        "kube-prometheus",
-        org,
-        "8.15.3",
-        Plan {
-            m1: 6,
-            m2: 1,
-            m3: 2,
-            m4a: 1,
-            m4b: 1,
-            m5b: 1,
-            m7: 2,
-            netpol: MISSING,
-            m4star_tokens: vec!["kube-prometheus-stack-operator"],
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "kube-prometheus-aks",
-        org,
-        "8.1.11",
-        Plan {
-            m1: 7,
-            m2: 1,
-            m3: 2,
-            m4a: 1,
-            m4b: 1,
-            m5b: 1,
-            m7: 2,
-            netpol: MISSING,
-            m4star_tokens: vec!["kube-prometheus-stack-operator"],
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "metallb",
-        org,
-        "4.5.6",
-        Plan {
-            m1: 7,
-            m2: 1,
-            m7: 1,
-            netpol: MISSING,
-            m4star_tokens: vec!["metallb-system"],
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "metallb-aks",
-        org,
-        "2.0.3",
-        Plan {
-            m1: 8,
-            m2: 1,
-            m7: 1,
-            netpol: MISSING,
-            m4star_tokens: vec!["metallb-system"],
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "pinniped-aks",
-        org,
-        "0.4.5",
-        Plan {
-            m1: 4,
-            m2: 1,
-            m3: 2,
-            m4a: 1,
-            m5b: 1,
-            m7: 1,
-            netpol: MISSING,
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "jaeger",
-        org,
-        "1.2.7",
-        Plan {
-            m1: 6,
-            m2: 1,
-            m3: 2,
-            netpol: MISSING,
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "clickhouse",
-        org,
-        "3.5.5",
-        Plan {
-            m1: 2,
-            m2: 1,
-            m3: 1,
-            m4a: 1,
-            m5c: 1,
-            netpol: MISSING,
-            m4star_tokens: vec!["clickhouse-cluster"],
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "clickhouse-aks",
-        org,
-        "1.0.3",
-        Plan {
-            m1: 2,
-            m2: 1,
-            m3: 1,
-            m4b: 1,
-            m5c: 1,
-            netpol: MISSING,
-            m4star_tokens: vec!["clickhouse-cluster"],
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "zookeeper-aks",
-        org,
-        "10.2.4",
-        Plan {
-            m1: 1,
-            m2: 1,
-            m3: 1,
-            m4a: 1,
-            m5a: 1,
-            netpol: MISSING,
-            m4star_tokens: vec!["zookeeper-ensemble"],
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "grafana-tempo-aks",
-        org,
-        "1.4.5",
-        Plan {
-            m1: 1,
-            m2: 1,
-            m3: 1,
-            m4b: 1,
-            m5b: 1,
-            netpol: MISSING,
-            m4star_tokens: vec!["tempo-stack"],
-            ..Default::default()
-        },
-    ));
-
-    // Two charts with policies enabled by default (hence no M6), still
-    // affected through one undeclared port each.
-    apps.push(spec(
-        "postgresql",
-        org,
-        "12.8.0",
-        Plan {
-            m1: 1,
-            netpol: ENABLED,
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "redis",
-        org,
-        "17.11.3",
-        Plan {
-            m1: 1,
-            netpol: ENABLED,
-            ..Default::default()
-        },
-    ));
-
-    // Six heavy charts (Figure 4a's ≥10 band). The three loose ones are the
-    // §4.3.2 Bitnami "affected" charts; their server replicas are sized so
-    // the reachable-pod count lands at the paper's 14 (1 dynamic).
-    apps.push(spec(
-        "rabbitmq",
-        org,
-        "11.9.1",
-        Plan {
-            m1: 5,
-            m2: 1,
-            m3: 2,
-            m4a: 1,
-            server_replicas: 5,
-            netpol: DISABLED_LOOSE,
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "kafka",
-        org,
-        "22.1.5",
-        Plan {
-            m1: 5,
-            m3: 2,
-            m4a: 1,
-            server_replicas: 4,
-            netpol: DISABLED_LOOSE,
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "harbor",
-        org,
-        "16.7.2",
-        Plan {
-            m1: 5,
-            m3: 2,
-            m4a: 1,
-            server_replicas: 4,
-            netpol: DISABLED_LOOSE,
-            ..Default::default()
-        },
-    ));
+    let mut apps = vec![
+        // Named applications of Figures 3a/3b, with their M4* partner
+        // tokens.
+        spec(
+            "kube-prometheus",
+            org,
+            "8.15.3",
+            Plan {
+                m1: 6,
+                m2: 1,
+                m3: 2,
+                m4a: 1,
+                m4b: 1,
+                m5b: 1,
+                m7: 2,
+                netpol: MISSING,
+                m4star_tokens: vec!["kube-prometheus-stack-operator"],
+                ..Default::default()
+            },
+        ),
+        spec(
+            "kube-prometheus-aks",
+            org,
+            "8.1.11",
+            Plan {
+                m1: 7,
+                m2: 1,
+                m3: 2,
+                m4a: 1,
+                m4b: 1,
+                m5b: 1,
+                m7: 2,
+                netpol: MISSING,
+                m4star_tokens: vec!["kube-prometheus-stack-operator"],
+                ..Default::default()
+            },
+        ),
+        spec(
+            "metallb",
+            org,
+            "4.5.6",
+            Plan {
+                m1: 7,
+                m2: 1,
+                m7: 1,
+                netpol: MISSING,
+                m4star_tokens: vec!["metallb-system"],
+                ..Default::default()
+            },
+        ),
+        spec(
+            "metallb-aks",
+            org,
+            "2.0.3",
+            Plan {
+                m1: 8,
+                m2: 1,
+                m7: 1,
+                netpol: MISSING,
+                m4star_tokens: vec!["metallb-system"],
+                ..Default::default()
+            },
+        ),
+        spec(
+            "pinniped-aks",
+            org,
+            "0.4.5",
+            Plan {
+                m1: 4,
+                m2: 1,
+                m3: 2,
+                m4a: 1,
+                m5b: 1,
+                m7: 1,
+                netpol: MISSING,
+                ..Default::default()
+            },
+        ),
+        spec(
+            "jaeger",
+            org,
+            "1.2.7",
+            Plan {
+                m1: 6,
+                m2: 1,
+                m3: 2,
+                netpol: MISSING,
+                ..Default::default()
+            },
+        ),
+        spec(
+            "clickhouse",
+            org,
+            "3.5.5",
+            Plan {
+                m1: 2,
+                m2: 1,
+                m3: 1,
+                m4a: 1,
+                m5c: 1,
+                netpol: MISSING,
+                m4star_tokens: vec!["clickhouse-cluster"],
+                ..Default::default()
+            },
+        ),
+        spec(
+            "clickhouse-aks",
+            org,
+            "1.0.3",
+            Plan {
+                m1: 2,
+                m2: 1,
+                m3: 1,
+                m4b: 1,
+                m5c: 1,
+                netpol: MISSING,
+                m4star_tokens: vec!["clickhouse-cluster"],
+                ..Default::default()
+            },
+        ),
+        spec(
+            "zookeeper-aks",
+            org,
+            "10.2.4",
+            Plan {
+                m1: 1,
+                m2: 1,
+                m3: 1,
+                m4a: 1,
+                m5a: 1,
+                netpol: MISSING,
+                m4star_tokens: vec!["zookeeper-ensemble"],
+                ..Default::default()
+            },
+        ),
+        spec(
+            "grafana-tempo-aks",
+            org,
+            "1.4.5",
+            Plan {
+                m1: 1,
+                m2: 1,
+                m3: 1,
+                m4b: 1,
+                m5b: 1,
+                netpol: MISSING,
+                m4star_tokens: vec!["tempo-stack"],
+                ..Default::default()
+            },
+        ),
+        // Two charts with policies enabled by default (hence no M6), still
+        // affected through one undeclared port each.
+        spec(
+            "postgresql",
+            org,
+            "12.8.0",
+            Plan {
+                m1: 1,
+                netpol: ENABLED,
+                ..Default::default()
+            },
+        ),
+        spec(
+            "redis",
+            org,
+            "17.11.3",
+            Plan {
+                m1: 1,
+                netpol: ENABLED,
+                ..Default::default()
+            },
+        ),
+        // Six heavy charts (Figure 4a's ≥10 band; the tight half follows in
+        // the loop below). The three loose ones are the §4.3.2 Bitnami
+        // "affected" charts; their server replicas are sized so the
+        // reachable-pod count lands at the paper's 14 (1 dynamic).
+        spec(
+            "rabbitmq",
+            org,
+            "11.9.1",
+            Plan {
+                m1: 5,
+                m2: 1,
+                m3: 2,
+                m4a: 1,
+                server_replicas: 5,
+                netpol: DISABLED_LOOSE,
+                ..Default::default()
+            },
+        ),
+        spec(
+            "kafka",
+            org,
+            "22.1.5",
+            Plan {
+                m1: 5,
+                m3: 2,
+                m4a: 1,
+                server_replicas: 4,
+                netpol: DISABLED_LOOSE,
+                ..Default::default()
+            },
+        ),
+        spec(
+            "harbor",
+            org,
+            "16.7.2",
+            Plan {
+                m1: 5,
+                m3: 2,
+                m4a: 1,
+                server_replicas: 4,
+                netpol: DISABLED_LOOSE,
+                ..Default::default()
+            },
+        ),
+    ];
     for name in ["redis-cluster", "mongodb-sharded", "postgresql-ha"] {
         apps.push(spec(
             name,
@@ -759,87 +755,87 @@ fn eea() -> Vec<AppSpec> {
 // Prometheus Community — 25 charts, all affected.
 // Table 2 row: M1 42, M2 4, M3 3, M5A 1, M5B 4, M6 25, M7 4.
 // ---------------------------------------------------------------------------
-#[allow(clippy::vec_init_then_push)] // same table-mirroring layout as bitnami()
 fn prometheus_community() -> Vec<AppSpec> {
     let org = Org::PrometheusCommunity;
-    let mut apps = Vec::new();
-    // Figure 3a/3b champion: kube-prometheus-stack, 20 findings, the widest
-    // type spread the dataset permits.
-    apps.push(spec(
-        "kube-prometheus-stack",
-        org,
-        "48.4.0",
-        Plan {
-            m1: 12,
-            m2: 1,
-            m3: 2,
-            m5a: 1,
-            m5b: 2,
-            m7: 1,
-            server_replicas: 15,
-            netpol: DISABLED_LOOSE,
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "prometheus",
-        org,
-        "23.4.0",
-        Plan {
-            m1: 9,
-            m2: 1,
-            m3: 1,
-            m5b: 1,
-            server_replicas: 9,
-            netpol: DISABLED_LOOSE,
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "prometheus-node-exporter",
-        org,
-        "4.22.0",
-        Plan {
-            m1: 5,
-            m2: 1,
-            m7: 1,
-            server_replicas: 5,
-            netpol: DISABLED_LOOSE,
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "prometheus-smartctl-exporter",
-        org,
-        "0.5.0",
-        Plan {
-            m1: 4,
-            m7: 1,
-            netpol: MISSING,
-            ..Default::default()
-        },
-    ));
-    // Two more defined-but-disabled charts complete Figure 4b's five.
-    apps.push(spec(
-        "alertmanager",
-        org,
-        "0.33.1",
-        Plan {
-            m1: 1,
-            netpol: DISABLED,
-            ..Default::default()
-        },
-    ));
-    apps.push(spec(
-        "pushgateway",
-        org,
-        "2.4.2",
-        Plan {
-            m1: 1,
-            netpol: DISABLED,
-            ..Default::default()
-        },
-    ));
+    let mut apps = vec![
+        // Figure 3a/3b champion: kube-prometheus-stack, 20 findings, the
+        // widest type spread the dataset permits.
+        spec(
+            "kube-prometheus-stack",
+            org,
+            "48.4.0",
+            Plan {
+                m1: 12,
+                m2: 1,
+                m3: 2,
+                m5a: 1,
+                m5b: 2,
+                m7: 1,
+                server_replicas: 15,
+                netpol: DISABLED_LOOSE,
+                ..Default::default()
+            },
+        ),
+        spec(
+            "prometheus",
+            org,
+            "23.4.0",
+            Plan {
+                m1: 9,
+                m2: 1,
+                m3: 1,
+                m5b: 1,
+                server_replicas: 9,
+                netpol: DISABLED_LOOSE,
+                ..Default::default()
+            },
+        ),
+        spec(
+            "prometheus-node-exporter",
+            org,
+            "4.22.0",
+            Plan {
+                m1: 5,
+                m2: 1,
+                m7: 1,
+                server_replicas: 5,
+                netpol: DISABLED_LOOSE,
+                ..Default::default()
+            },
+        ),
+        spec(
+            "prometheus-smartctl-exporter",
+            org,
+            "0.5.0",
+            Plan {
+                m1: 4,
+                m7: 1,
+                netpol: MISSING,
+                ..Default::default()
+            },
+        ),
+        // Two more defined-but-disabled charts complete Figure 4b's five.
+        spec(
+            "alertmanager",
+            org,
+            "0.33.1",
+            Plan {
+                m1: 1,
+                netpol: DISABLED,
+                ..Default::default()
+            },
+        ),
+        spec(
+            "pushgateway",
+            org,
+            "2.4.2",
+            Plan {
+                m1: 1,
+                netpol: DISABLED,
+                ..Default::default()
+            },
+        ),
+    ];
     // Nineteen exporters with the residual counts.
     let names = [
         "blackbox-exporter",

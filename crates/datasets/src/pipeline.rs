@@ -30,16 +30,18 @@
 use crate::builder::{build_app, BuiltApp};
 use crate::runner::{AppAnalysis, CorpusOptions, PolicyImpact};
 use crate::spec::AppSpec;
-use ij_chart::Release;
+use ij_chart::{CompiledChart, Release, RenderedRelease};
 use ij_cluster::{Cluster, ClusterConfig, InstallError};
 use ij_core::{
     chart_defines_network_policies, sort_canonical, Analyzer, AppReport, Census, StaticModel,
 };
 use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
 use ij_probe::{HostBaseline, ProbeConfig, ReachMatrix, RuntimeAnalyzer};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A failure on the corpus path, in the order the pipeline stages run.
 /// Replaces the seed's `panic!`/`expect` calls on render and install.
@@ -127,6 +129,85 @@ pub struct CensusProgress {
 /// callback can be invoked from the collector regardless of thread count.
 pub type CensusObserver = Arc<dyn Fn(&CensusProgress) + Send + Sync>;
 
+/// Wall-clock accumulators for the census phases, shared across worker
+/// threads. Attach via [`CensusPipelineBuilder::timings`], read with
+/// [`snapshot`](Self::snapshot) after the run (`ij census --timings` prints
+/// it). Counters accumulate across runs of the same pipeline; phases
+/// overlap under `threads(n)`, so the numbers are summed per-phase CPU
+/// wall time, not elapsed time.
+#[derive(Debug, Default)]
+pub struct PhaseTimings {
+    render_ns: AtomicU64,
+    install_ns: AtomicU64,
+    probe_ns: AtomicU64,
+    analyze_ns: AtomicU64,
+}
+
+impl PhaseTimings {
+    /// The accumulated per-phase durations so far.
+    pub fn snapshot(&self) -> PhaseReport {
+        let load = |a: &AtomicU64| Duration::from_nanos(a.load(Ordering::Relaxed));
+        PhaseReport {
+            render: load(&self.render_ns),
+            install: load(&self.install_ns),
+            probe: load(&self.probe_ns),
+            analyze: load(&self.analyze_ns),
+        }
+    }
+
+    fn record(slot: Option<&AtomicU64>, start: Option<Instant>) {
+        if let (Some(slot), Some(start)) = (slot, start) {
+            slot.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One [`PhaseTimings`] reading: summed wall time per census phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseReport {
+    /// Chart rendering (cache hits included, at their observed cost).
+    pub render: Duration,
+    /// Cluster construction and object installation.
+    pub install: Duration,
+    /// Host baseline capture and the double-pass runtime probe.
+    pub probe: Duration,
+    /// Rule evaluation over the rendered objects and probe results.
+    pub analyze: Duration,
+}
+
+impl PhaseReport {
+    /// Sum of the four phases.
+    pub fn total(&self) -> Duration {
+        self.render + self.install + self.probe + self.analyze
+    }
+}
+
+/// Per-pipeline memoization: built apps keyed by their spec, and rendered
+/// releases keyed by compiled-chart identity plus release fingerprint. Both
+/// are semantically transparent (`build_app` and rendering are pure
+/// functions), so hits change wall-clock only — byte-identity of the census
+/// is enforced by the determinism suites.
+#[derive(Default)]
+struct PipelineCaches {
+    builds: Mutex<HashMap<String, Arc<BuiltApp>>>,
+    renders: Mutex<HashMap<RenderKey, CachedRender>>,
+}
+
+/// Compiled-chart identity plus release fingerprint.
+type RenderKey = (usize, String);
+
+/// The cached render keeps a compiled-chart handle alive so the
+/// pointer-based identity key can never be reused by a later compilation.
+type CachedRender = (CompiledChart, Arc<RenderedRelease>);
+
+/// The cache key half describing a release: everything `render` reads.
+fn release_fingerprint(release: &Release) -> String {
+    format!(
+        "{}\u{1}{}\u{1}{:?}",
+        release.name, release.namespace, release.overrides
+    )
+}
+
 /// Builder for [`CensusPipeline`]. Obtained via [`CensusPipeline::builder`];
 /// every knob has the same default as [`CorpusOptions::default`], one
 /// worker thread, and no observer.
@@ -135,6 +216,7 @@ pub struct CensusPipelineBuilder {
     opts: CorpusOptions,
     threads: usize,
     observer: Option<CensusObserver>,
+    timings: Option<Arc<PhaseTimings>>,
 }
 
 impl CensusPipelineBuilder {
@@ -183,6 +265,13 @@ impl CensusPipelineBuilder {
         self
     }
 
+    /// Attaches shared phase-timing accumulators; the caller keeps its
+    /// `Arc` and reads a [`PhaseReport`] snapshot after the run.
+    pub fn timings(mut self, timings: Arc<PhaseTimings>) -> Self {
+        self.timings = Some(timings);
+        self
+    }
+
     /// Finalizes the pipeline.
     pub fn build(self) -> CensusPipeline {
         CensusPipeline {
@@ -192,6 +281,8 @@ impl CensusPipelineBuilder {
             // the same rule as `threads(0)`.
             threads: self.threads,
             observer: self.observer,
+            timings: self.timings,
+            caches: Arc::default(),
         }
     }
 }
@@ -204,6 +295,9 @@ pub struct CensusPipeline {
     opts: CorpusOptions,
     threads: usize,
     observer: Option<CensusObserver>,
+    timings: Option<Arc<PhaseTimings>>,
+    // Clones share the caches: a cloned pipeline is the same run.
+    caches: Arc<PipelineCaches>,
 }
 
 impl fmt::Debug for CensusPipeline {
@@ -234,44 +328,109 @@ impl CensusPipeline {
 
     /// Installs one built application into a fresh cluster and analyzes it,
     /// following §4.2: baseline → install → double-pass runtime analysis →
-    /// rule evaluation.
+    /// rule evaluation. Rendering goes through the compiled chart and the
+    /// pipeline's render cache, so re-analyzing an app (or following a
+    /// census with [`policy_impact`](Self::policy_impact)) never re-parses
+    /// or re-renders what this pipeline already produced.
     pub fn analyze_one(&self, built: &BuiltApp) -> Result<AppAnalysis, CensusError> {
         let opts = &self.opts;
         let app = &built.spec.name;
+        let t = self.timings.as_deref();
+        let mut start = t.map(|_| Instant::now());
         let mut cluster = Cluster::new(ClusterConfig {
             nodes: opts.nodes,
             seed: opts.app_seed(app),
             behaviors: built.registry(),
         });
+        PhaseTimings::record(t.map(|t| &t.install_ns), start);
+
+        start = t.map(|_| Instant::now());
+        let rendered = self.render_app(built, &Release::new(app, "default"))?;
+        PhaseTimings::record(t.map(|t| &t.render_ns), start);
+
+        start = t.map(|_| Instant::now());
         let baseline = HostBaseline::capture(&cluster);
-        let rendered = built
-            .chart
-            .render(&Release::new(app, "default"))
-            .map_err(|source| CensusError::Render {
-                app: app.clone(),
-                source,
-            })?;
+        PhaseTimings::record(t.map(|t| &t.probe_ns), start);
+
+        start = t.map(|_| Instant::now());
         cluster
             .install(&rendered)
             .map_err(|source| CensusError::Install {
                 app: app.clone(),
                 source,
             })?;
+        PhaseTimings::record(t.map(|t| &t.install_ns), start);
+
+        start = t.map(|_| Instant::now());
         let mut probe_cfg = opts.probe.clone();
         probe_cfg.seed = opts.app_seed(app).rotate_left(17);
         let runtime = RuntimeAnalyzer::new(probe_cfg).analyze(&mut cluster, &baseline);
+        PhaseTimings::record(t.map(|t| &t.probe_ns), start);
+
+        start = t.map(|_| Instant::now());
         let findings = opts.analyzer.analyze_app(
             app,
             &rendered.objects,
             &cluster,
             Some(&runtime),
-            chart_defines_network_policies(&built.chart),
+            chart_defines_network_policies(built.chart()),
         );
-        Ok(AppAnalysis {
+        let analysis = AppAnalysis {
             app: app.clone(),
             findings,
             statics: StaticModel::from_objects(&rendered.objects),
-        })
+        };
+        PhaseTimings::record(t.map(|t| &t.analyze_ns), start);
+        Ok(analysis)
+    }
+
+    /// Renders `built` for `release` through the compiled chart, memoized
+    /// per `(compiled chart, release)` for the life of this pipeline (and
+    /// its clones). The first call compiles and renders; replays are a
+    /// shared handle. Semantically identical to `built.chart().render`.
+    pub fn render_app(
+        &self,
+        built: &BuiltApp,
+        release: &Release,
+    ) -> Result<Arc<RenderedRelease>, CensusError> {
+        let render_err = |source| CensusError::Render {
+            app: built.spec.name.clone(),
+            source,
+        };
+        let compiled = built.compiled().map_err(render_err)?;
+        let key = (compiled.instance_key(), release_fingerprint(release));
+        if let Some((_, hit)) = self.caches.renders.lock().expect("render cache").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let rendered = Arc::new(compiled.render(release).map_err(render_err)?);
+        self.caches
+            .renders
+            .lock()
+            .expect("render cache")
+            .entry(key)
+            .or_insert_with(|| (compiled.clone(), Arc::clone(&rendered)));
+        Ok(rendered)
+    }
+
+    /// The built (chart + behaviours) form of `spec`, memoized per spec for
+    /// the life of this pipeline so census and policy-impact passes share
+    /// one compiled chart per application.
+    fn built_for(&self, spec: &AppSpec) -> Arc<BuiltApp> {
+        let key = format!("{spec:?}");
+        if let Some(hit) = self.caches.builds.lock().expect("build cache").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Built outside the lock: a racing worker may build the same app
+        // twice, but every worker ends up sharing whichever insert won.
+        let built = Arc::new(build_app(spec));
+        Arc::clone(
+            self.caches
+                .builds
+                .lock()
+                .expect("build cache")
+                .entry(key)
+                .or_insert(built),
+        )
     }
 
     /// Runs the full evaluation over a set of specifications: every
@@ -314,7 +473,7 @@ impl CensusPipeline {
         if workers <= 1 {
             let mut out = Vec::with_capacity(specs.len());
             for (i, spec) in specs.iter().enumerate() {
-                out.push(self.analyze_one(&build_app(spec))?);
+                out.push(self.analyze_one(&self.built_for(spec))?);
                 self.notify(&spec.name, i + 1, specs.len());
             }
             return Ok(out);
@@ -385,7 +544,7 @@ impl CensusPipeline {
     /// pipeline's no-panic contract holds on every path.
     fn analyze_app_catching(&self, spec: &AppSpec) -> Result<AppAnalysis, CensusError> {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.analyze_one(&build_app(spec))
+            self.analyze_one(&self.built_for(spec))
         }))
         .unwrap_or_else(|payload| {
             let message = payload
@@ -433,7 +592,7 @@ impl CensusPipeline {
             let row = &mut rows[row_idx];
             row.enabled += 1;
 
-            let built = build_app(app_spec);
+            let built = self.built_for(app_spec);
             let mut cluster = Cluster::new(ClusterConfig {
                 nodes: opts.nodes,
                 seed: opts.app_seed(&app_spec.name),
@@ -445,13 +604,7 @@ impl CensusPipeline {
                     app: app_spec.name.clone(),
                     source,
                 })?;
-            let rendered = built
-                .chart
-                .render(&release)
-                .map_err(|source| CensusError::Render {
-                    app: app_spec.name.clone(),
-                    source,
-                })?;
+            let rendered = self.render_app(&built, &release)?;
             cluster
                 .install(&rendered)
                 .map_err(|source| CensusError::Install {

@@ -1,0 +1,97 @@
+//! Compiled-render equivalence: for *any* (bounded) injection plan, any
+//! release namespace, and either policy posture, the compile-once render
+//! path ([`ij_chart::CompiledChart`]) must produce output byte-identical to
+//! the parse-per-call seed path ([`ij_chart::Chart::render`]) — and the
+//! pipeline's memoized render must agree with both. This is the acceptance
+//! bar of the compiled render layer, mirroring how the compiled policy
+//! index was verified against the naive engine.
+
+use ij_chart::Release;
+use ij_datasets::{build_app, AppSpec, CensusPipeline, NetpolSpec, Org, Plan};
+use proptest::prelude::*;
+
+fn arb_netpol() -> impl Strategy<Value = NetpolSpec> {
+    prop_oneof![
+        Just(NetpolSpec::Missing),
+        Just(NetpolSpec::DefinedDisabled { loose: false }),
+        Just(NetpolSpec::DefinedDisabled { loose: true }),
+        Just(NetpolSpec::Enabled { loose: false }),
+        Just(NetpolSpec::Enabled { loose: true }),
+    ]
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    (
+        (0usize..=2, 0usize..=2, 0usize..=2),
+        (0usize..=2, 0usize..=2, 0usize..=2),
+        (0usize..=2, 0usize..=2, 0usize..=2, 0usize..=2),
+        arb_netpol(),
+        0usize..=2,
+        1u32..=3,
+    )
+        .prop_map(
+            |((m1, m2, m3), (m4a, m4b, m4c), (m5a, m5b, m5c, m5d), netpol, m7, replicas)| Plan {
+                m1,
+                m2,
+                m3,
+                m4a,
+                m4b,
+                m4c,
+                m5a,
+                m5b,
+                m5c,
+                m5d,
+                netpol,
+                m7,
+                server_replicas: replicas,
+                m4star_tokens: vec![],
+            },
+        )
+}
+
+fn arb_release() -> impl Strategy<Value = Release> {
+    (0usize..3, any::<bool>()).prop_map(|(ns, force_policies)| {
+        let release = Release::new("prop-rel", ["default", "apps", "prod"][ns]);
+        if force_policies {
+            release
+                .with_values_yaml("networkPolicy:\n  enabled: true\n")
+                .expect("static values parse")
+        } else {
+            release
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_render_is_byte_identical_to_seed_path(
+        plan in arb_plan(),
+        release in arb_release(),
+    ) {
+        let spec = AppSpec::new("prop-render", Org::Bitnami, "0.0.1", plan);
+        let built = build_app(&spec);
+
+        let naive = built.chart().render(&release).expect("seed path renders");
+        let compiled = built.compiled().expect("corpus charts compile");
+        let replay = compiled.render(&release).expect("compiled path renders");
+        prop_assert_eq!(
+            format!("{naive:#?}"),
+            format!("{replay:#?}"),
+            "compiled render diverged from the seed path"
+        );
+
+        // Replaying the cached ASTs again changes nothing.
+        let again = compiled.render(&release).expect("second replay renders");
+        prop_assert_eq!(format!("{replay:#?}"), format!("{again:#?}"));
+
+        // The pipeline's memoized render agrees too — on the miss and on
+        // the hit.
+        let pipeline = CensusPipeline::builder().build();
+        let miss = pipeline.render_app(&built, &release).expect("cache miss renders");
+        let hit = pipeline.render_app(&built, &release).expect("cache hit renders");
+        prop_assert_eq!(format!("{naive:#?}"), format!("{:#?}", *miss));
+        prop_assert_eq!(format!("{:#?}", *miss), format!("{:#?}", *hit));
+    }
+}

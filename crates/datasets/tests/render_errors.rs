@@ -57,10 +57,8 @@ fn analyze_one_returns_typed_render_error() {
     // that cannot render — the pipeline must return a typed error naming
     // the chart instead of panicking (the seed's behaviour).
     let spec = AppSpec::new("malformed-app", Org::Cncf, "0.0.1", Plan::clean());
-    let built = BuiltApp {
-        chart: malformed_chart(),
-        ..build_app(&spec)
-    };
+    let base = build_app(&spec);
+    let built = BuiltApp::new(base.spec.clone(), malformed_chart(), base.behaviors.clone());
     let err = analyze_one(&built, &CorpusOptions::default())
         .expect_err("malformed chart must surface an error");
     assert_eq!(err.app(), "malformed-app");
@@ -82,10 +80,8 @@ fn analyze_one_returns_typed_render_error() {
 #[test]
 fn pipeline_analyze_one_matches_wrapper_error() {
     let spec = AppSpec::new("malformed-app", Org::Cncf, "0.0.1", Plan::clean());
-    let built = BuiltApp {
-        chart: malformed_chart(),
-        ..build_app(&spec)
-    };
+    let base = build_app(&spec);
+    let built = BuiltApp::new(base.spec.clone(), malformed_chart(), base.behaviors.clone());
     let err = CensusPipeline::builder()
         .build()
         .analyze_one(&built)

@@ -225,12 +225,28 @@ impl Value {
     /// Renders the value as the scalar string Helm would interpolate.
     pub fn render_scalar(&self) -> String {
         match self {
-            Value::Null => String::new(),
-            Value::Bool(b) => b.to_string(),
-            Value::Int(i) => i.to_string(),
-            Value::Float(f) => format_float(*f),
+            // Fast path: `write_scalar` would copy the string anyway, and
+            // callers of `render_scalar` on `Str` expect an owned clone.
             Value::Str(s) => s.clone(),
-            Value::Seq(_) | Value::Map(_) => crate::to_string(self).trim_end().to_string(),
+            _ => {
+                let mut out = String::new();
+                self.write_scalar(&mut out);
+                out
+            }
+        }
+    }
+
+    /// Appends the scalar rendering of [`render_scalar`](Self::render_scalar)
+    /// to `out` without allocating an intermediate `String` for string
+    /// values — the zero-copy interpolation path of template engines.
+    pub fn write_scalar(&self, out: &mut String) {
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => out.push_str(&format_float(*f)),
+            Value::Str(s) => out.push_str(s),
+            Value::Seq(_) | Value::Map(_) => out.push_str(crate::to_string(self).trim_end()),
         }
     }
 

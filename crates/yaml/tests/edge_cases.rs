@@ -1,0 +1,163 @@
+//! Render round-trip edge cases the seed suite left untested: block-scalar
+//! styles, CRLF input, and quoted keys — each through `parse_all` (the
+//! entry point the chart render pipeline feeds rendered manifests into) and
+//! back through the emitter.
+
+use ij_yaml::{parse, parse_all, to_string, Value};
+
+fn reparse(v: &Value) -> Value {
+    let text = to_string(v);
+    parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"))
+}
+
+// ---------------------------------------------------------------------------
+// Block-scalar styles.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn literal_block_styles_keep_or_strip_the_final_newline() {
+    for (style, expected) in [
+        ("|", "line one\nline two\n"),
+        ("|+", "line one\nline two\n"),
+        ("|-", "line one\nline two"),
+    ] {
+        let src = format!("script: {style}\n  line one\n  line two\n");
+        let v = parse(&src).unwrap();
+        assert_eq!(v.path(&["script"]), Some(&Value::str(expected)), "{style}");
+    }
+}
+
+#[test]
+fn folded_block_styles_join_lines_with_spaces() {
+    for (style, expected) in [
+        (">", "folded into one line\n"),
+        (">+", "folded into one line\n"),
+        (">-", "folded into one line"),
+    ] {
+        let src = format!("msg: {style}\n  folded into\n  one line\n");
+        let v = parse(&src).unwrap();
+        assert_eq!(v.path(&["msg"]), Some(&Value::str(expected)), "{style}");
+    }
+}
+
+#[test]
+fn block_scalar_preserves_deeper_indentation() {
+    let v = parse("script: |\n  if true; then\n    echo nested\n  fi\n").unwrap();
+    assert_eq!(
+        v.path(&["script"]),
+        Some(&Value::str("if true; then\n  echo nested\nfi\n"))
+    );
+}
+
+#[test]
+fn empty_block_scalar_is_empty_string() {
+    let v = parse("script: |\nafter: 1\n").unwrap();
+    assert_eq!(v.path(&["script"]), Some(&Value::str("")));
+    assert_eq!(v.path(&["after"]), Some(&Value::Int(1)));
+}
+
+#[test]
+fn block_scalars_round_trip_through_the_emitter() {
+    for src in [
+        "script: |\n  line one\n  line two\n",
+        "script: |-\n  just this\n",
+        "msg: >-\n  folded into\n  one line\n",
+    ] {
+        let v = parse(src).unwrap();
+        assert_eq!(reparse(&v), v, "round trip of {src:?}");
+    }
+}
+
+#[test]
+fn block_scalar_inside_multi_document_stream() {
+    let docs = parse_all("---\na: |\n  text\n---\nb: 2\n").unwrap();
+    assert_eq!(docs.len(), 2);
+    assert_eq!(docs[0].path(&["a"]), Some(&Value::str("text\n")));
+    assert_eq!(docs[1].path(&["b"]), Some(&Value::Int(2)));
+}
+
+// ---------------------------------------------------------------------------
+// CRLF input: rendered manifests that passed through Windows tooling.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crlf_input_parses_like_lf() {
+    let lf = "a: 1\nnested:\n  b: two\nports:\n  - 80\n  - 443\n";
+    let crlf = lf.replace('\n', "\r\n");
+    assert_eq!(parse(&crlf).unwrap(), parse(lf).unwrap());
+}
+
+#[test]
+fn crlf_multi_document_stream_splits_on_markers() {
+    let src = "---\r\na: 1\r\n---\r\nb: 2\r\n";
+    let docs = parse_all(src).unwrap();
+    assert_eq!(docs.len(), 2);
+    assert_eq!(docs[0].path(&["a"]), Some(&Value::Int(1)));
+    assert_eq!(docs[1].path(&["b"]), Some(&Value::Int(2)));
+}
+
+#[test]
+fn crlf_block_scalar_lines_are_trimmed_of_carriage_returns() {
+    let v = parse("script: |\r\n  line one\r\n  line two\r\n").unwrap();
+    assert_eq!(
+        v.path(&["script"]),
+        Some(&Value::str("line one\nline two\n"))
+    );
+}
+
+#[test]
+fn crlf_document_round_trips() {
+    let v = parse("kind: Service\r\nspec:\r\n  ports:\r\n    - port: 80\r\n").unwrap();
+    assert_eq!(reparse(&v), v);
+}
+
+// ---------------------------------------------------------------------------
+// Quoted keys.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quoted_keys_in_parse_all_documents() {
+    let docs = parse_all("---\n\"odd: key\": 1\n---\n'spaced key': 2\n").unwrap();
+    assert_eq!(docs.len(), 2);
+    assert_eq!(docs[0].path(&["odd: key"]), Some(&Value::Int(1)));
+    assert_eq!(docs[1].path(&["spaced key"]), Some(&Value::Int(2)));
+}
+
+#[test]
+fn double_quoted_key_unescapes() {
+    let v = parse("\"tab\\tkey\": x\n").unwrap();
+    assert_eq!(v.path(&["tab\tkey"]), Some(&Value::str("x")));
+}
+
+#[test]
+fn single_quoted_key_keeps_doubled_quote() {
+    let v = parse("'it''s': 1\n").unwrap();
+    assert_eq!(v.path(&["it's"]), Some(&Value::Int(1)));
+}
+
+#[test]
+fn quoted_numeric_key_stays_a_string_key() {
+    // A port-number annotation key, the k8s-manifest shape that forces
+    // quoting.
+    let v = parse("\"8080\": http\n").unwrap();
+    assert_eq!(v.path(&["8080"]), Some(&Value::str("http")));
+}
+
+#[test]
+fn quoted_keys_round_trip_through_the_emitter() {
+    for src in [
+        "\"odd: key\": 1\n",
+        "\"8080\": http\n",
+        "annotations:\n  \"nested: odd\": here\n",
+    ] {
+        let v = parse(src).unwrap();
+        assert_eq!(reparse(&v), v, "round trip of {src:?}");
+    }
+}
+
+#[test]
+fn quoted_keys_in_flow_mappings() {
+    let v = parse("selector: {\"odd: key\": a, plain: b}\n").unwrap();
+    assert_eq!(v.path(&["selector", "odd: key"]), Some(&Value::str("a")));
+    assert_eq!(v.path(&["selector", "plain"]), Some(&Value::str("b")));
+}

@@ -4,7 +4,7 @@
 //! ij analyze <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
 //! ij render  <chart-dir> [--values <file>]
 //! ij disclose <chart-dir> [--values <file>]
-//! ij census  [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress]
+//! ij census  [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]
 //! ```
 //!
 //! * `analyze` — render the chart, install it into a fresh simulated
@@ -17,7 +17,9 @@
 //! * `census` — run the evaluation pipeline over the built-in synthetic
 //!   corpus (optionally one dataset) and print the Table-2 style breakdown;
 //!   `--threads` parallelizes the per-application analyses without changing
-//!   a byte of the output, `--progress` streams completion ticks to stderr.
+//!   a byte of the output, `--progress` streams completion ticks to stderr,
+//!   and `--timings` prints the per-phase wall-time breakdown (render /
+//!   install / probe / analyze) to stderr after the table.
 //!
 //! Failures map to distinct exit codes so scripts can tell them apart:
 //! `2` usage, `3` chart render, `4` cluster install, `1` anything else.
@@ -32,10 +34,11 @@ use inside_job::cluster::{Cluster, ClusterConfig};
 use inside_job::core::{
     chart_defines_network_policies, disclosure_report, Analyzer, AppReport, Census, MisconfigId,
 };
-use inside_job::datasets::{corpus, CensusError, CensusPipeline, Org};
+use inside_job::datasets::{corpus, CensusError, CensusPipeline, Org, PhaseTimings};
 use inside_job::probe::{connectivity_dot, HostBaseline, RuntimeAnalyzer};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Exit code for malformed invocations.
 const EXIT_USAGE: u8 = 2;
@@ -102,12 +105,13 @@ struct CensusArgs {
     threads: usize,
     static_only: bool,
     progress: bool,
+    timings: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ij <analyze|render|disclose> <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
-       ij census [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress]"
+       ij census [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -139,6 +143,7 @@ fn parse_census_args(mut argv: std::env::Args) -> Result<CensusArgs, CliError> {
         threads: 1,
         static_only: false,
         progress: false,
+        timings: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -169,6 +174,7 @@ fn parse_census_args(mut argv: std::env::Args) -> Result<CensusArgs, CliError> {
             }
             "--static-only" => args.static_only = true,
             "--progress" => args.progress = true,
+            "--timings" => args.timings = true,
             _ => return Err(CliError::usage()),
         }
     }
@@ -204,8 +210,25 @@ fn run_census_command(args: CensusArgs) -> Result<(), CliError> {
     if args.progress {
         builder = builder.observer(|p| eprintln!("[{}/{}] {}", p.completed, p.total, p.app));
     }
+    let timings = args.timings.then(Arc::<PhaseTimings>::default);
+    if let Some(t) = &timings {
+        builder = builder.timings(Arc::clone(t));
+    }
     let census = builder.build().run(&specs)?;
     print!("{}", census_table(&census));
+    // Timings go to stderr so the census table on stdout stays
+    // byte-identical with and without the flag.
+    if let Some(t) = &timings {
+        let report = t.snapshot();
+        eprintln!(
+            "timings: render {:.3?}  install {:.3?}  probe {:.3?}  analyze {:.3?}  (phase total {:.3?})",
+            report.render,
+            report.install,
+            report.probe,
+            report.analyze,
+            report.total()
+        );
+    }
     Ok(())
 }
 

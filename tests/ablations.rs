@@ -189,7 +189,7 @@ fn baseline_subtraction_prevents_m7_overreporting() {
     );
     let built = build_app(&spec);
     let rendered = built
-        .chart
+        .chart()
         .render(&Release::new("hostnet-app", "default"))
         .unwrap();
 

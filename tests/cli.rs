@@ -183,6 +183,28 @@ fn census_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn census_timings_flag_prints_phase_breakdown_to_stderr() {
+    let plain = ij(&["census", "--org", "CNCF"]);
+    let timed = ij(&["census", "--org", "CNCF", "--timings", "--threads", "2"]);
+    assert!(plain.status.success());
+    assert!(
+        timed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&timed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&timed.stderr);
+    for phase in ["timings:", "render", "install", "probe", "analyze"] {
+        assert!(stderr.contains(phase), "missing `{phase}` in {stderr}");
+    }
+    // The breakdown goes to stderr only; stdout stays byte-identical.
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&timed.stdout),
+        "--timings must not change a byte of the census output"
+    );
+}
+
+#[test]
 fn census_rejects_unknown_dataset_and_bad_flags() {
     let out = ij(&["census", "--org", "NotADataset"]);
     assert_eq!(out.status.code(), Some(1));

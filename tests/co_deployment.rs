@@ -69,7 +69,7 @@ fn co_deployed_cluster() -> (Cluster, Vec<(String, StaticModel)>) {
     let mut statics = Vec::new();
     for b in &builts {
         let rendered = b
-            .chart
+            .chart()
             .render(&Release::new(&b.spec.name, "default"))
             .expect("renders");
         cluster.install(&rendered).expect("no admission");

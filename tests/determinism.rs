@@ -20,9 +20,10 @@ fn census_is_deterministic_across_runs() {
 
 #[test]
 fn parallel_census_is_byte_identical_to_sequential() {
-    // The acceptance bar of the pipeline redesign: a `threads(4)` census
-    // must equal the sequential same-seed run byte for byte (via the
-    // canonical Debug rendering), not merely in counts.
+    // The acceptance bar of the pipeline redesign (re-verified across the
+    // compiled render layer): a `threads(n)` census must equal the
+    // sequential same-seed run byte for byte (via the canonical Debug
+    // rendering), not merely in counts — for every worker count.
     let slice: Vec<_> = corpus()
         .into_iter()
         .filter(|a| a.org == Org::PrometheusCommunity)
@@ -31,16 +32,41 @@ fn parallel_census_is_byte_identical_to_sequential() {
         .build()
         .run(&slice)
         .expect("sequential census runs");
-    let parallel = CensusPipeline::builder()
-        .threads(4)
+    for threads in [2usize, 4, 8] {
+        let parallel = CensusPipeline::builder()
+            .threads(threads)
+            .build()
+            .run(&slice)
+            .expect("parallel census runs");
+        assert_eq!(
+            format!("{sequential:#?}"),
+            format!("{parallel:#?}"),
+            "threads({threads}) census diverged from the sequential run"
+        );
+    }
+}
+
+#[test]
+fn policy_impact_is_byte_identical_through_the_render_cache() {
+    // The §4.3.2 study re-renders the census apps with policies
+    // force-enabled; whether those renders are cache misses (fresh
+    // pipeline) or hits (after a census, or repeated) must never change a
+    // byte of the rows.
+    let slice: Vec<_> = corpus().into_iter().filter(|a| a.org == Org::Eea).collect();
+    let fresh = CensusPipeline::builder()
         .build()
-        .run(&slice)
-        .expect("parallel census runs");
-    assert_eq!(
-        format!("{sequential:#?}"),
-        format!("{parallel:#?}"),
-        "threads(4) census diverged from the sequential run"
-    );
+        .policy_impact(&slice)
+        .expect("fresh policy impact runs");
+    let shared = CensusPipeline::builder().threads(8).build();
+    shared.run(&slice).expect("threaded census runs");
+    let warm = shared
+        .policy_impact(&slice)
+        .expect("warm policy impact runs");
+    let again = shared
+        .policy_impact(&slice)
+        .expect("cached policy impact runs");
+    assert_eq!(format!("{fresh:#?}"), format!("{warm:#?}"));
+    assert_eq!(format!("{warm:#?}"), format!("{again:#?}"));
 }
 
 #[test]
