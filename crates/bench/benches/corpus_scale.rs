@@ -1,0 +1,89 @@
+//! Corpus-scale benchmark: the census pipeline over procedurally generated
+//! populations of 100 / 1,000 / 5,000 applications (the built-in corpus
+//! stops at 290). Two arms per size:
+//!
+//! * `generate` — pure spec synthesis (what the streaming source costs the
+//!   workers);
+//! * `census` — the full pipeline (`run_generated`): build → compile →
+//!   render → install → double-pass probe → rule evaluation → cluster-wide
+//!   pass, streamed from the generator.
+//!
+//! Before any timing, the 100-app population's census is asserted against
+//! the generator's ground truth class by class — a corpus-scale rerun of
+//! the precision/recall guarantee, so the timed path is also a correct
+//! path. Committed numbers live in `BENCH_corpus.json` (schema in
+//! `docs/BENCHMARKS.md`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ij_core::MisconfigId;
+use ij_datasets::{CensusPipeline, CorpusGenerator, CorpusProfile};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [100, 1_000, 5_000];
+const SEED: u64 = 7;
+
+fn generator(apps: usize) -> CorpusGenerator {
+    CorpusGenerator::new(
+        CorpusProfile::named("baseline")
+            .expect("baseline profile")
+            .with_apps(apps)
+            .with_seed(SEED),
+    )
+}
+
+fn pipeline() -> CensusPipeline {
+    CensusPipeline::builder().seed(SEED).build()
+}
+
+/// The census must find exactly what the generator injected — per class,
+/// not just in total — before its wall-clock means anything.
+fn assert_ground_truth(apps: usize) {
+    let generator = generator(apps);
+    let expected = generator.describe();
+    let census = pipeline()
+        .run_generated(&generator)
+        .expect("generated corpus renders and installs");
+    for id in MisconfigId::ALL {
+        let found: usize = census.apps.iter().map(|a| a.count_of(id)).sum();
+        assert_eq!(
+            found, expected.expected[&id],
+            "{id}: census diverged from generated ground truth at {apps} apps"
+        );
+    }
+}
+
+fn bench_corpus_scale(c: &mut Criterion) {
+    assert_ground_truth(100);
+    // Under `cargo test` the criterion shim runs each closure once as a
+    // smoke test; cap the population there so the CI bench-smoke step stays
+    // in the seconds range (the full 5,000-app arm runs under `cargo
+    // bench`, which is where the committed numbers come from).
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    let sizes = if bench_mode { &SIZES[..] } else { &SIZES[..2] };
+    let mut group = c.benchmark_group("corpus_scale");
+    group.sample_size(10);
+    for &apps in sizes {
+        let generator = generator(apps);
+        group.bench_function(&format!("generate/{apps}"), |b| {
+            b.iter(|| {
+                let mut findings = 0usize;
+                for spec in generator.iter() {
+                    findings += black_box(spec.plan.expected_local_findings());
+                }
+                findings
+            })
+        });
+        group.bench_function(&format!("census/{apps}"), |b| {
+            b.iter(|| {
+                let census = pipeline()
+                    .run_generated(&generator)
+                    .expect("generated corpus renders and installs");
+                black_box(census.apps.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus_scale);
+criterion_main!(benches);

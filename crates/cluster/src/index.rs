@@ -176,6 +176,71 @@ struct CompiledPeer {
 /// Build with [`Cluster::policy_index`] (cached per generation) or
 /// [`PolicyIndex::build`] for a one-off. Pod indices follow
 /// [`Cluster::pods`] order.
+///
+/// ```
+/// use ij_cluster::{Cluster, ClusterConfig, ConnectionVerdict};
+/// use ij_model::Protocol;
+///
+/// // A web pod declaring 8080, a client, and a policy allowing only
+/// // ingress to the web pod on its declared port.
+/// let manifests = "\
+/// apiVersion: v1
+/// kind: Pod
+/// metadata:
+///   name: web
+///   labels:
+///     app: web
+/// spec:
+///   containers:
+///     - name: c
+///       image: img/web
+///       ports:
+///         - containerPort: 8080
+/// ---
+/// apiVersion: v1
+/// kind: Pod
+/// metadata:
+///   name: client
+/// spec:
+///   containers:
+///     - name: c
+///       image: img/client
+/// ---
+/// apiVersion: networking.k8s.io/v1
+/// kind: NetworkPolicy
+/// metadata:
+///   name: web-8080
+/// spec:
+///   podSelector:
+///     matchLabels:
+///       app: web
+///   policyTypes:
+///     - Ingress
+///   ingress:
+///     - ports:
+///         - port: 8080
+/// ";
+///
+/// let mut cluster = Cluster::new(ClusterConfig::default());
+/// for object in ij_model::decode_manifests(manifests).unwrap() {
+///     cluster.apply(object).unwrap();
+/// }
+/// cluster.reconcile();
+///
+/// let index = cluster.policy_index(); // Arc-cached until the next mutation
+/// let client = index.pod_index("default/client").unwrap();
+/// let web = index.pod_index("default/web").unwrap();
+/// assert!(matches!(
+///     index.verdict(client, web, 8080, Protocol::Tcp),
+///     ConnectionVerdict::Allowed(_)
+/// ));
+/// assert_eq!(
+///     index.verdict(client, web, 9999, Protocol::Tcp),
+///     ConnectionVerdict::DeniedIngress
+/// );
+/// // Batch form: one whole column of the reachability matrix.
+/// assert!(index.allowed_sources(web, 8080, Protocol::Tcp).contains(client));
+/// ```
 #[derive(Debug, Clone)]
 pub struct PolicyIndex {
     pods: Vec<PodEntry>,

@@ -6,7 +6,7 @@ use crate::finding::{Finding, MisconfigId};
 use crate::model::{ComputeUnit, StaticModel};
 use ij_model::{Protocol, Service, TargetPort};
 use ij_probe::{ObservedSocket, RuntimeReport};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Everything a rule may look at.
 pub struct RuleContext<'a> {
@@ -434,30 +434,64 @@ pub fn m4_global_collisions(apps: &[(String, StaticModel)]) -> Vec<Finding> {
         ));
     }
     // Service ↔ foreign-unit collisions: a service of one application whose
-    // selector captures another application's units.
+    // selector captures another application's units. Candidate units come
+    // from an inverted index on one selector label pair (instead of a scan
+    // of every other application's units, which made a corpus-scale census
+    // quadratic in the number of applications); `contains_all` then checks
+    // the full selector.
+    //
+    // Index key: (namespace, label key, label value) → (application index,
+    // unit position) carriers, in application order.
+    type PairIndex<'a> = HashMap<(&'a str, &'a str, &'a str), Vec<(usize, usize)>>;
+    let mut by_pair: PairIndex<'_> = HashMap::new();
+    for (idx, (_, model)) in apps.iter().enumerate() {
+        for (unit_pos, u) in model.units.iter().enumerate() {
+            for (key, value) in u.labels.iter() {
+                by_pair
+                    .entry((u.namespace.as_str(), key, value))
+                    .or_default()
+                    .push((idx, unit_pos));
+            }
+        }
+    }
     for (idx, (app, model)) in apps.iter().enumerate() {
         for svc in &model.services {
             if svc.spec.selector.is_empty() {
                 continue;
             }
-            for (other_idx, (other_app, other_model)) in apps.iter().enumerate() {
+            // Probe on the selector's *rarest* pair: common pairs (a shared
+            // component name, a tier label) can be carried by thousands of
+            // units, while at least one pair is usually app-specific.
+            let candidates = svc
+                .spec
+                .selector
+                .iter()
+                .map(|(key, value)| {
+                    by_pair
+                        .get(&(svc.meta.namespace.as_str(), key, value))
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                })
+                .min_by_key(|candidates| candidates.len())
+                .unwrap_or(&[]);
+            // The index returns candidates in (application, unit) order
+            // because it was filled by iterating apps in order.
+            for &(other_idx, unit_pos) in candidates {
                 if other_idx == idx {
                     continue;
                 }
-                for unit in &other_model.units {
-                    if unit.namespace == svc.meta.namespace
-                        && unit.labels.contains_all(&svc.spec.selector)
-                    {
-                        findings.push(Finding::new(
-                            MisconfigId::M4Star,
-                            app,
-                            svc.meta.qualified_name(),
-                            format!(
-                                "service selector `{}` captures unit {} of application {other_app}",
-                                svc.spec.selector, unit.name
-                            ),
-                        ));
-                    }
+                let (other_app, other_model) = &apps[other_idx];
+                let unit = &other_model.units[unit_pos];
+                if unit.labels.contains_all(&svc.spec.selector) {
+                    findings.push(Finding::new(
+                        MisconfigId::M4Star,
+                        app,
+                        svc.meta.qualified_name(),
+                        format!(
+                            "service selector `{}` captures unit {} of application {other_app}",
+                            svc.spec.selector, unit.name
+                        ),
+                    ));
                 }
             }
         }

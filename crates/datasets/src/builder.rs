@@ -45,6 +45,8 @@ pub mod ports {
     pub const M4STAR: u16 = 8055;
     /// hostNetwork exporter port (`+ i`).
     pub const EXPORTER_BASE: u16 = 9100;
+    /// Base for clean (finding-free) extra components (`+ i`).
+    pub const CLEAN_BASE: u16 = 8200;
 }
 
 /// A chart ready to install, with the behaviours backing its runtime story.
@@ -169,6 +171,30 @@ pub fn build_app(spec: &AppSpec) -> BuiltApp {
         main_labels.clone(),
         vec![ServicePort::tcp_to_name(ports::MAIN, "http").with_name("http")],
     )));
+
+    // --- clean components: structure without findings -------------------
+    // One well-formed deployment + service pair per unit: the declared port
+    // is the only open port (unknown images behave exactly as declared) and
+    // the service targets it by name, so no rule fires. The corpus
+    // archetypes use these to vary application *shape* independently of the
+    // injected ground truth.
+    for i in 0..plan.clean_components {
+        let component = format!("svc{i}");
+        let labels = component_labels(app, &component);
+        let port = ports::CLEAN_BASE + i as u16;
+        objects.push(deployment(
+            app,
+            &component,
+            labels.clone(),
+            vec![Container::new("svc", image(app, &component))
+                .with_ports(vec![ContainerPort::named("http", port)])],
+        ));
+        objects.push(Object::Service(Service::cluster_ip(
+            ObjectMeta::named(format!("{app}-{component}")),
+            labels,
+            vec![ServicePort::tcp_to_name(port, "http").with_name("http")],
+        )));
+    }
 
     // --- M2: worker components with ephemeral listeners ----------------
     for i in 0..plan.m2 {

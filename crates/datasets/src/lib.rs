@@ -58,6 +58,7 @@
 //! should move to the builder.
 
 mod builder;
+pub mod gen;
 mod orgs;
 mod pipeline;
 mod poc;
@@ -67,6 +68,10 @@ mod score;
 mod spec;
 
 pub use builder::{build_app, ports, BuiltApp};
+pub use gen::{
+    describe_builtin, Archetype, CorpusGenerator, CorpusProfile, CorpusProfileBuilder,
+    MisconfigMix, MixError, PopulationSummary,
+};
 pub use orgs::corpus;
 pub use pipeline::{
     CensusError, CensusObserver, CensusPipeline, CensusPipelineBuilder, CensusProgress,

@@ -28,6 +28,7 @@
 //! `tests/determinism.rs`).
 
 use crate::builder::{build_app, BuiltApp};
+use crate::gen::CorpusGenerator;
 use crate::runner::{AppAnalysis, CorpusOptions, PolicyImpact};
 use crate::spec::AppSpec;
 use ij_chart::{CompiledChart, Release, RenderedRelease};
@@ -37,6 +38,7 @@ use ij_core::{
 };
 use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
 use ij_probe::{HostBaseline, ProbeConfig, ReachMatrix, RuntimeAnalyzer};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -208,6 +210,40 @@ fn release_fingerprint(release: &Release) -> String {
     )
 }
 
+/// Where a run's specifications come from: a caller-owned slice, or a
+/// procedural [`CorpusGenerator`] that synthesizes each spec on demand
+/// inside the worker that analyzes it — a generated population is streamed,
+/// never materialized up front.
+#[derive(Clone, Copy)]
+enum SpecSource<'a> {
+    Slice(&'a [AppSpec]),
+    Generator(&'a CorpusGenerator),
+}
+
+impl<'a> SpecSource<'a> {
+    fn len(&self) -> usize {
+        match self {
+            SpecSource::Slice(specs) => specs.len(),
+            SpecSource::Generator(generator) => generator.len(),
+        }
+    }
+
+    fn spec(&self, index: usize) -> Cow<'a, AppSpec> {
+        match self {
+            SpecSource::Slice(specs) => Cow::Borrowed(&specs[index]),
+            SpecSource::Generator(generator) => Cow::Owned(generator.spec(index)),
+        }
+    }
+
+    /// Slice runs memoize builds and renders so a census and a following
+    /// policy-impact pass share one compiled chart per app. Generated runs
+    /// analyze each app exactly once, so caching would only pin every
+    /// compiled chart and rendered release in memory for no reuse.
+    fn cache(&self) -> bool {
+        matches!(self, SpecSource::Slice(_))
+    }
+}
+
 /// Builder for [`CensusPipeline`]. Obtained via [`CensusPipeline::builder`];
 /// every knob has the same default as [`CorpusOptions::default`], one
 /// worker thread, and no observer.
@@ -290,6 +326,26 @@ impl CensusPipelineBuilder {
 /// The configured evaluation pipeline: baseline → install → double-pass
 /// probe → rule evaluation → cluster-wide pass, with typed errors and a
 /// deterministic parallel path. Construct via [`CensusPipeline::builder`].
+///
+/// ```
+/// use ij_datasets::{CensusPipeline, CorpusGenerator, CorpusProfile};
+///
+/// // A procedural eight-app population, streamed through two workers.
+/// let generator = CorpusGenerator::new(
+///     CorpusProfile::named("baseline").unwrap().with_apps(8).with_seed(7),
+/// );
+/// let census = CensusPipeline::builder()
+///     .seed(7)
+///     .threads(2) // byte-identical to the sequential run
+///     .build()
+///     .run_generated(&generator)
+///     .expect("generated charts render and install");
+/// assert_eq!(census.apps.len(), 8);
+///
+/// // The analyzer found exactly what the generator injected.
+/// let expected = generator.describe();
+/// assert_eq!(census.total_misconfigurations(), expected.expected_total());
+/// ```
 #[derive(Clone, Default)]
 pub struct CensusPipeline {
     opts: CorpusOptions,
@@ -333,6 +389,13 @@ impl CensusPipeline {
     /// census with [`policy_impact`](Self::policy_impact)) never re-parses
     /// or re-renders what this pipeline already produced.
     pub fn analyze_one(&self, built: &BuiltApp) -> Result<AppAnalysis, CensusError> {
+        self.analyze_built(built, true)
+    }
+
+    /// [`analyze_one`](Self::analyze_one) with the render cache optional:
+    /// generated (streamed) runs render each app exactly once, so caching
+    /// the release would only pin it in memory.
+    fn analyze_built(&self, built: &BuiltApp, cache: bool) -> Result<AppAnalysis, CensusError> {
         let opts = &self.opts;
         let app = &built.spec.name;
         let t = self.timings.as_deref();
@@ -345,7 +408,17 @@ impl CensusPipeline {
         PhaseTimings::record(t.map(|t| &t.install_ns), start);
 
         start = t.map(|_| Instant::now());
-        let rendered = self.render_app(built, &Release::new(app, "default"))?;
+        let release = Release::new(app, "default");
+        let rendered = if cache {
+            self.render_app(built, &release)?
+        } else {
+            let render_err = |source| CensusError::Render {
+                app: app.clone(),
+                source,
+            };
+            let compiled = built.compiled().map_err(render_err)?;
+            Arc::new(compiled.render(&release).map_err(render_err)?)
+        };
         PhaseTimings::record(t.map(|t| &t.render_ns), start);
 
         start = t.map(|_| Instant::now());
@@ -439,15 +512,28 @@ impl CensusPipeline {
     /// cluster-wide M4\* pass, producing the census behind Table 2 and
     /// Figures 3–4.
     pub fn run(&self, specs: &[AppSpec]) -> Result<Census, CensusError> {
-        let analyses = self.analyze_specs(specs)?;
-        let mut reports = Vec::with_capacity(specs.len());
-        let mut statics = Vec::with_capacity(specs.len());
-        for (spec, analysis) in specs.iter().zip(analyses) {
+        self.run_source(SpecSource::Slice(specs))
+    }
+
+    /// [`run`](Self::run) over a procedural population: each worker asks
+    /// the generator for spec `i` as it claims the index, so the population
+    /// is **streamed** — no `Vec<AppSpec>` of the whole corpus ever exists,
+    /// and neither the build nor the render cache retains the generated
+    /// charts. Byte-identical across thread counts, exactly like `run`.
+    pub fn run_generated(&self, generator: &CorpusGenerator) -> Result<Census, CensusError> {
+        self.run_source(SpecSource::Generator(generator))
+    }
+
+    fn run_source(&self, source: SpecSource<'_>) -> Result<Census, CensusError> {
+        let results = self.analyze_source(source)?;
+        let mut reports = Vec::with_capacity(results.len());
+        let mut statics = Vec::with_capacity(results.len());
+        for (spec, analysis) in results {
             statics.push((spec.name.clone(), analysis.statics));
             reports.push(AppReport {
-                app: spec.name.clone(),
+                app: spec.name,
                 dataset: spec.org.as_str().to_string(),
-                version: spec.version.clone(),
+                version: spec.version,
                 findings: analysis.findings,
             });
         }
@@ -465,16 +551,23 @@ impl CensusPipeline {
         Ok(Census { apps: reports })
     }
 
-    /// Analyzes every spec, returning the analyses in spec order. The
-    /// parallel path is index-slotted so the output (and the first error,
-    /// if any) never depends on worker scheduling.
-    fn analyze_specs(&self, specs: &[AppSpec]) -> Result<Vec<AppAnalysis>, CensusError> {
-        let workers = self.threads().min(specs.len().max(1));
+    /// Analyzes every spec of the source, returning `(spec, analysis)`
+    /// pairs in spec order. The parallel path is index-slotted so the
+    /// output (and the first error, if any) never depends on worker
+    /// scheduling.
+    fn analyze_source(
+        &self,
+        source: SpecSource<'_>,
+    ) -> Result<Vec<(AppSpec, AppAnalysis)>, CensusError> {
+        let total = source.len();
+        let workers = self.threads().min(total.max(1));
         if workers <= 1 {
-            let mut out = Vec::with_capacity(specs.len());
-            for (i, spec) in specs.iter().enumerate() {
-                out.push(self.analyze_one(&self.built_for(spec))?);
-                self.notify(&spec.name, i + 1, specs.len());
+            let mut out = Vec::with_capacity(total);
+            for i in 0..total {
+                let spec = source.spec(i);
+                let analysis = self.analyze_spec(&spec, source.cache())?;
+                self.notify(&spec.name, i + 1, total);
+                out.push((spec.into_owned(), analysis));
             }
             return Ok(out);
         }
@@ -482,8 +575,8 @@ impl CensusPipeline {
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
         let (tx, rx) = crossbeam::channel::unbounded();
-        let mut slots: Vec<Option<Result<AppAnalysis, CensusError>>> = Vec::new();
-        slots.resize_with(specs.len(), || None);
+        let mut slots: Vec<Option<Result<(AppSpec, AppAnalysis), CensusError>>> = Vec::new();
+        slots.resize_with(total, || None);
         std::thread::scope(|scope| {
             let next = &next;
             let failed = &failed;
@@ -498,10 +591,13 @@ impl CensusPipeline {
                         break;
                     }
                     let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= specs.len() {
+                    if i >= total {
                         break;
                     }
-                    let result = self.analyze_app_catching(&specs[i]);
+                    let spec = source.spec(i).into_owned();
+                    let result = self
+                        .analyze_spec_catching(&spec, source.cache())
+                        .map(|analysis| (spec, analysis));
                     if result.is_err() {
                         failed.store(true, Ordering::SeqCst);
                     }
@@ -514,7 +610,11 @@ impl CensusPipeline {
             let mut completed = 0usize;
             for (i, result) in rx {
                 completed += 1;
-                self.notify(&specs[i].name, completed, specs.len());
+                let app = match &result {
+                    Ok((spec, _)) => spec.name.as_str(),
+                    Err(err) => err.app(),
+                };
+                self.notify(app, completed, total);
                 slots[i] = Some(result);
             }
         });
@@ -523,13 +623,13 @@ impl CensusPipeline {
         // the scope ends, so every slot below the first error is filled;
         // scanning in spec order therefore yields a deterministic first
         // error. `None` slots only exist past an error (skipped work).
-        let mut out = Vec::with_capacity(specs.len());
-        for (slot, spec) in slots.into_iter().zip(specs) {
+        let mut out = Vec::with_capacity(total);
+        for (i, slot) in slots.into_iter().enumerate() {
             match slot {
                 Some(result) => out.push(result?),
                 None => {
                     return Err(CensusError::Probe {
-                        app: spec.name.clone(),
+                        app: source.spec(i).name.clone(),
                         message: "analysis worker terminated before producing a result".into(),
                     })
                 }
@@ -538,13 +638,27 @@ impl CensusPipeline {
         Ok(out)
     }
 
+    /// Analyzes one spec, memoizing the built app when `cache` is set
+    /// (slice runs) and building it transiently otherwise (generated runs).
+    fn analyze_spec(&self, spec: &AppSpec, cache: bool) -> Result<AppAnalysis, CensusError> {
+        if cache {
+            self.analyze_one(&self.built_for(spec))
+        } else {
+            self.analyze_built(&build_app(spec), false)
+        }
+    }
+
     /// Builds and analyzes one spec, converting a panic inside the analysis
     /// (e.g. from a custom registry rule) into [`CensusError::Probe`] so a
     /// worker thread never unwinds through `std::thread::scope` and the
     /// pipeline's no-panic contract holds on every path.
-    fn analyze_app_catching(&self, spec: &AppSpec) -> Result<AppAnalysis, CensusError> {
+    fn analyze_spec_catching(
+        &self,
+        spec: &AppSpec,
+        cache: bool,
+    ) -> Result<AppAnalysis, CensusError> {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.analyze_one(&self.built_for(spec))
+            self.analyze_spec(spec, cache)
         }))
         .unwrap_or_else(|payload| {
             let message = payload
@@ -732,6 +846,7 @@ impl CensusPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gen::{CorpusGenerator, CorpusProfile};
     use crate::spec::{NetpolSpec, Org, Plan};
     use std::sync::Mutex;
 
@@ -796,6 +911,68 @@ mod tests {
                 "threads({threads}) diverged from the sequential census"
             );
         }
+    }
+
+    #[test]
+    fn generated_census_streams_and_matches_across_thread_counts() {
+        let generator = CorpusGenerator::new(
+            CorpusProfile::named("baseline")
+                .expect("baseline profile")
+                .with_apps(24)
+                .with_seed(7),
+        );
+        let sequential_pipeline = CensusPipeline::builder().seed(7).build();
+        let sequential = sequential_pipeline
+            .run_generated(&generator)
+            .expect("generated census runs");
+        assert_eq!(sequential.apps.len(), 24);
+        // Streamed: the generated population must not be retained by the
+        // pipeline's memoization layers.
+        assert!(sequential_pipeline.caches.builds.lock().unwrap().is_empty());
+        assert!(sequential_pipeline
+            .caches
+            .renders
+            .lock()
+            .unwrap()
+            .is_empty());
+        for threads in [2, 8] {
+            let parallel = CensusPipeline::builder()
+                .seed(7)
+                .threads(threads)
+                .build()
+                .run_generated(&generator)
+                .expect("generated parallel census runs");
+            assert_eq!(
+                format!("{sequential:#?}"),
+                format!("{parallel:#?}"),
+                "threads({threads}) diverged on the generated census"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_census_equals_the_materialized_equivalent() {
+        // Streaming is an implementation detail: running the generator
+        // through `run_generated` must produce the same census as
+        // collecting the specs first and running the slice path.
+        let generator = CorpusGenerator::new(
+            CorpusProfile::named("legacy")
+                .expect("legacy profile")
+                .with_apps(12)
+                .with_seed(3),
+        );
+        let streamed = CensusPipeline::builder()
+            .seed(3)
+            .build()
+            .run_generated(&generator)
+            .expect("streamed run");
+        let materialized: Vec<_> = generator.iter().collect();
+        let sliced = CensusPipeline::builder()
+            .seed(3)
+            .build()
+            .run(&materialized)
+            .expect("slice run");
+        assert_eq!(format!("{streamed:#?}"), format!("{sliced:#?}"));
     }
 
     #[test]

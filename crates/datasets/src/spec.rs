@@ -144,6 +144,11 @@ pub struct Plan {
     /// Replicas of the main server component (drives the §4.3.2 pod
     /// reachability counts).
     pub server_replicas: u32,
+    /// Well-formed extra components (deployment + service pairs) that
+    /// produce **no** findings. Structure-only: the synthetic-corpus
+    /// archetypes use this to make a microservice mesh look different from
+    /// a monolith without touching the ground truth.
+    pub clean_components: usize,
     /// Cross-application collision tokens: apps sharing a token collide
     /// globally (M4\*). One finding is produced per token group.
     pub m4star_tokens: Vec<&'static str>,
@@ -165,6 +170,7 @@ impl Default for Plan {
             netpol: NetpolSpec::Missing,
             m7: 0,
             server_replicas: 1,
+            clean_components: 0,
             m4star_tokens: Vec::new(),
         }
     }
@@ -230,7 +236,7 @@ impl Plan {
 }
 
 /// One synthetic chart in the corpus.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppSpec {
     /// Chart name.
     pub name: String,

@@ -27,10 +27,17 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
         (0usize..=2, 0usize..=2, 0usize..=2, 0usize..=2),
         arb_netpol(),
         0usize..=2,
-        1u32..=3,
+        (1u32..=3, 0usize..=2),
     )
         .prop_map(
-            |((m1, m2, m3), (m4a, m4b, m4c), (m5a, m5b, m5c, m5d), netpol, m7, replicas)| Plan {
+            |(
+                (m1, m2, m3),
+                (m4a, m4b, m4c),
+                (m5a, m5b, m5c, m5d),
+                netpol,
+                m7,
+                (replicas, clean),
+            )| Plan {
                 m1,
                 m2,
                 m3,
@@ -44,6 +51,7 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
                 netpol,
                 m7,
                 server_replicas: replicas,
+                clean_components: clean,
                 m4star_tokens: vec![],
             },
         )

@@ -37,6 +37,40 @@ impl SynthesisOutcome {
 }
 
 /// Derives least-privilege ingress policies from declarations.
+///
+/// ```
+/// use ij_core::StaticModel;
+/// use ij_guard::PolicySynthesizer;
+/// use ij_model::PolicyPortRef;
+///
+/// let pod = ij_model::decode_manifest("\
+/// apiVersion: v1
+/// kind: Pod
+/// metadata:
+///   name: web
+///   labels:
+///     app: web
+/// spec:
+///   containers:
+///     - name: web
+///       image: acme/web
+///       ports:
+///         - containerPort: 8080
+/// ").unwrap();
+///
+/// let model = StaticModel::from_objects(std::slice::from_ref(&pod));
+/// let outcome = PolicySynthesizer::new().synthesize(&model);
+///
+/// // One ingress policy per labeled unit, allowing exactly the declared
+/// // ports — every undeclared (M1) port is cut off once it is applied.
+/// assert_eq!(outcome.policies.len(), 1);
+/// let policy = &outcome.policies[0];
+/// assert_eq!(policy.meta.name, "ij-guard-web");
+/// assert_eq!(
+///     policy.spec.ingress[0].ports[0].port,
+///     Some(PolicyPortRef::Number(8080))
+/// );
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct PolicySynthesizer {
     /// Prefix for generated policy names.

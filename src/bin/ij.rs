@@ -5,6 +5,9 @@
 //! ij render  <chart-dir> [--values <file>]
 //! ij disclose <chart-dir> [--values <file>]
 //! ij census  [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]
+//!            [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
+//! ij corpus  --describe [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>] [--seed <n>]
+//! ij help
 //! ```
 //!
 //! * `analyze` — render the chart, install it into a fresh simulated
@@ -19,7 +22,14 @@
 //!   `--threads` parallelizes the per-application analyses without changing
 //!   a byte of the output, `--progress` streams completion ticks to stderr,
 //!   and `--timings` prints the per-phase wall-time breakdown (render /
-//!   install / probe / analyze) to stderr after the table.
+//!   install / probe / analyze) to stderr after the table. With
+//!   `--synthetic <n>` the census instead streams `n` procedurally
+//!   generated applications through the pipeline (`--profile` picks the
+//!   scenario, `--mix` overrides per-rule injection rates).
+//! * `corpus` — describe a population without analyzing it: the built-in
+//!   Table-2 corpus by default, or a synthetic population under
+//!   `--synthetic`/`--profile`/`--mix`/`--seed`.
+//! * `help` — print the full flag reference.
 //!
 //! Failures map to distinct exit codes so scripts can tell them apart:
 //! `2` usage, `3` chart render, `4` cluster install, `1` anything else.
@@ -34,7 +44,10 @@ use inside_job::cluster::{Cluster, ClusterConfig};
 use inside_job::core::{
     chart_defines_network_policies, disclosure_report, Analyzer, AppReport, Census, MisconfigId,
 };
-use inside_job::datasets::{corpus, CensusError, CensusPipeline, Org, PhaseTimings};
+use inside_job::datasets::{
+    corpus, describe_builtin, CensusError, CensusPipeline, CorpusGenerator, CorpusProfile, Org,
+    PhaseTimings,
+};
 use inside_job::probe::{connectivity_dot, HostBaseline, RuntimeAnalyzer};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -102,16 +115,62 @@ struct ChartArgs {
 struct CensusArgs {
     org: Option<Org>,
     seed: u64,
+    /// True when `--seed` was given explicitly (the default is 42, so the
+    /// value alone cannot tell).
+    seed_set: bool,
     threads: usize,
     static_only: bool,
     progress: bool,
     timings: bool,
+    synthetic: Option<usize>,
+    profile: Option<String>,
+    mix: Option<String>,
+    describe: bool,
 }
+
+/// The one-screen flag reference printed by `ij help` (and kept in sync
+/// with the CLI contract section of the README by `tests/cli.rs`).
+const HELP: &str = "\
+ij — hybrid analyzer for Kubernetes network misconfigurations
+
+usage:
+  ij analyze  <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
+  ij render   <chart-dir> [--values <file>]
+  ij disclose <chart-dir> [--values <file>]
+  ij census   [--org <name>] [--seed <n>] [--threads <n>] [--static-only]
+              [--progress] [--timings]
+              [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
+  ij corpus   --describe [--synthetic <n>] [--profile <name>]
+              [--mix <rule=rate,...>] [--seed <n>]
+  ij help
+
+flags:
+  --values <file>        values overlay applied to the release
+  --static-only          disable the runtime rules (static analysis only)
+  --dot <out.dot>        write the effective-connectivity DOT graph
+  --org <name>           restrict the census to one built-in dataset
+  --seed <n>             base seed (default 42)
+  --threads <n>          analysis workers; output is identical for every n
+  --progress             stream per-application completion ticks to stderr
+  --timings              print per-phase wall time to stderr after the run
+  --synthetic <n>        analyze n procedurally generated applications
+  --profile <name>       synthetic scenario: baseline, mesh-heavy,
+                         monolith-heavy, pipeline-heavy, legacy, policy-mature
+  --mix <rule=rate,...>  override per-rule injection rates, e.g. m1=0.2,m7=0.05
+  --describe             print the population summary instead of analyzing
+
+exit codes:
+  0 success, 2 usage, 3 chart render failure, 4 cluster install failure,
+  1 any other failure
+";
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ij <analyze|render|disclose> <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
-       ij census [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]"
+       ij census [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]
+                 [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
+       ij corpus --describe [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>] [--seed <n>]
+       ij help"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -136,14 +195,22 @@ fn parse_chart_args(command: String, mut argv: std::env::Args) -> Option<ChartAr
     Some(args)
 }
 
-fn parse_census_args(mut argv: std::env::Args) -> Result<CensusArgs, CliError> {
+fn parse_census_args(
+    mut argv: std::env::Args,
+    allow_describe: bool,
+) -> Result<CensusArgs, CliError> {
     let mut args = CensusArgs {
         org: None,
         seed: 42,
+        seed_set: false,
         threads: 1,
         static_only: false,
         progress: false,
         timings: false,
+        synthetic: None,
+        profile: None,
+        mix: None,
+        describe: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -165,6 +232,7 @@ fn parse_census_args(mut argv: std::env::Args) -> Result<CensusArgs, CliError> {
                 args.seed = raw
                     .parse()
                     .map_err(|_| CliError::other(format!("invalid --seed `{raw}`")))?;
+                args.seed_set = true;
             }
             "--threads" => {
                 let raw = argv.next().ok_or_else(CliError::usage)?;
@@ -175,10 +243,42 @@ fn parse_census_args(mut argv: std::env::Args) -> Result<CensusArgs, CliError> {
             "--static-only" => args.static_only = true,
             "--progress" => args.progress = true,
             "--timings" => args.timings = true,
+            "--synthetic" => {
+                let raw = argv.next().ok_or_else(CliError::usage)?;
+                args.synthetic = Some(
+                    raw.parse()
+                        .map_err(|_| CliError::other(format!("invalid --synthetic `{raw}`")))?,
+                );
+            }
+            "--profile" => args.profile = Some(argv.next().ok_or_else(CliError::usage)?),
+            "--mix" => args.mix = Some(argv.next().ok_or_else(CliError::usage)?),
+            "--describe" if allow_describe => args.describe = true,
             _ => return Err(CliError::usage()),
         }
     }
     Ok(args)
+}
+
+/// Resolves the synthetic-population flags into a generator. `--profile`
+/// defaults to `baseline`; `--mix` overrides ride on the profile's rates.
+fn build_generator(args: &CensusArgs, apps: usize) -> Result<CorpusGenerator, CliError> {
+    let name = args.profile.as_deref().unwrap_or("baseline");
+    let mut profile = CorpusProfile::named(name)
+        .ok_or_else(|| {
+            CliError::other(format!(
+                "unknown profile `{name}`; expected one of: {}",
+                CorpusProfile::NAMES.join(", ")
+            ))
+        })?
+        .with_apps(apps)
+        .with_seed(args.seed);
+    if let Some(mix_spec) = &args.mix {
+        let mut mix = profile.mix().clone();
+        mix.apply_overrides(mix_spec)
+            .map_err(|e| CliError::other(format!("invalid --mix: {e}")))?;
+        profile = profile.with_mix(mix);
+    }
+    Ok(CorpusGenerator::new(profile))
 }
 
 fn load_release(args: &ChartArgs, name: &str) -> Result<Release, CliError> {
@@ -194,10 +294,16 @@ fn load_release(args: &ChartArgs, name: &str) -> Result<Release, CliError> {
 }
 
 fn run_census_command(args: CensusArgs) -> Result<(), CliError> {
-    let specs: Vec<_> = match args.org {
-        Some(org) => corpus().into_iter().filter(|a| a.org == org).collect(),
-        None => corpus(),
-    };
+    if args.synthetic.is_some() && args.org.is_some() {
+        return Err(CliError::other(
+            "--org selects a built-in dataset and cannot be combined with --synthetic",
+        ));
+    }
+    if args.synthetic.is_none() && (args.profile.is_some() || args.mix.is_some()) {
+        return Err(CliError::other(
+            "--profile/--mix configure the synthetic generator; pass --synthetic <n>",
+        ));
+    }
     let analyzer = if args.static_only {
         Analyzer::static_only()
     } else {
@@ -214,7 +320,17 @@ fn run_census_command(args: CensusArgs) -> Result<(), CliError> {
     if let Some(t) = &timings {
         builder = builder.timings(Arc::clone(t));
     }
-    let census = builder.build().run(&specs)?;
+    let pipeline = builder.build();
+    let census = match args.synthetic {
+        Some(apps) => pipeline.run_generated(&build_generator(&args, apps)?)?,
+        None => {
+            let specs: Vec<_> = match args.org {
+                Some(org) => corpus().into_iter().filter(|a| a.org == org).collect(),
+                None => corpus(),
+            };
+            pipeline.run(&specs)?
+        }
+    };
     print!("{}", census_table(&census));
     // Timings go to stderr so the census table on stdout stays
     // byte-identical with and without the flag.
@@ -229,6 +345,35 @@ fn run_census_command(args: CensusArgs) -> Result<(), CliError> {
             report.total()
         );
     }
+    Ok(())
+}
+
+/// `ij corpus --describe`: print a population summary without running any
+/// analysis — the built-in Table-2 corpus by default, or a synthetic
+/// population when `--synthetic` (and friends) are given.
+fn run_corpus_command(args: CensusArgs) -> Result<(), CliError> {
+    if !args.describe {
+        return Err(CliError::usage());
+    }
+    // The parser is shared with `census`; flags that only make sense when
+    // analyzing must not be silently ignored here.
+    if args.org.is_some() || args.threads != 1 || args.static_only || args.progress || args.timings
+    {
+        return Err(CliError::usage());
+    }
+    let summary = match args.synthetic {
+        Some(apps) => build_generator(&args, apps)?.describe(),
+        None => {
+            if args.profile.is_some() || args.mix.is_some() || args.seed_set {
+                return Err(CliError::other(
+                    "--profile/--mix/--seed configure the synthetic generator; \
+                     pass --synthetic <n>",
+                ));
+            }
+            describe_builtin()
+        }
+    };
+    print!("{}", summary.render());
     Ok(())
 }
 
@@ -351,7 +496,12 @@ fn run() -> Result<(), CliError> {
     let _ = argv.next(); // program name
     let command = argv.next().ok_or_else(CliError::usage)?;
     match command.as_str() {
-        "census" => run_census_command(parse_census_args(argv)?),
+        "census" => run_census_command(parse_census_args(argv, false)?),
+        "corpus" => run_corpus_command(parse_census_args(argv, true)?),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
         "analyze" | "render" | "disclose" => {
             let args = parse_chart_args(command, argv).ok_or_else(CliError::usage)?;
             run_chart_command(args)

@@ -204,6 +204,183 @@ fn census_timings_flag_prints_phase_breakdown_to_stderr() {
     );
 }
 
+/// Extracts every `--flag` token from a blob of text.
+fn flags_in(text: &str) -> std::collections::BTreeSet<String> {
+    let mut flags = std::collections::BTreeSet::new();
+    for chunk in text.split(|c: char| !(c.is_ascii_alphanumeric() || c == '-')) {
+        if let Some(name) = chunk.strip_prefix("--") {
+            // Skip markdown table rules (`---`) and require a real name.
+            if !name.is_empty() && !name.starts_with('-') {
+                flags.insert(format!("--{name}"));
+            }
+        }
+    }
+    flags
+}
+
+#[test]
+fn help_stays_in_sync_with_the_readme_cli_contract() {
+    let out = ij(&["help"]);
+    assert!(out.status.success());
+    let help = String::from_utf8_lossy(&out.stdout).to_string();
+
+    let readme = fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("README.md"))
+        .expect("README.md readable");
+    let section_start = readme
+        .find("## Command-line interface")
+        .expect("README documents the CLI contract");
+    let section = &readme[section_start..];
+    let section = &section[..section[2..]
+        .find("\n## ")
+        .map(|i| i + 2)
+        .unwrap_or(section.len())];
+
+    // Every flag the binary advertises is documented, and vice versa —
+    // including the synthetic-corpus flags.
+    let in_help = flags_in(&help);
+    let in_readme = flags_in(section);
+    assert_eq!(
+        in_help, in_readme,
+        "ij help and the README CLI section list different flags"
+    );
+    for required in ["--synthetic", "--profile", "--mix", "--describe"] {
+        assert!(
+            in_help.contains(required),
+            "{required} missing from ij help"
+        );
+    }
+    // The documented exit-code scheme and scenario names track the binary.
+    for token in ["2", "3", "4", "1"] {
+        assert!(help.contains(token), "exit code {token} missing from help");
+    }
+    for profile in [
+        "baseline",
+        "mesh-heavy",
+        "monolith-heavy",
+        "pipeline-heavy",
+        "legacy",
+        "policy-mature",
+    ] {
+        assert!(
+            help.contains(profile),
+            "profile {profile} missing from help"
+        );
+        assert!(
+            section.contains(profile),
+            "profile {profile} missing from README"
+        );
+    }
+}
+
+#[test]
+fn census_synthetic_runs_a_generated_population() {
+    let out = ij(&[
+        "census",
+        "--synthetic",
+        "30",
+        "--seed",
+        "7",
+        "--profile",
+        "legacy",
+        "--mix",
+        "m7=0.5",
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("across 30 application(s)"), "{stdout}");
+}
+
+#[test]
+fn corpus_describe_prints_population_summaries() {
+    // Built-in corpus: the Table 2 ground truth.
+    let out = ij(&["corpus", "--describe"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("290 application(s)"), "{stdout}");
+    assert!(
+        stdout.contains("total expected: 634 finding(s)"),
+        "{stdout}"
+    );
+
+    // Synthetic population: summary matches the generator.
+    let out = ij(&[
+        "corpus",
+        "--describe",
+        "--synthetic",
+        "40",
+        "--seed",
+        "3",
+        "--profile",
+        "mesh-heavy",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mesh-heavy"), "{stdout}");
+    assert!(stdout.contains("40 application(s), seed 3"), "{stdout}");
+
+    // --describe is mandatory for the corpus subcommand.
+    let out = ij(&["corpus"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "corpus without --describe is usage"
+    );
+
+    // Census-only flags are not silently ignored on `corpus`.
+    for flags in [
+        &["corpus", "--describe", "--org", "CNCF"][..],
+        &["corpus", "--describe", "--threads", "4"][..],
+        &["corpus", "--describe", "--progress"][..],
+    ] {
+        let out = ij(flags);
+        assert_eq!(out.status.code(), Some(2), "{flags:?} is a usage error");
+    }
+    // Neither is a --seed that cannot affect the built-in summary.
+    let out = ij(&["corpus", "--describe", "--seed", "99"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "--seed without --synthetic errors"
+    );
+}
+
+#[test]
+fn synthetic_flag_errors_use_the_documented_exit_codes() {
+    let out = ij(&["census", "--synthetic", "10", "--profile", "not-a-profile"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown profile"), "{stderr}");
+    assert!(
+        stderr.contains("mesh-heavy"),
+        "names the valid profiles: {stderr}"
+    );
+
+    let out = ij(&["census", "--synthetic", "10", "--mix", "m9=1.0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rule"));
+
+    let out = ij(&["census", "--synthetic", "10", "--mix", "m1=lots"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    let out = ij(&["census", "--synthetic", "many"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    let out = ij(&["census", "--synthetic", "10", "--org", "CNCF"]);
+    assert_eq!(out.status.code(), Some(1), "--org and --synthetic conflict");
+
+    let out = ij(&["census", "--profile", "baseline"]);
+    assert_eq!(out.status.code(), Some(1), "--profile requires --synthetic");
+
+    let out = ij(&["census", "--describe"]);
+    assert_eq!(out.status.code(), Some(2), "--describe is corpus-only");
+}
+
 #[test]
 fn census_rejects_unknown_dataset_and_bad_flags() {
     let out = ij(&["census", "--org", "NotADataset"]);
