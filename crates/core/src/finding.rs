@@ -250,6 +250,41 @@ impl Finding {
         self.protocol = Some(protocol);
         self
     }
+
+    /// A 64-bit identity hash (FNV-1a) over every field, with separators so
+    /// field boundaries cannot alias. Continuous-audit tooling keys finding
+    /// multisets by this instead of comparing full structs: two findings are
+    /// equal exactly when their identities collide (up to 64-bit hash
+    /// collision odds), and counting identities gives multiset semantics —
+    /// two identical findings in one round stay two findings.
+    pub fn identity(&self) -> u64 {
+        const SEP: &[u8] = &[0xff];
+        let mut h = fnv1a(FNV_OFFSET, self.id.as_str().as_bytes());
+        h = fnv1a(h, SEP);
+        h = fnv1a(h, self.app.as_bytes());
+        h = fnv1a(h, SEP);
+        h = fnv1a(h, self.object.as_bytes());
+        h = fnv1a(h, SEP);
+        h = fnv1a(h, self.detail.as_bytes());
+        h = fnv1a(h, SEP);
+        h = match self.port {
+            Some(p) => fnv1a(h, &[1, p as u8, (p >> 8) as u8]),
+            None => fnv1a(h, &[0]),
+        };
+        match self.protocol {
+            Some(proto) => fnv1a(h, proto.as_str().as_bytes()),
+            None => fnv1a(h, &[0]),
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl fmt::Display for Finding {

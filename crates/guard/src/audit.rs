@@ -1,5 +1,7 @@
 //! The continuous auditor: periodic re-analysis with finding deltas.
 
+use std::collections::HashMap;
+
 use ij_cluster::Cluster;
 use ij_core::{Analyzer, Finding};
 use ij_probe::{HostBaseline, RuntimeAnalyzer};
@@ -16,6 +18,42 @@ pub struct AuditDelta {
 }
 
 impl AuditDelta {
+    /// Diffs two finding lists as multisets, keyed by [`Finding::identity`].
+    ///
+    /// Each previous occurrence cancels at most one current occurrence, so
+    /// two identical findings resolving down to one reports exactly one
+    /// `resolved` and one `persisting`. Output order follows input order,
+    /// which keeps the delta deterministic for canonically sorted inputs.
+    /// Runs in O(previous + current).
+    pub fn between(previous: &[Finding], current: &[Finding]) -> AuditDelta {
+        let mut prev_counts: HashMap<u64, usize> = HashMap::new();
+        for f in previous {
+            *prev_counts.entry(f.identity()).or_default() += 1;
+        }
+        let mut cur_counts: HashMap<u64, usize> = HashMap::new();
+        for f in current {
+            *cur_counts.entry(f.identity()).or_default() += 1;
+        }
+
+        let mut delta = AuditDelta::default();
+        for f in current {
+            match prev_counts.get_mut(&f.identity()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    delta.persisting.push(f.clone());
+                }
+                _ => delta.introduced.push(f.clone()),
+            }
+        }
+        for f in previous {
+            match cur_counts.get_mut(&f.identity()) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => delta.resolved.push(f.clone()),
+            }
+        }
+        delta
+    }
+
     /// True when nothing changed.
     pub fn is_quiet(&self) -> bool {
         self.introduced.is_empty() && self.resolved.is_empty()
@@ -63,23 +101,7 @@ impl ContinuousAuditor {
             self.chart_defines_policies,
         );
         let previous = self.previous.take().unwrap_or_default();
-        let delta = AuditDelta {
-            introduced: current
-                .iter()
-                .filter(|f| !previous.contains(f))
-                .cloned()
-                .collect(),
-            resolved: previous
-                .iter()
-                .filter(|f| !current.contains(f))
-                .cloned()
-                .collect(),
-            persisting: current
-                .iter()
-                .filter(|f| previous.contains(f))
-                .cloned()
-                .collect(),
-        };
+        let delta = AuditDelta::between(&previous, &current);
         self.previous = Some(current);
         delta
     }
@@ -143,5 +165,46 @@ mod tests {
         let third = auditor.tick(&mut cluster);
         assert!(third.is_quiet());
         assert!(!auditor.latest().is_empty());
+    }
+
+    #[test]
+    fn duplicate_findings_diff_as_a_multiset() {
+        use ij_model::Protocol;
+
+        let finding = Finding::new(
+            MisconfigId::M1,
+            "shop",
+            "default/shop-server",
+            "port 9200/TCP open but not declared",
+        )
+        .with_port(9200, Protocol::Tcp);
+
+        // Two identical findings, one resolves: the naive Vec::contains diff
+        // collapsed the pair and reported a quiet round.
+        let down = AuditDelta::between(
+            &[finding.clone(), finding.clone()],
+            std::slice::from_ref(&finding),
+        );
+        assert_eq!(down.resolved.len(), 1, "one of two duplicates resolved");
+        assert_eq!(down.persisting.len(), 1, "the other duplicate persists");
+        assert!(down.introduced.is_empty());
+        assert!(
+            !down.is_quiet(),
+            "a resolved duplicate is not a quiet round"
+        );
+
+        // And the mirror image: a second identical finding appearing.
+        let up = AuditDelta::between(
+            std::slice::from_ref(&finding),
+            &[finding.clone(), finding.clone()],
+        );
+        assert_eq!(up.introduced.len(), 1);
+        assert_eq!(up.persisting.len(), 1);
+        assert!(up.resolved.is_empty());
+
+        // Identity hashing separates near-identical findings.
+        let other = finding.clone().with_port(9300, Protocol::Tcp);
+        assert_ne!(finding.identity(), other.identity());
+        assert_eq!(finding.identity(), finding.clone().identity());
     }
 }
