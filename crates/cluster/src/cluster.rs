@@ -1,7 +1,8 @@
 //! The cluster facade: API server, controllers, scheduler, data plane.
 
 use crate::admission::{AdmissionController, AdmissionOutcome, AdmissionReview};
-use crate::behavior::{BehaviorRegistry, PortSpec};
+use crate::behavior::{BehaviorRegistry, ContainerBehavior, PortSpec};
+use crate::dirty::{DirtyEntry, DirtyLog, DirtyScope, DirtySummary, DIRTY_LOG_CAP};
 use crate::index::PolicyIndex;
 use crate::netpol::ConnectionVerdict;
 use crate::node::Node;
@@ -141,6 +142,16 @@ pub enum WatchEvent {
         /// Node it landed on.
         node: String,
     },
+    /// A pod could not be scheduled (no worker nodes) and stays Pending.
+    PodPending {
+        /// Qualified pod name.
+        name: String,
+    },
+    /// A running pod was reaped (scale-down or its defining object removed).
+    PodReaped {
+        /// Qualified pod name.
+        name: String,
+    },
     /// All pods were restarted (ephemeral ports re-drawn).
     PodsRestarted,
     /// The cluster was wiped.
@@ -179,15 +190,19 @@ pub struct Cluster {
     /// Bumped on every mutation of objects or pods; the policy-index cache
     /// key.
     generation: u64,
+    /// Bounded ring of per-generation dirty entries backing
+    /// [`Cluster::dirty_since`].
+    dirty: DirtyLog,
     /// Cached compiled [`PolicyIndex`] for [`Cluster::policy_index`],
     /// tagged with the generation it was built at.
     index_cache: Mutex<Option<(u64, Arc<PolicyIndex>)>>,
 }
 
 impl Cluster {
-    /// Boots a cluster.
+    /// Boots a cluster. A zero-node config is honoured: pods stay Pending
+    /// until nodes exist, they never crash the control loop.
     pub fn new(config: ClusterConfig) -> Self {
-        let nodes = (0..config.nodes.max(1)).map(Node::new).collect();
+        let nodes = (0..config.nodes).map(Node::new).collect();
         let rng = StdRng::seed_from_u64(config.seed);
         Cluster {
             config,
@@ -202,6 +217,7 @@ impl Cluster {
             events: Vec::new(),
             watchers: Vec::new(),
             generation: 0,
+            dirty: DirtyLog::new(0, DIRTY_LOG_CAP),
             index_cache: Mutex::new(None),
         }
     }
@@ -241,16 +257,35 @@ impl Cluster {
         self.watchers.retain(|w| w.send(event.clone()).is_ok());
     }
 
-    /// Marks the cluster mutated: bumps the generation so the next
-    /// [`Cluster::policy_index`] call recompiles.
-    fn touch(&mut self) {
+    /// Marks the cluster mutated: bumps the generation (so the next
+    /// [`Cluster::policy_index`] call recompiles) and records what the
+    /// mutation touched for [`Cluster::dirty_since`].
+    fn touch(&mut self, entry: DirtyEntry) {
         self.generation = self.generation.wrapping_add(1);
+        self.dirty.record(entry);
     }
 
     /// The current mutation generation. Any change to objects or pods bumps
     /// it; equal generations guarantee an identical policy index.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Summarizes everything that changed since `cursor` — a generation
+    /// previously returned by [`Cluster::generation`]. The backing log is a
+    /// bounded ring ([`DIRTY_LOG_CAP`] entries): cursors that fell off its
+    /// horizon (or predate a [`Cluster::reset`]) yield a conservative
+    /// everything-dirty summary, so incremental consumers degrade to a full
+    /// recompute instead of ever missing a change.
+    pub fn dirty_since(&self, cursor: u64) -> DirtySummary {
+        self.dirty.summary_since(cursor, self.generation)
+    }
+
+    /// Registers (or replaces) a container behaviour at runtime. Serve-mode
+    /// tenants register application behaviours as releases come and go;
+    /// already-running pods keep their sockets until restarted.
+    pub fn register_behavior(&mut self, image: impl Into<String>, behavior: ContainerBehavior) {
+        self.config.behaviors.register(image, behavior);
     }
 
     /// The compiled policy index for the cluster's current state.
@@ -372,8 +407,19 @@ impl Cluster {
                 self.cluster_ips.insert(s.meta.qualified_name(), ip);
             }
         }
+        let scope = match object.meta().annotations.get(RELEASE_ANNOTATION) {
+            Some(release) => DirtyScope::App(release.clone()),
+            None => DirtyScope::Unattributed,
+        };
+        // Policies change verdicts and per-app policy rules, but not the
+        // labelled object sets cluster-wide label analysis consumes.
+        let labels = !matches!(object, Object::NetworkPolicy(_));
         self.objects.push(object);
-        self.touch();
+        self.touch(DirtyEntry {
+            scope,
+            labels,
+            pods: false,
+        });
         Ok(warnings)
     }
 
@@ -392,8 +438,15 @@ impl Cluster {
             match self.apply(obj) {
                 Ok(mut w) => warnings.append(&mut w),
                 Err(e) => {
+                    // Roll back the ClusterIPs of services applied before
+                    // the denial along with the objects themselves.
+                    for rolled_back in &self.objects[checkpoint..] {
+                        if let Object::Service(s) = rolled_back {
+                            self.cluster_ips.remove(&s.meta.qualified_name());
+                        }
+                    }
                     self.objects.truncate(checkpoint);
-                    self.touch();
+                    self.touch(DirtyEntry::app(&release.release_name, true, false));
                     return Err(e);
                 }
             }
@@ -402,16 +455,28 @@ impl Cluster {
         Ok(warnings)
     }
 
-    /// Uninstalls a release: removes every object stamped with its name and
-    /// reaps the pods those objects owned. Other releases are untouched.
+    /// Uninstalls a release: removes every object stamped with its name,
+    /// reaps the pods those objects owned and releases the ClusterIPs of
+    /// its services. Other releases are untouched.
     pub fn uninstall(&mut self, release_name: &str) {
+        let mut removed_services: Vec<String> = Vec::new();
         self.objects.retain(|o| {
-            o.meta()
+            let keep = o
+                .meta()
                 .annotations
                 .get(RELEASE_ANNOTATION)
                 .map(String::as_str)
-                != Some(release_name)
+                != Some(release_name);
+            if !keep {
+                if let Object::Service(s) = o {
+                    removed_services.push(s.meta.qualified_name());
+                }
+            }
+            keep
         });
+        for service in &removed_services {
+            self.cluster_ips.remove(service);
+        }
         // Reap pods whose defining object (owner workload or the bare pod
         // itself) is gone.
         let existing: HashSet<String> = self.objects.iter().map(|o| o.qualified_name()).collect();
@@ -420,7 +485,7 @@ impl Cluster {
             existing.contains(&definer)
         });
         self.events.push(format!("uninstall {release_name}"));
-        self.touch();
+        self.touch(DirtyEntry::app(release_name, true, true));
     }
 
     /// Removes everything — the paper's per-application fresh cluster.
@@ -430,11 +495,18 @@ impl Cluster {
         self.cluster_ips.clear();
         self.events.push("reset".to_string());
         self.notify(WatchEvent::Reset);
-        self.touch();
+        self.touch(DirtyEntry {
+            scope: DirtyScope::AllApps,
+            labels: true,
+            pods: true,
+        });
+        // Pre-reset cursors must not see an incremental path at all.
+        self.dirty.forget(self.generation);
     }
 
     /// Runs the controller loop: expands workloads into pods, schedules and
-    /// starts anything pending. Idempotent.
+    /// starts anything pending, then reaps running pods no longer desired
+    /// (scale-downs, replaced templates). Idempotent.
     pub fn reconcile(&mut self) {
         let mut desired: Vec<(Option<String>, Pod)> = Vec::new();
         let workloads: Vec<Workload> = self.workloads().cloned().collect();
@@ -451,6 +523,10 @@ impl Cluster {
             .collect();
         desired.extend(bare.into_iter().map(|p| (None, p)));
 
+        let desired_names: HashSet<String> = desired
+            .iter()
+            .map(|(_, p)| p.meta.qualified_name())
+            .collect();
         let running: HashSet<String> = self.pods.iter().map(|p| p.qualified_name()).collect();
         for (owner, pod) in desired {
             if running.contains(&pod.meta.qualified_name()) {
@@ -458,6 +534,67 @@ impl Cluster {
             }
             self.start_pod(pod, owner);
         }
+
+        // Scale-down: a workload now desires fewer pods than are running.
+        let stale: Vec<(String, Option<String>)> = self
+            .pods
+            .iter()
+            .filter(|rp| !desired_names.contains(&rp.qualified_name()))
+            .map(|rp| (rp.qualified_name(), self.release_of(rp)))
+            .collect();
+        if !stale.is_empty() {
+            self.pods
+                .retain(|rp| desired_names.contains(&rp.qualified_name()));
+            for (name, release) in stale {
+                self.events.push(format!("reap {name}"));
+                self.notify(WatchEvent::PodReaped { name });
+                self.touch(DirtyEntry {
+                    scope: release.map_or(DirtyScope::Unattributed, DirtyScope::App),
+                    labels: false,
+                    pods: true,
+                });
+            }
+        }
+    }
+
+    /// The release a running pod belongs to, resolved through its defining
+    /// object (owner workload, or the bare pod object itself).
+    fn release_of(&self, rp: &RunningPod) -> Option<String> {
+        let definer = rp.owner.clone().unwrap_or_else(|| rp.qualified_name());
+        self.objects
+            .iter()
+            .find(|o| o.qualified_name() == definer)
+            .and_then(|o| o.meta().annotations.get(RELEASE_ANNOTATION))
+            .or_else(|| rp.pod.meta.annotations.get(RELEASE_ANNOTATION))
+            .cloned()
+    }
+
+    /// Updates a workload's replica count in place (`kubectl scale`),
+    /// returning false when no workload with that qualified name exists.
+    /// Call [`Cluster::reconcile`] to realize the change — spawn new pods
+    /// or reap excess ones.
+    pub fn scale_workload(&mut self, qualified: &str, replicas: u32) -> bool {
+        let mut release = None;
+        let mut found = false;
+        for o in &mut self.objects {
+            if let Object::Workload(w) = o {
+                if w.meta.qualified_name() == qualified {
+                    w.replicas = replicas;
+                    release = w.meta.annotations.get(RELEASE_ANNOTATION).cloned();
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if found {
+            self.events.push(format!("scale {qualified} to {replicas}"));
+            self.touch(DirtyEntry {
+                scope: release.map_or(DirtyScope::Unattributed, DirtyScope::App),
+                labels: false,
+                pods: true,
+            });
+        }
+        found
     }
 
     /// Restarts every pod: containers re-draw their ephemeral ports. This is
@@ -470,7 +607,11 @@ impl Cluster {
         }
         self.pods = pods;
         self.notify(WatchEvent::PodsRestarted);
-        self.touch();
+        self.touch(DirtyEntry {
+            scope: DirtyScope::AllApps,
+            labels: false,
+            pods: true,
+        });
     }
 
     fn expand_workload(&self, w: &Workload) -> Vec<(Option<String>, Pod)> {
@@ -495,7 +636,9 @@ impl Cluster {
                 }
             }
             _ => {
-                for i in 0..w.replicas.max(1) {
+                // `replicas: 0` is a deliberate scale-to-zero, not a typo:
+                // desire no pods so reconcile reaps any still running.
+                for i in 0..w.replicas {
                     out.push((
                         Some(owner.clone()),
                         make_pod(format!("{}-{}", w.meta.name, i)),
@@ -507,6 +650,15 @@ impl Cluster {
     }
 
     fn start_pod(&mut self, mut pod: Pod, owner: Option<String>) {
+        // No schedulable node: the pod stays Pending (Kubernetes semantics)
+        // instead of crashing the control loop; the next reconcile retries.
+        if self.nodes.is_empty() {
+            let name = pod.meta.qualified_name();
+            self.events
+                .push(format!("pending {name}: no schedulable nodes"));
+            self.notify(WatchEvent::PodPending { name });
+            return;
+        }
         // Scheduler: round-robin by current pod count, honouring nodeName.
         let node_idx = self.pods.len() % self.nodes.len();
         let node = match &pod.spec.node_name {
@@ -540,6 +692,16 @@ impl Cluster {
             name: pod.meta.qualified_name(),
             node: node_name.clone(),
         });
+        let release = owner
+            .as_deref()
+            .and_then(|o| {
+                self.objects
+                    .iter()
+                    .find(|obj| obj.qualified_name() == o)
+                    .and_then(|obj| obj.meta().annotations.get(RELEASE_ANNOTATION))
+            })
+            .or_else(|| pod.meta.annotations.get(RELEASE_ANNOTATION))
+            .cloned();
         self.pods.push(RunningPod {
             pod,
             node: node_name,
@@ -547,7 +709,11 @@ impl Cluster {
             sockets,
             owner,
         });
-        self.touch();
+        self.touch(DirtyEntry {
+            scope: release.map_or(DirtyScope::Unattributed, DirtyScope::App),
+            labels: false,
+            pods: true,
+        });
     }
 
     /// Instantiates the behaviour model of every container in a pod.
@@ -1179,6 +1345,209 @@ spec:
         cluster.reset();
         assert_ne!(cluster.generation(), g1);
         assert_eq!(cluster.policy_index().pod_count(), 0);
+    }
+
+    #[test]
+    fn uninstall_releases_cluster_ips() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        assert!(cluster.cluster_ip("default", "d-web").is_some());
+        cluster.uninstall("d");
+        assert!(
+            cluster.cluster_ip("default", "d-web").is_none(),
+            "uninstalled service must not resolve a stale ClusterIP"
+        );
+        assert!(cluster.resolve_dns("default", "d-web").is_empty());
+        // Install/uninstall churn must not leak map entries for the name.
+        for _ in 0..5 {
+            let rendered = demo_chart().render(&Release::new("d", "default")).unwrap();
+            cluster.install(&rendered).unwrap();
+            cluster.uninstall("d");
+        }
+        assert!(cluster.cluster_ip("default", "d-web").is_none());
+    }
+
+    #[test]
+    fn rollback_releases_cluster_ips_of_applied_services() {
+        // Deny pods so the install fails *after* the service got its IP.
+        struct DenyWorkloads;
+        impl AdmissionController for DenyWorkloads {
+            fn name(&self) -> &str {
+                "deny-workloads"
+            }
+            fn review(&self, review: &AdmissionReview<'_>) -> AdmissionOutcome {
+                if review.object.kind() == "Deployment" {
+                    AdmissionOutcome::Deny("no workloads".into())
+                } else {
+                    AdmissionOutcome::Allow
+                }
+            }
+        }
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        cluster.push_admission(Box::new(DenyWorkloads));
+        // Render with the service template first so it lands before the
+        // denied deployment.
+        let chart = Chart::builder("demo")
+            .template(
+                "a-svc.yaml",
+                "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}-web
+spec:
+  selector:
+    app: web
+  ports:
+    - name: http
+      port: 80
+      targetPort: 8080
+",
+            )
+            .template(
+                "b-deploy.yaml",
+                "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-web
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: web
+  template:
+    metadata:
+      labels:
+        app: web
+    spec:
+      containers:
+        - name: web
+          image: demo/web
+",
+            )
+            .build();
+        let rendered = chart.render(&Release::new("d", "default")).unwrap();
+        cluster.install(&rendered).unwrap_err();
+        assert!(cluster.objects().is_empty(), "rolled back");
+        assert!(
+            cluster.cluster_ip("default", "d-web").is_none(),
+            "rollback must release the ClusterIP of already-applied services"
+        );
+    }
+
+    #[test]
+    fn zero_replicas_spawn_no_pods_and_scale_down_reaps() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        assert_eq!(cluster.pods().len(), 2);
+        let rx = cluster.watch();
+        assert!(cluster.scale_workload("default/d-web", 0));
+        cluster.reconcile();
+        assert!(
+            cluster.pods().is_empty(),
+            "replicas: 0 means zero pods, not one"
+        );
+        assert_eq!(
+            rx.try_iter()
+                .filter(|e| matches!(e, WatchEvent::PodReaped { .. }))
+                .count(),
+            2
+        );
+        // Scaling back up respawns pods; partial scale-down reaps only the
+        // excess replica.
+        assert!(cluster.scale_workload("default/d-web", 3));
+        cluster.reconcile();
+        assert_eq!(cluster.pods().len(), 3);
+        assert!(cluster.scale_workload("default/d-web", 1));
+        cluster.reconcile();
+        assert_eq!(cluster.pods().len(), 1);
+        assert!(!cluster.scale_workload("default/missing", 2));
+    }
+
+    #[test]
+    fn workload_applied_with_zero_replicas_stays_at_zero() {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let mut w = Workload::deployment(
+            ij_model::ObjectMeta::named("idle"),
+            Labels::from_pairs([("app", "idle")]),
+            ij_model::PodSpec {
+                containers: vec![ij_model::Container::new("c", "img")],
+                ..Default::default()
+            },
+        );
+        w.replicas = 0;
+        cluster.apply(Object::Workload(w)).unwrap();
+        cluster.reconcile();
+        assert!(cluster.pods().is_empty());
+    }
+
+    #[test]
+    fn zero_node_cluster_leaves_pods_pending_instead_of_panicking() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 0,
+            seed: 1,
+            behaviors: BehaviorRegistry::new(),
+        });
+        let rx = cluster.watch();
+        let pod = Pod::new(
+            ij_model::ObjectMeta::named("p"),
+            ij_model::PodSpec {
+                containers: vec![ij_model::Container::new("c", "img")],
+                ..Default::default()
+            },
+        );
+        cluster.apply(Object::Pod(pod)).unwrap();
+        cluster.reconcile(); // previously: divide-by-zero panic
+        assert!(cluster.pods().is_empty());
+        assert!(rx
+            .try_iter()
+            .any(|e| matches!(e, WatchEvent::PodPending { name } if name == "default/p")));
+        assert!(cluster
+            .events()
+            .iter()
+            .any(|e| e.contains("pending default/p")));
+    }
+
+    #[test]
+    fn dirty_since_attributes_mutations_to_releases() {
+        let mut cluster = install_demo(BehaviorRegistry::new());
+        let cursor = cluster.generation();
+        assert!(cluster.dirty_since(cursor).is_clean());
+
+        let second = demo_chart().render(&Release::new("e", "default")).unwrap();
+        cluster.install(&second).unwrap();
+        let s = cluster.dirty_since(cursor);
+        assert!(!s.everything && !s.all_apps);
+        assert_eq!(s.apps.iter().cloned().collect::<Vec<_>>(), vec!["e"]);
+        assert!(s.labels && s.pods);
+
+        let cursor = cluster.generation();
+        cluster.uninstall("d");
+        let s = cluster.dirty_since(cursor);
+        assert_eq!(s.apps.iter().cloned().collect::<Vec<_>>(), vec!["d"]);
+
+        // A policy-only change leaves the label flag untouched.
+        let cursor = cluster.generation();
+        cluster
+            .apply(Object::NetworkPolicy(NetworkPolicy::deny_all_ingress(
+                ij_model::ObjectMeta::named("deny"),
+                ij_model::LabelSelector::everything(),
+            )))
+            .unwrap();
+        let s = cluster.dirty_since(cursor);
+        assert!(!s.labels && s.unattributed);
+
+        // Restarts dirty every app's runtime state.
+        let cursor = cluster.generation();
+        cluster.restart_pods();
+        let s = cluster.dirty_since(cursor);
+        assert!(s.all_apps && s.pods && !s.labels);
+
+        // Reset invalidates every earlier cursor.
+        cluster.reset();
+        assert!(cluster.dirty_since(cursor).everything);
+        // A stale cursor far older than the ring is conservative too.
+        let s = cluster.dirty_since(u64::MAX);
+        assert!(s.everything);
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   per-rule peer bitsets) behind a generation counter, so the probe hot
 //!   path evaluates policies with integer ops; the naive [`PolicyEngine`]
 //!   remains the property-tested oracle.
+//! * **Dirty-set tracking** — every mutation records which release it
+//!   touched in a bounded ring; [`Cluster::dirty_since`] summarizes the
+//!   changes after an audit cursor so incremental consumers re-analyze only
+//!   dirtied applications (and fall back to a full recompute when the ring
+//!   overflows).
 //!
 //! Everything is reproducible from a single seed: ephemeral port draws are
 //! the only randomness.
@@ -35,6 +40,7 @@
 pub mod admission;
 pub mod behavior;
 pub mod cluster;
+pub mod dirty;
 pub mod index;
 pub mod netpol;
 pub mod node;
@@ -43,7 +49,9 @@ pub use admission::{AdmissionController, AdmissionOutcome, AdmissionReview};
 pub use behavior::{BehaviorRegistry, ContainerBehavior, ListenerSpec, PortSpec};
 pub use cluster::{
     Cluster, ClusterConfig, ConnectOutcome, InstallError, OpenSocket, RunningPod, WatchEvent,
+    RELEASE_ANNOTATION,
 };
+pub use dirty::{DirtyEntry, DirtyScope, DirtySummary, DIRTY_LOG_CAP};
 pub use index::{PodSet, PolicyIndex};
 pub use netpol::{ConnectionVerdict, PolicyEngine};
 pub use node::Node;
