@@ -103,7 +103,7 @@ impl BuiltApp {
 
 /// The label key shared by all of an app's own components (and used by its
 /// synthesized/tight policies).
-const INSTANCE_KEY: &str = "app.kubernetes.io/instance";
+pub const INSTANCE_KEY: &str = "app.kubernetes.io/instance";
 
 fn image(app: &str, component: &str) -> String {
     format!("sim/{app}/{component}")

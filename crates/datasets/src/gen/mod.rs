@@ -26,10 +26,12 @@
 //! ```
 
 mod archetypes;
+mod churn;
 mod inject;
 mod profile;
 
 pub use archetypes::Archetype;
+pub use churn::{apply_mutation, ChurnMutation, ChurnSession, FLIP_TOKEN};
 pub use inject::{MisconfigMix, MixError};
 pub use profile::{CorpusProfile, CorpusProfileBuilder};
 

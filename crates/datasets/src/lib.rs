@@ -67,10 +67,10 @@ mod runner;
 mod score;
 mod spec;
 
-pub use builder::{build_app, ports, BuiltApp};
+pub use builder::{build_app, ports, BuiltApp, INSTANCE_KEY};
 pub use gen::{
-    describe_builtin, Archetype, CorpusGenerator, CorpusProfile, CorpusProfileBuilder,
-    MisconfigMix, MixError, PopulationSummary,
+    apply_mutation, describe_builtin, Archetype, ChurnMutation, ChurnSession, CorpusGenerator,
+    CorpusProfile, CorpusProfileBuilder, MisconfigMix, MixError, PopulationSummary, FLIP_TOKEN,
 };
 pub use orgs::corpus;
 pub use pipeline::{

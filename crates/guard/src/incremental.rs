@@ -1,0 +1,306 @@
+//! The incremental continuous auditor: re-analyzes only what a mutation
+//! touched.
+//!
+//! [`ContinuousAuditor`](crate::ContinuousAuditor) re-runs the full
+//! analysis on every tick — fine for one app, quadratic waste for a tenant
+//! cluster under churn. [`IncrementalAuditor`] instead remembers the
+//! [`Cluster::generation`](ij_cluster::Cluster::generation) it last audited
+//! and asks [`Cluster::dirty_since`](ij_cluster::Cluster::dirty_since) what
+//! changed:
+//!
+//! * per-app rules re-run only for dirtied releases (installs, uninstalls,
+//!   scale events, pod churn attributed to that release);
+//! * the cluster-wide label pass (`M4*`) re-runs only when the labelled
+//!   object set changed (`summary.labels`) or a release appeared or
+//!   disappeared;
+//! * everything else is served from the per-app finding cache.
+//!
+//! When the dirty ring no longer covers the cursor (overflow, reset, first
+//! tick) the summary degrades to everything-dirty and the tick becomes a
+//! full recompute — the same code path [`IncrementalAuditor::full_tick`]
+//! exposes as the property-tested oracle. Deltas are diffed as multisets
+//! keyed by [`Finding::identity`] via [`AuditDelta::between`].
+
+use std::collections::BTreeMap;
+
+use ij_cluster::{Cluster, DirtySummary, RELEASE_ANNOTATION};
+use ij_core::{sort_canonical, Analyzer, Finding, StaticModel};
+use ij_model::Object;
+use ij_probe::{HostBaseline, RuntimeAnalyzer, RuntimeReport};
+
+use crate::audit::AuditDelta;
+
+/// Cached per-release analysis state.
+struct AppState {
+    findings: Vec<Finding>,
+    statics: StaticModel,
+}
+
+/// A delta-aware auditor for a whole multi-release cluster. See the module
+/// docs for the re-evaluation policy.
+pub struct IncrementalAuditor {
+    analyzer: Analyzer,
+    probe: Option<(RuntimeAnalyzer, HostBaseline)>,
+    defines_policies: BTreeMap<String, bool>,
+    cursor: Option<u64>,
+    apps: BTreeMap<String, AppState>,
+    global: Vec<Finding>,
+    previous: Vec<Finding>,
+}
+
+impl Default for IncrementalAuditor {
+    fn default() -> Self {
+        IncrementalAuditor::new()
+    }
+}
+
+impl IncrementalAuditor {
+    /// A static-only auditor (manifest rules, no runtime probe).
+    pub fn new() -> Self {
+        IncrementalAuditor {
+            analyzer: Analyzer::static_only(),
+            probe: None,
+            defines_policies: BTreeMap::new(),
+            cursor: None,
+            apps: BTreeMap::new(),
+            global: Vec::new(),
+            previous: Vec::new(),
+        }
+    }
+
+    /// A hybrid auditor: static rules plus runtime findings from the
+    /// non-mutating [`RuntimeAnalyzer::observe`] pass. The baseline must
+    /// have been captured before any release was installed.
+    pub fn with_probe(probe: RuntimeAnalyzer, baseline: HostBaseline) -> Self {
+        IncrementalAuditor {
+            analyzer: Analyzer::hybrid(),
+            probe: Some((probe, baseline)),
+            ..IncrementalAuditor::new()
+        }
+    }
+
+    /// Records whether a release's chart ships NetworkPolicy templates (the
+    /// M6 "defined but disabled" distinction). Call before or alongside the
+    /// install; the install itself dirties the release.
+    pub fn set_chart_defines_policies(&mut self, app: &str, defines: bool) {
+        self.defines_policies.insert(app.to_string(), defines);
+    }
+
+    /// The most recent full finding list (canonically sorted).
+    pub fn current(&self) -> &[Finding] {
+        &self.previous
+    }
+
+    /// Number of releases with cached analysis state.
+    pub fn tracked_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Runs one audit round, re-analyzing only what changed since the last
+    /// round, and reports the delta.
+    pub fn tick(&mut self, cluster: &Cluster) -> AuditDelta {
+        let summary = match self.cursor {
+            Some(cursor) => cluster.dirty_since(cursor),
+            None => DirtySummary::everything(),
+        };
+        self.cursor = Some(cluster.generation());
+        if summary.is_clean() {
+            return AuditDelta {
+                introduced: Vec::new(),
+                resolved: Vec::new(),
+                persisting: self.previous.clone(),
+            };
+        }
+
+        // Group release-stamped objects; unattributed objects belong to no
+        // audited release and are skipped by construction (they cannot
+        // change any release's object set).
+        let mut grouped: BTreeMap<&str, Vec<&Object>> = BTreeMap::new();
+        for o in cluster.objects() {
+            if let Some(release) = o.meta().annotations.get(RELEASE_ANNOTATION) {
+                grouped.entry(release.as_str()).or_default().push(o);
+            }
+        }
+
+        // Uninstalled releases drop out of the cache (and the finding set).
+        let before = self.apps.len();
+        self.apps
+            .retain(|name, _| grouped.contains_key(name.as_str()));
+        let mut apps_changed = self.apps.len() != before;
+
+        let recompute_all = summary.everything || summary.all_apps;
+        let needs_recompute = |apps: &BTreeMap<String, AppState>, name: &str| {
+            recompute_all || summary.apps.contains(name) || !apps.contains_key(name)
+        };
+        let any_dirty = grouped.keys().any(|name| needs_recompute(&self.apps, name));
+        let report: Option<RuntimeReport> = match &self.probe {
+            Some((probe, baseline)) if any_dirty => Some(probe.observe(cluster, baseline)),
+            _ => None,
+        };
+        for (name, refs) in &grouped {
+            if !needs_recompute(&self.apps, name) {
+                continue;
+            }
+            apps_changed |= !self.apps.contains_key(*name);
+            let objects: Vec<Object> = refs.iter().map(|&o| o.clone()).collect();
+            let defines = self.defines_policies.get(*name).copied().unwrap_or(false);
+            let findings =
+                self.analyzer
+                    .analyze_app(name, &objects, cluster, report.as_ref(), defines);
+            let statics = StaticModel::from_objects(&objects);
+            self.apps
+                .insert((*name).to_string(), AppState { findings, statics });
+        }
+
+        // The cluster-wide label pass sees every release at once, so it
+        // must re-run when labelled objects changed anywhere or the release
+        // set itself moved.
+        if recompute_all || summary.labels || apps_changed {
+            let models: Vec<(String, StaticModel)> = self
+                .apps
+                .iter()
+                .map(|(name, state)| (name.clone(), state.statics.clone()))
+                .collect();
+            self.global = self.analyzer.analyze_global(&models);
+        }
+
+        let mut current: Vec<Finding> = self
+            .apps
+            .values()
+            .flat_map(|state| state.findings.iter().cloned())
+            .collect();
+        current.extend(self.global.iter().cloned());
+        sort_canonical(&mut current);
+        let delta = AuditDelta::between(&self.previous, &current);
+        self.previous = current;
+        delta
+    }
+
+    /// The full-recompute oracle: forgets every cache and re-analyzes the
+    /// whole cluster through the same code path. Incremental [`tick`]s must
+    /// produce byte-identical finding lists and deltas — the property the
+    /// `incremental_audit` test suite enforces over random mutation
+    /// streams.
+    ///
+    /// [`tick`]: IncrementalAuditor::tick
+    pub fn full_tick(&mut self, cluster: &Cluster) -> AuditDelta {
+        self.apps.clear();
+        self.global.clear();
+        self.cursor = None;
+        self.tick(cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ij_chart::{Chart, Release};
+    use ij_cluster::{BehaviorRegistry, Cluster, ClusterConfig};
+    use ij_core::MisconfigId;
+
+    fn demo_chart(app_label: &str) -> Chart {
+        Chart::builder("demo")
+            .template(
+                "deploy.yaml",
+                format!(
+                    "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{{{ .Release.Name }}}}-web
+spec:
+  replicas: 2
+  selector:
+    matchLabels:
+      app: {app_label}
+  template:
+    metadata:
+      labels:
+        app: {app_label}
+    spec:
+      containers:
+        - name: web
+          image: demo/web
+          ports:
+            - name: http
+              containerPort: 8080
+"
+                ),
+            )
+            .build()
+    }
+
+    fn install(cluster: &mut Cluster, release: &str, app_label: &str) {
+        let rendered = demo_chart(app_label)
+            .render(&Release::new(release, "default"))
+            .unwrap();
+        cluster.install(&rendered).unwrap();
+    }
+
+    #[test]
+    fn tracks_releases_and_matches_the_full_oracle() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            seed: 5,
+            behaviors: BehaviorRegistry::new(),
+        });
+        let mut incremental = IncrementalAuditor::new();
+        let mut oracle = IncrementalAuditor::new();
+
+        install(&mut cluster, "shop", "shop");
+        let delta = incremental.tick(&cluster);
+        let full = oracle.full_tick(&cluster);
+        assert_eq!(delta.introduced, full.introduced);
+        assert!(delta.introduced.iter().any(|f| f.id == MisconfigId::M6));
+        assert_eq!(incremental.tracked_apps(), 1);
+
+        // A second release with colliding labels: both sides must surface
+        // the cross-app label collision and agree byte-for-byte.
+        install(&mut cluster, "imposter", "shop");
+        let delta = incremental.tick(&cluster);
+        let full = oracle.full_tick(&cluster);
+        assert_eq!(incremental.current(), oracle.current());
+        assert_eq!(delta.introduced, full.introduced);
+        assert_eq!(delta.persisting, full.persisting);
+        assert!(delta.introduced.iter().any(|f| f.id == MisconfigId::M4Star));
+
+        // Quiet round: no mutation, no work, no delta.
+        let quiet = incremental.tick(&cluster);
+        assert!(quiet.is_quiet());
+        assert_eq!(quiet.persisting, incremental.current());
+
+        // Uninstall resolves the imposter's findings on both sides.
+        cluster.uninstall("imposter");
+        let delta = incremental.tick(&cluster);
+        let full = oracle.full_tick(&cluster);
+        assert_eq!(incremental.current(), oracle.current());
+        assert_eq!(delta.resolved, full.resolved);
+        assert!(delta.resolved.iter().any(|f| f.id == MisconfigId::M4Star));
+        assert_eq!(incremental.tracked_apps(), 1);
+    }
+
+    #[test]
+    fn probe_backed_auditor_agrees_with_oracle() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            seed: 5,
+            behaviors: BehaviorRegistry::new(),
+        });
+        let baseline = HostBaseline::capture(&cluster);
+        let mut incremental =
+            IncrementalAuditor::with_probe(RuntimeAnalyzer::default(), baseline.clone());
+        let mut oracle = IncrementalAuditor::with_probe(RuntimeAnalyzer::default(), baseline);
+
+        install(&mut cluster, "shop", "shop");
+        incremental.tick(&cluster);
+        oracle.full_tick(&cluster);
+        assert_eq!(incremental.current(), oracle.current());
+
+        install(&mut cluster, "blog", "blog");
+        cluster.scale_workload("default/shop-web", 0);
+        cluster.reconcile();
+        incremental.tick(&cluster);
+        oracle.full_tick(&cluster);
+        assert_eq!(incremental.current(), oracle.current());
+    }
+}

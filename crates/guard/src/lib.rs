@@ -21,11 +21,18 @@
 //! * [`ContinuousAuditor`] — a reconciler that re-runs the hybrid analyzer
 //!   against the live cluster and reports finding deltas, the
 //!   "monitoring tools that provide proactive advice" the paper calls for.
+//! * [`IncrementalAuditor`] — the delta-aware version of the auditor for
+//!   whole multi-release clusters under churn: it consumes the cluster's
+//!   dirty-set summaries to re-analyze only dirtied releases (and the
+//!   cluster-wide label pass only when labels moved), with the full
+//!   recompute kept as the property-tested oracle.
 
 mod admission;
 mod audit;
+mod incremental;
 mod synth;
 
 pub use admission::{GuardAdmission, GuardPolicy};
 pub use audit::{AuditDelta, ContinuousAuditor};
+pub use incremental::IncrementalAuditor;
 pub use synth::{PolicySynthesizer, SynthesisOutcome};

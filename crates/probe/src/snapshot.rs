@@ -102,25 +102,7 @@ impl RuntimeAnalyzer {
     ) -> Snapshot {
         let mut pods = BTreeMap::new();
         for rp in cluster.pods() {
-            let mut observed: Vec<ObservedSocket> = if rp.pod.spec.host_network {
-                // The probe sees the whole host namespace; subtract what the
-                // node held before the application was installed.
-                cluster
-                    .host_sockets(&rp.node)
-                    .into_iter()
-                    .filter(|(p, proto, _)| !baseline.holds(&rp.node, *p, *proto))
-                    .map(|(port, protocol, _)| ObservedSocket { port, protocol })
-                    .collect()
-            } else {
-                rp.sockets
-                    .iter()
-                    .filter(|s| !s.loopback_only)
-                    .map(|s| ObservedSocket {
-                        port: s.port,
-                        protocol: s.protocol,
-                    })
-                    .collect()
-            };
+            let mut observed = self.pod_sockets(cluster, baseline, rp);
             if self.config.udp_noise_rate > 0.0
                 && noise_rng.gen_bool(self.config.udp_noise_rate.clamp(0.0, 1.0))
             {
@@ -133,6 +115,77 @@ impl RuntimeAnalyzer {
             pods.insert(rp.qualified_name(), observed);
         }
         Snapshot { pods }
+    }
+
+    /// What the network-side probe sees for one pod: its cluster-reachable
+    /// sockets, or the baseline-subtracted host namespace for hostNetwork
+    /// pods.
+    fn pod_sockets(
+        &self,
+        cluster: &Cluster,
+        baseline: &HostBaseline,
+        rp: &ij_cluster::RunningPod,
+    ) -> Vec<ObservedSocket> {
+        if rp.pod.spec.host_network {
+            // The probe sees the whole host namespace; subtract what the
+            // node held before the application was installed.
+            cluster
+                .host_sockets(&rp.node)
+                .into_iter()
+                .filter(|(p, proto, _)| !baseline.holds(&rp.node, *p, *proto))
+                .map(|(port, protocol, _)| ObservedSocket { port, protocol })
+                .collect()
+        } else {
+            rp.sockets
+                .iter()
+                .filter(|s| !s.loopback_only)
+                .map(|s| ObservedSocket {
+                    port: s.port,
+                    protocol: s.protocol,
+                })
+                .collect()
+        }
+    }
+
+    /// A non-mutating observation pass for continuous audits: one snapshot,
+    /// every observed port classified stable — the `double_run: false`
+    /// shape, since without a restart dynamic ports are indistinguishable.
+    ///
+    /// Unlike [`RuntimeAnalyzer::analyze`] (which restarts pods and draws
+    /// noise from one sequential generator), noise here comes from a
+    /// per-pod generator seeded by `(config.seed, pod name)`. Each pod's
+    /// observation is therefore a pure function of that pod's own state:
+    /// installing or removing *other* pods cannot shift the noise sequence.
+    /// That independence is what lets an incremental auditor reuse
+    /// unchanged applications' runtime findings verbatim and still agree
+    /// byte-for-byte with a full recompute.
+    pub fn observe(&self, cluster: &Cluster, baseline: &HostBaseline) -> RuntimeReport {
+        let mut pods = BTreeMap::new();
+        for rp in cluster.pods() {
+            let name = rp.qualified_name();
+            let mut observed = self.pod_sockets(cluster, baseline, rp);
+            if self.config.udp_noise_rate > 0.0 {
+                let mut rng = StdRng::seed_from_u64(per_pod_seed(self.config.seed, &name));
+                if rng.gen_bool(self.config.udp_noise_rate.clamp(0.0, 1.0)) {
+                    observed.push(ObservedSocket::udp(
+                        rng.gen_range(*EPHEMERAL_RANGE.start()..=*EPHEMERAL_RANGE.end()),
+                    ));
+                }
+            }
+            observed.sort();
+            observed.dedup();
+            pods.insert(
+                name,
+                PodRuntime {
+                    stable: observed,
+                    dynamic: Vec::new(),
+                },
+            );
+        }
+        RuntimeReport {
+            pods,
+            udp_noise_filtered: 0,
+        }
     }
 
     /// Full analysis: snapshot, restart, snapshot again (when `double_run`),
@@ -210,6 +263,16 @@ impl RuntimeAnalyzer {
             udp_noise_filtered: filtered,
         }
     }
+}
+
+/// Mixes the configured probe seed with a pod name (FNV-1a) so every pod
+/// owns an independent noise stream.
+fn per_pod_seed(seed: u64, pod: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in pod.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -369,6 +432,38 @@ mod tests {
             !rt.dynamic.is_empty(),
             "unfiltered noise leaks into the report"
         );
+    }
+
+    #[test]
+    fn observe_is_pure_and_per_pod_independent() {
+        let mut cluster = cluster_with(BehaviorRegistry::new(), false);
+        let baseline = HostBaseline::capture(&cluster);
+        let analyzer = RuntimeAnalyzer::new(ProbeConfig {
+            udp_noise_rate: 0.5,
+            ..Default::default()
+        });
+        // Non-mutating and repeatable.
+        let g = cluster.generation();
+        let first = analyzer.observe(&cluster, &baseline);
+        assert_eq!(cluster.generation(), g, "observe must not mutate");
+        assert_eq!(first, analyzer.observe(&cluster, &baseline));
+        assert!(first.pods["default/app"].dynamic.is_empty());
+
+        // Adding an unrelated pod must not change what we see for the
+        // original one (sequential noise draws would shift here).
+        let before = first.pods["default/app"].clone();
+        cluster
+            .apply(Object::Pod(Pod::new(
+                ObjectMeta::named("other"),
+                PodSpec {
+                    containers: vec![Container::new("c", "img/other")],
+                    ..Default::default()
+                },
+            )))
+            .unwrap();
+        cluster.reconcile();
+        let second = analyzer.observe(&cluster, &baseline);
+        assert_eq!(second.pods["default/app"], before);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ij census  [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]
 //!            [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
 //! ij corpus  --describe [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>] [--seed <n>]
+//! ij serve   [--clusters <n>] [--mutations <n>] [--seed <n>] [--profile <name>] [--verify]
 //! ij help
 //! ```
 //!
@@ -29,6 +30,10 @@
 //! * `corpus` — describe a population without analyzing it: the built-in
 //!   Table-2 corpus by default, or a synthetic population under
 //!   `--synthetic`/`--profile`/`--mix`/`--seed`.
+//! * `serve` — run the continuous-audit engine: a deterministic churn
+//!   workload over one or more tenant clusters, each audited incrementally
+//!   after every mutation; `--verify` re-checks each tick against the
+//!   full-recompute oracle and fails loudly on any divergence.
 //! * `help` — print the full flag reference.
 //!
 //! Failures map to distinct exit codes so scripts can tell them apart:
@@ -49,6 +54,7 @@ use inside_job::datasets::{
     PhaseTimings,
 };
 use inside_job::probe::{connectivity_dot, HostBaseline, RuntimeAnalyzer};
+use inside_job::serve::{serve, ServeError, ServeOptions};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -142,6 +148,8 @@ usage:
               [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
   ij corpus   --describe [--synthetic <n>] [--profile <name>]
               [--mix <rule=rate,...>] [--seed <n>]
+  ij serve    [--clusters <n>] [--mutations <n>] [--seed <n>]
+              [--profile <name>] [--verify]
   ij help
 
 flags:
@@ -158,6 +166,10 @@ flags:
                          monolith-heavy, pipeline-heavy, legacy, policy-mature
   --mix <rule=rate,...>  override per-rule injection rates, e.g. m1=0.2,m7=0.05
   --describe             print the population summary instead of analyzing
+  --clusters <n>         tenant clusters driven by the serve churn workload
+  --mutations <n>        total churn mutations applied across all tenants
+  --verify               check every incremental tick against the
+                         full-recompute oracle (fails on divergence)
 
 exit codes:
   0 success, 2 usage, 3 chart render failure, 4 cluster install failure,
@@ -170,6 +182,7 @@ fn usage() -> ExitCode {
        ij census [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]
                  [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
        ij corpus --describe [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>] [--seed <n>]
+       ij serve [--clusters <n>] [--mutations <n>] [--seed <n>] [--profile <name>] [--verify]
        ij help"
     );
     ExitCode::from(EXIT_USAGE)
@@ -257,6 +270,55 @@ fn parse_census_args(
         }
     }
     Ok(args)
+}
+
+fn parse_serve_args(mut argv: std::env::Args) -> Result<ServeOptions, CliError> {
+    let mut options = ServeOptions::default();
+    let parse_num = |flag: &str, raw: String| {
+        raw.parse::<usize>()
+            .map_err(|_| CliError::other(format!("invalid {flag} `{raw}`")))
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--clusters" => {
+                let raw = argv.next().ok_or_else(CliError::usage)?;
+                options.clusters = parse_num("--clusters", raw)?;
+            }
+            "--mutations" => {
+                let raw = argv.next().ok_or_else(CliError::usage)?;
+                options.mutations = parse_num("--mutations", raw)?;
+            }
+            "--seed" => {
+                let raw = argv.next().ok_or_else(CliError::usage)?;
+                options.seed = raw
+                    .parse()
+                    .map_err(|_| CliError::other(format!("invalid --seed `{raw}`")))?;
+            }
+            "--profile" => options.profile = argv.next().ok_or_else(CliError::usage)?,
+            "--verify" => options.verify = true,
+            _ => return Err(CliError::usage()),
+        }
+    }
+    Ok(options)
+}
+
+fn run_serve_command(options: ServeOptions) -> Result<(), CliError> {
+    let report = serve(&options).map_err(|err| {
+        let code = match &err {
+            ServeError::Apply { source, .. } => match source {
+                CensusError::Render { .. } => EXIT_RENDER,
+                CensusError::Install { .. } => EXIT_INSTALL,
+                CensusError::Probe { .. } => 1,
+            },
+            _ => 1,
+        };
+        CliError {
+            code,
+            message: err.to_string(),
+        }
+    })?;
+    print!("{}", report.render());
+    Ok(())
 }
 
 /// Resolves the synthetic-population flags into a generator. `--profile`
@@ -498,6 +560,7 @@ fn run() -> Result<(), CliError> {
     match command.as_str() {
         "census" => run_census_command(parse_census_args(argv, false)?),
         "corpus" => run_corpus_command(parse_census_args(argv, true)?),
+        "serve" => run_serve_command(parse_serve_args(argv)?),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())

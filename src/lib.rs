@@ -5,6 +5,8 @@
 //! for the architecture overview and `DESIGN.md` / `EXPERIMENTS.md` for the
 //! reproduction details.
 
+pub mod serve;
+
 pub use ij_baselines as baselines;
 pub use ij_chart as chart;
 pub use ij_cluster as cluster;

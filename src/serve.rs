@@ -1,0 +1,411 @@
+//! `ij serve` — the continuous-audit engine.
+//!
+//! Drives one or more simulated tenant clusters through a deterministic
+//! churn workload (installs, uninstalls, label flips, policy additions,
+//! scale events drawn from the synthetic scenario matrix) while an
+//! [`IncrementalAuditor`] watches each cluster and reports finding deltas
+//! per mutation. With [`ServeOptions::verify`] every incremental delta is
+//! checked against a full-recompute oracle on a second auditor; any
+//! divergence aborts the run with a [`ServeError::Divergence`].
+//!
+//! Memory stays bounded: the cluster's dirty ring is capped
+//! ([`DIRTY_LOG_CAP`](ij_cluster::DIRTY_LOG_CAP)), and the auditor's caches
+//! are proportional to the number of *installed* releases, not to the
+//! number of mutations replayed.
+
+use std::fmt;
+
+use ij_cluster::{BehaviorRegistry, Cluster, ClusterConfig};
+use ij_datasets::{
+    apply_mutation, CensusError, ChurnMutation, ChurnSession, CorpusGenerator, CorpusProfile,
+};
+use ij_guard::IncrementalAuditor;
+
+/// Configuration for a [`serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Number of tenant clusters driven round-robin.
+    pub clusters: usize,
+    /// Total mutations applied across all tenants.
+    pub mutations: usize,
+    /// Base seed; each tenant derives its own stream from it.
+    pub seed: u64,
+    /// Scenario profile name (see `CorpusProfile::NAMES`).
+    pub profile: String,
+    /// Nodes per tenant cluster.
+    pub nodes: usize,
+    /// Check every incremental delta against the full-recompute oracle.
+    pub verify: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            clusters: 2,
+            mutations: 100,
+            seed: 42,
+            profile: "baseline".to_string(),
+            nodes: 3,
+            verify: false,
+        }
+    }
+}
+
+/// A serve-run failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The options name an unknown scenario profile.
+    UnknownProfile(String),
+    /// The options are degenerate (zero clusters).
+    NoClusters,
+    /// A churn mutation failed to apply (render or install error).
+    Apply {
+        /// Tenant index.
+        cluster: usize,
+        /// The underlying pipeline error.
+        source: CensusError,
+    },
+    /// Under `--verify`: the incremental auditor disagreed with the
+    /// full-recompute oracle. This is a bug, never a workload property.
+    Divergence {
+        /// Tenant index.
+        cluster: usize,
+        /// 1-based mutation number within the run.
+        step: usize,
+        /// What diverged.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownProfile(name) => write!(
+                f,
+                "unknown profile `{name}`; expected one of: {}",
+                CorpusProfile::NAMES.join(", ")
+            ),
+            ServeError::NoClusters => write!(f, "serve needs at least one cluster"),
+            ServeError::Apply { cluster, source } => {
+                write!(f, "cluster {cluster}: mutation failed to apply: {source}")
+            }
+            ServeError::Divergence {
+                cluster,
+                step,
+                detail,
+            } => write!(
+                f,
+                "cluster {cluster}, mutation {step}: incremental audit diverged from the \
+                 full-recompute oracle: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-tenant counters accumulated over the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Mutations applied to this tenant.
+    pub mutations: usize,
+    /// Per-kind mutation counts, keyed like [`ChurnMutation::kind`].
+    pub installs: usize,
+    /// Uninstall mutations.
+    pub uninstalls: usize,
+    /// Label-flip (upgrade) mutations.
+    pub label_flips: usize,
+    /// Policy-addition mutations.
+    pub policy_adds: usize,
+    /// Scale mutations.
+    pub scales: usize,
+    /// Findings introduced across all ticks.
+    pub introduced: usize,
+    /// Findings resolved across all ticks.
+    pub resolved: usize,
+    /// Ticks whose delta was quiet (nothing introduced or resolved).
+    pub quiet_ticks: usize,
+    /// Findings outstanding after the final tick.
+    pub open_findings: usize,
+    /// Releases installed after the final mutation.
+    pub tracked_apps: usize,
+}
+
+impl ClusterStats {
+    fn record_kind(&mut self, mutation: &ChurnMutation) {
+        self.mutations += 1;
+        match mutation {
+            ChurnMutation::Install { .. } => self.installs += 1,
+            ChurnMutation::Uninstall { .. } => self.uninstalls += 1,
+            ChurnMutation::LabelFlip { .. } => self.label_flips += 1,
+            ChurnMutation::PolicyAdd { .. } => self.policy_adds += 1,
+            ChurnMutation::Scale { .. } => self.scales += 1,
+        }
+    }
+}
+
+/// The outcome of a [`serve`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Per-tenant counters, indexed by cluster.
+    pub clusters: Vec<ClusterStats>,
+    /// Whether every tick was oracle-checked.
+    pub verified: bool,
+}
+
+impl ServeReport {
+    /// Total findings introduced across all tenants.
+    pub fn introduced(&self) -> usize {
+        self.clusters.iter().map(|c| c.introduced).sum()
+    }
+
+    /// Total findings resolved across all tenants.
+    pub fn resolved(&self) -> usize {
+        self.clusters.iter().map(|c| c.resolved).sum()
+    }
+
+    /// Total quiet ticks across all tenants.
+    pub fn quiet_ticks(&self) -> usize {
+        self.clusters.iter().map(|c| c.quiet_ticks).sum()
+    }
+
+    /// Total mutations applied.
+    pub fn mutations(&self) -> usize {
+        self.clusters.iter().map(|c| c.mutations).sum()
+    }
+
+    /// Renders the run summary. The final line is the machine-greppable
+    /// contract the CI smoke step asserts on:
+    /// `total: N mutation(s), X introduced, Y resolved, Z quiet tick(s)`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<9} {:>4} {:>8} {:>9} {:>5} {:>7} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5}\n",
+            "cluster",
+            "muts",
+            "installs",
+            "uninstall",
+            "flips",
+            "polices",
+            "scales",
+            "intro",
+            "resolv",
+            "quiet",
+            "open",
+            "apps"
+        ));
+        for (i, c) in self.clusters.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<9} {:>4} {:>8} {:>9} {:>5} {:>7} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5}\n",
+                i,
+                c.mutations,
+                c.installs,
+                c.uninstalls,
+                c.label_flips,
+                c.policy_adds,
+                c.scales,
+                c.introduced,
+                c.resolved,
+                c.quiet_ticks,
+                c.open_findings,
+                c.tracked_apps
+            ));
+        }
+        if self.verified {
+            out.push_str("every tick verified against the full-recompute oracle\n");
+        }
+        out.push_str(&format!(
+            "total: {} mutation(s), {} introduced, {} resolved, {} quiet tick(s)\n",
+            self.mutations(),
+            self.introduced(),
+            self.resolved(),
+            self.quiet_ticks()
+        ));
+        out
+    }
+}
+
+/// One tenant: a cluster, its churn stream, and its auditor(s).
+struct Tenant {
+    cluster: Cluster,
+    session: ChurnSession,
+    auditor: IncrementalAuditor,
+    oracle: Option<IncrementalAuditor>,
+    stats: ClusterStats,
+}
+
+/// One splitmix64 round — decorrelates per-tenant seeds derived from the
+/// base seed.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Runs the continuous-audit engine: `options.mutations` churn mutations
+/// distributed round-robin over `options.clusters` tenant clusters, each
+/// audited incrementally after every mutation. Deterministic: the report is
+/// a pure function of the options.
+pub fn serve(options: &ServeOptions) -> Result<ServeReport, ServeError> {
+    if options.clusters == 0 {
+        return Err(ServeError::NoClusters);
+    }
+    let base = CorpusProfile::named(&options.profile)
+        .ok_or_else(|| ServeError::UnknownProfile(options.profile.clone()))?;
+    // The app horizon caps concurrent installs per tenant; at one spec per
+    // mutation it can never be exceeded.
+    let horizon = options.mutations.max(8);
+    let mut tenants: Vec<Tenant> = (0..options.clusters)
+        .map(|i| {
+            let profile = base
+                .clone()
+                .with_apps(horizon)
+                .with_seed(mix(options.seed ^ (i as u64)));
+            Tenant {
+                cluster: Cluster::new(ClusterConfig {
+                    nodes: options.nodes,
+                    seed: mix(options.seed.wrapping_add(i as u64)),
+                    behaviors: BehaviorRegistry::new(),
+                }),
+                session: ChurnSession::new(CorpusGenerator::new(profile)),
+                auditor: IncrementalAuditor::new(),
+                oracle: options.verify.then(IncrementalAuditor::new),
+                stats: ClusterStats::default(),
+            }
+        })
+        .collect();
+
+    for step in 0..options.mutations {
+        let idx = step % tenants.len();
+        let tenant = &mut tenants[idx];
+        let mutation = tenant.session.next_mutation();
+        // The auditor needs the M6 "defined but disabled" bit before it
+        // analyzes a release; the spec carries it.
+        match &mutation {
+            ChurnMutation::Install { spec } | ChurnMutation::LabelFlip { spec, .. } => {
+                tenant
+                    .auditor
+                    .set_chart_defines_policies(&spec.name, spec.plan.netpol.defines_policy());
+                if let Some(oracle) = &mut tenant.oracle {
+                    oracle
+                        .set_chart_defines_policies(&spec.name, spec.plan.netpol.defines_policy());
+                }
+            }
+            _ => {}
+        }
+        apply_mutation(&mut tenant.cluster, &mutation).map_err(|source| ServeError::Apply {
+            cluster: idx,
+            source,
+        })?;
+        tenant.stats.record_kind(&mutation);
+
+        let delta = tenant.auditor.tick(&tenant.cluster);
+        if let Some(oracle) = &mut tenant.oracle {
+            let full = oracle.full_tick(&tenant.cluster);
+            if tenant.auditor.current() != oracle.current() {
+                return Err(ServeError::Divergence {
+                    cluster: idx,
+                    step: step + 1,
+                    detail: format!(
+                        "finding sets differ after `{}` of `{}` ({} incremental vs {} full)",
+                        mutation.kind(),
+                        mutation.app(),
+                        tenant.auditor.current().len(),
+                        oracle.current().len()
+                    ),
+                });
+            }
+            if delta.introduced != full.introduced || delta.resolved != full.resolved {
+                return Err(ServeError::Divergence {
+                    cluster: idx,
+                    step: step + 1,
+                    detail: format!(
+                        "deltas differ after `{}` of `{}`",
+                        mutation.kind(),
+                        mutation.app()
+                    ),
+                });
+            }
+        }
+        tenant.stats.introduced += delta.introduced.len();
+        tenant.stats.resolved += delta.resolved.len();
+        if delta.is_quiet() {
+            tenant.stats.quiet_ticks += 1;
+        }
+    }
+
+    let clusters = tenants
+        .into_iter()
+        .map(|mut t| {
+            t.stats.open_findings = t.auditor.current().len();
+            t.stats.tracked_apps = t.auditor.tracked_apps();
+            t.stats
+        })
+        .collect();
+    Ok(ServeReport {
+        clusters,
+        verified: options.verify,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_is_deterministic() {
+        let options = ServeOptions {
+            clusters: 2,
+            mutations: 40,
+            seed: 7,
+            ..ServeOptions::default()
+        };
+        let a = serve(&options).expect("serve run succeeds");
+        let b = serve(&options).expect("serve run succeeds");
+        assert_eq!(a, b);
+        assert_eq!(a.mutations(), 40);
+        assert!(a.introduced() > 0, "churn must surface findings");
+    }
+
+    #[test]
+    fn verified_runs_agree_with_the_oracle() {
+        let report = serve(&ServeOptions {
+            clusters: 2,
+            mutations: 60,
+            seed: 11,
+            verify: true,
+            ..ServeOptions::default()
+        })
+        .expect("verified serve run stays oracle-equivalent");
+        assert!(report.verified);
+        let unverified = serve(&ServeOptions {
+            clusters: 2,
+            mutations: 60,
+            seed: 11,
+            verify: false,
+            ..ServeOptions::default()
+        })
+        .expect("serve run succeeds");
+        // Verification observes; it must not change the audit stream.
+        assert_eq!(report.clusters, unverified.clusters);
+    }
+
+    #[test]
+    fn degenerate_options_are_rejected() {
+        assert!(matches!(
+            serve(&ServeOptions {
+                clusters: 0,
+                ..ServeOptions::default()
+            }),
+            Err(ServeError::NoClusters)
+        ));
+        assert!(matches!(
+            serve(&ServeOptions {
+                profile: "nope".to_string(),
+                ..ServeOptions::default()
+            }),
+            Err(ServeError::UnknownProfile(_))
+        ));
+    }
+}

@@ -397,6 +397,76 @@ fn census_rejects_unknown_dataset_and_bad_flags() {
 }
 
 #[test]
+fn serve_runs_the_churn_workload_deterministically() {
+    let args = &[
+        "serve",
+        "--clusters",
+        "2",
+        "--mutations",
+        "40",
+        "--seed",
+        "7",
+    ];
+    let first = ij(args);
+    assert!(
+        first.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("total: 40 mutation(s)"), "{stdout}");
+    assert!(stdout.contains("introduced"), "{stdout}");
+    let second = ij(args);
+    assert_eq!(
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&second.stdout),
+        "serve output must be a pure function of its flags"
+    );
+}
+
+#[test]
+fn serve_verify_checks_the_oracle_without_changing_output() {
+    let plain = ij(&["serve", "--mutations", "30", "--seed", "3"]);
+    let verified = ij(&["serve", "--mutations", "30", "--seed", "3", "--verify"]);
+    assert!(plain.status.success());
+    assert!(
+        verified.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&verified.stderr)
+    );
+    let out = String::from_utf8_lossy(&verified.stdout);
+    assert!(
+        out.contains("verified against the full-recompute oracle"),
+        "{out}"
+    );
+    // Everything but the verification banner is byte-identical.
+    let stripped: String = out
+        .lines()
+        .filter(|l| !l.contains("oracle"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(String::from_utf8_lossy(&plain.stdout), stripped);
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = ij(&["serve", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+
+    let out = ij(&["serve", "--mutations", "lots"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid --mutations"));
+
+    let out = ij(&["serve", "--clusters", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least one cluster"));
+
+    let out = ij(&["serve", "--profile", "not-a-profile", "--mutations", "5"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown profile"));
+}
+
+#[test]
 fn render_failure_uses_render_exit_code() {
     let dir = std::env::temp_dir().join(format!("ij-cli-test-badchart-{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);

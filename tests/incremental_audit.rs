@@ -1,0 +1,132 @@
+//! The incremental-audit equivalence property: for *any* seeded churn
+//! stream — installs, uninstalls, label flips, policy additions, scale
+//! events over any scenario profile — the [`IncrementalAuditor`]'s finding
+//! set and deltas are byte-identical to a full re-analysis after every
+//! single mutation. The incremental path is an optimization, never a
+//! different answer.
+
+use inside_job::cluster::{BehaviorRegistry, Cluster, ClusterConfig};
+use inside_job::datasets::{
+    apply_mutation, ChurnMutation, ChurnSession, CorpusGenerator, CorpusProfile,
+};
+use inside_job::guard::IncrementalAuditor;
+use proptest::prelude::*;
+
+const PROFILES: [&str; 6] = [
+    "baseline",
+    "mesh-heavy",
+    "monolith-heavy",
+    "pipeline-heavy",
+    "legacy",
+    "policy-mature",
+];
+
+fn harness(profile: &str, seed: u64) -> (Cluster, ChurnSession) {
+    let generator = CorpusGenerator::new(
+        CorpusProfile::named(profile)
+            .expect("known profile")
+            .with_apps(64)
+            .with_seed(seed),
+    );
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed,
+        behaviors: BehaviorRegistry::new(),
+    });
+    (cluster, ChurnSession::new(generator))
+}
+
+/// Feeds the auditor the M6 "chart defines policies" bit the serve engine
+/// would provide.
+fn register_spec(auditors: &mut [&mut IncrementalAuditor], mutation: &ChurnMutation) {
+    if let ChurnMutation::Install { spec } | ChurnMutation::LabelFlip { spec, .. } = mutation {
+        for auditor in auditors.iter_mut() {
+            auditor.set_chart_defines_policies(&spec.name, spec.plan.netpol.defines_policy());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole property: after every mutation of a random stream, the
+    /// incremental tick and a from-scratch full tick agree on the complete
+    /// finding list and on every delta component.
+    #[test]
+    fn incremental_audit_equals_full_recompute(
+        seed in 0u64..1_000_000,
+        steps in 1usize..16,
+        profile_idx in 0usize..PROFILES.len(),
+    ) {
+        let (mut cluster, mut session) = harness(PROFILES[profile_idx], seed);
+        let mut incremental = IncrementalAuditor::new();
+        let mut oracle = IncrementalAuditor::new();
+
+        for _ in 0..steps {
+            let mutation = session.next_mutation();
+            register_spec(&mut [&mut incremental, &mut oracle], &mutation);
+            apply_mutation(&mut cluster, &mutation).expect("churn mutations apply");
+
+            let delta = incremental.tick(&cluster);
+            let full = oracle.full_tick(&cluster);
+            prop_assert_eq!(
+                incremental.current(), oracle.current(),
+                "finding sets diverged after `{}` of `{}`", mutation.kind(), mutation.app()
+            );
+            prop_assert_eq!(&delta.introduced, &full.introduced);
+            prop_assert_eq!(&delta.resolved, &full.resolved);
+            prop_assert_eq!(&delta.persisting, &full.persisting);
+        }
+    }
+
+    /// A tick with no intervening mutation is quiet: nothing recomputed,
+    /// nothing introduced or resolved, the previous findings persist.
+    #[test]
+    fn no_op_rounds_tick_quietly(
+        seed in 0u64..1_000_000,
+        steps in 1usize..8,
+        profile_idx in 0usize..PROFILES.len(),
+    ) {
+        let (mut cluster, mut session) = harness(PROFILES[profile_idx], seed);
+        let mut auditor = IncrementalAuditor::new();
+        for _ in 0..steps {
+            let mutation = session.next_mutation();
+            register_spec(&mut [&mut auditor], &mutation);
+            apply_mutation(&mut cluster, &mutation).expect("churn mutations apply");
+            auditor.tick(&cluster);
+        }
+        let before = auditor.current().to_vec();
+        let quiet = auditor.tick(&cluster);
+        prop_assert!(quiet.is_quiet());
+        prop_assert_eq!(&quiet.persisting, &before);
+        prop_assert_eq!(auditor.current(), before.as_slice());
+    }
+
+    /// The whole engine is deterministic: replaying the same stream against
+    /// a fresh cluster and auditor reproduces every delta byte-for-byte.
+    #[test]
+    fn audit_streams_are_deterministic(
+        seed in 0u64..1_000_000,
+        steps in 1usize..10,
+        profile_idx in 0usize..PROFILES.len(),
+    ) {
+        let profile = PROFILES[profile_idx];
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let (mut cluster, mut session) = harness(profile, seed);
+            let mut auditor = IncrementalAuditor::new();
+            let mut deltas = Vec::new();
+            for _ in 0..steps {
+                let mutation = session.next_mutation();
+                register_spec(&mut [&mut auditor], &mutation);
+                apply_mutation(&mut cluster, &mutation).expect("churn mutations apply");
+                let delta = auditor.tick(&cluster);
+                deltas.push((mutation, delta.introduced, delta.resolved));
+            }
+            runs.push(deltas);
+        }
+        let second = runs.pop().expect("two runs");
+        let first = runs.pop().expect("two runs");
+        prop_assert_eq!(first, second);
+    }
+}
