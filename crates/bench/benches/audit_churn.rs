@@ -1,0 +1,140 @@
+//! Continuous-audit benchmark: per-mutation audit latency on a tenant
+//! cluster under churn, full recompute vs the incremental dirty-set path.
+//!
+//! Setup per population size: preinstall `N` generated applications
+//! (scenario matrix, profile `baseline`), warm the auditor, then time one
+//! audit round per iteration. The driven mutation is a replica-count
+//! toggle on one release's server workload — the canonical single-app
+//! mutation, chosen because it is state-neutral (the cluster does not grow
+//! or drift across the thousands of timed iterations). Pod reconciliation
+//! — the scheduler's own control loop, identical whichever audit strategy
+//! runs — stays outside the timed region so the arms compare *audit*
+//! latency, not scheduling:
+//!
+//! * `full` — the mutation plus a from-scratch re-analysis of every
+//!   release and the cluster-wide label pass ([`IncrementalAuditor::full_tick`]);
+//! * `incremental` — the same mutation plus a dirty-set tick that
+//!   re-analyzes only the touched release
+//!   ([`IncrementalAuditor::tick`]).
+//!
+//! Before any timing, a 60-step churn stream covering every mutation kind
+//! (install, uninstall, label flip, policy add, scale) is replayed with
+//! both strategies and their finding sets asserted byte-identical after
+//! every step — the timed fast path is also a correct path. Committed
+//! numbers live in `BENCH_audit.json` (schema in `docs/BENCHMARKS.md`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ij_cluster::{BehaviorRegistry, Cluster, ClusterConfig};
+use ij_datasets::{apply_mutation, ChurnMutation, ChurnSession, CorpusGenerator, CorpusProfile};
+use ij_guard::IncrementalAuditor;
+use std::hint::black_box;
+
+const SIZES: [usize; 2] = [25, 100];
+const SEED: u64 = 7;
+
+fn session(horizon: usize) -> ChurnSession {
+    ChurnSession::new(CorpusGenerator::new(
+        CorpusProfile::named("baseline")
+            .expect("baseline profile")
+            .with_apps(horizon)
+            .with_seed(SEED),
+    ))
+}
+
+/// A cluster with `apps` generated applications installed, plus the name of
+/// one release whose server workload the timed loop toggles.
+fn steady_cluster(apps: usize) -> (Cluster, String) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: SEED,
+        behaviors: BehaviorRegistry::new(),
+    });
+    let mut session = session(apps.max(8));
+    let mutations = session.preinstall(apps);
+    assert_eq!(mutations.len(), apps, "horizon must cover the population");
+    for m in &mutations {
+        apply_mutation(&mut cluster, m).expect("preinstall applies");
+    }
+    let target = session
+        .installed()
+        .next()
+        .expect("populated cluster")
+        .to_string();
+    (cluster, target)
+}
+
+/// Replays a churn stream covering every mutation kind with both audit
+/// strategies; any divergence is a correctness bug that voids the timings.
+fn assert_incremental_equals_full(steps: usize) {
+    let mut cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        seed: SEED,
+        behaviors: BehaviorRegistry::new(),
+    });
+    let mut session = session(64);
+    let mut incremental = IncrementalAuditor::new();
+    let mut oracle = IncrementalAuditor::new();
+    for _ in 0..steps {
+        let mutation = session.next_mutation();
+        if let ChurnMutation::Install { spec } | ChurnMutation::LabelFlip { spec, .. } = &mutation {
+            let defines = spec.plan.netpol.defines_policy();
+            incremental.set_chart_defines_policies(&spec.name, defines);
+            oracle.set_chart_defines_policies(&spec.name, defines);
+        }
+        apply_mutation(&mut cluster, &mutation).expect("churn mutations apply");
+        incremental.tick(&cluster);
+        oracle.full_tick(&cluster);
+        assert_eq!(
+            incremental.current(),
+            oracle.current(),
+            "incremental audit diverged from the full recompute after `{}` of `{}`",
+            mutation.kind(),
+            mutation.app()
+        );
+    }
+}
+
+fn bench_audit_churn(c: &mut Criterion) {
+    assert_incremental_equals_full(60);
+    // Under `cargo test` the criterion shim runs each closure once as a
+    // smoke test; skip the 100-app arms there to keep CI's bench-smoke step
+    // fast (committed numbers come from `cargo bench`).
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    let sizes = if bench_mode { &SIZES[..] } else { &SIZES[..1] };
+    let mut group = c.benchmark_group("audit_churn");
+    group.sample_size(10);
+    for &apps in sizes {
+        {
+            let (mut cluster, target) = steady_cluster(apps);
+            let workload = format!("default/{target}-server");
+            let mut auditor = IncrementalAuditor::new();
+            auditor.full_tick(&cluster);
+            let mut replicas = 1u32;
+            group.bench_function(&format!("full/{apps}"), |b| {
+                b.iter(|| {
+                    replicas = 3 - replicas; // 1 <-> 2: state-neutral churn
+                    cluster.scale_workload(&workload, replicas);
+                    black_box(auditor.full_tick(&cluster).introduced.len())
+                })
+            });
+        }
+        {
+            let (mut cluster, target) = steady_cluster(apps);
+            let workload = format!("default/{target}-server");
+            let mut auditor = IncrementalAuditor::new();
+            auditor.full_tick(&cluster);
+            let mut replicas = 1u32;
+            group.bench_function(&format!("incremental/{apps}"), |b| {
+                b.iter(|| {
+                    replicas = 3 - replicas;
+                    cluster.scale_workload(&workload, replicas);
+                    black_box(auditor.tick(&cluster).introduced.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit_churn);
+criterion_main!(benches);
