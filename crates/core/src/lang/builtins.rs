@@ -1,0 +1,286 @@
+//! The builtins registry: namespaced pure functions callable from rule
+//! expressions.
+//!
+//! Every builtin is deterministic — same arguments, same value — which is
+//! what keeps whole-rule evaluation reproducible. Three families exist:
+//!
+//! * `core.*` — generic value helpers (`len`, `contains`, `str`, `concat`,
+//!   `ternary`, `upper`, `lower`);
+//! * `ports.*` / `labels.*` — domain probes answered by the
+//!   [`RuleResolver`](super::RuleResolver). The `labels.*` calls never reach
+//!   [`BuiltinKind::run`]: the compiler requires literal arguments and
+//!   lowers them to interned [`KeyId`](ij_model::KeyId)/
+//!   [`LabelId`](ij_model::LabelId) probes;
+//! * custom builtins registered by embedders via
+//!   [`BuiltinsRegistry::register_custom`] (monomorphic signature, plain
+//!   `fn` so registries stay `Send + Sync + Clone`).
+
+use super::compile::Type;
+use super::eval::Value;
+use std::sync::Arc;
+
+/// The semantics of one builtin. The compiler matches on this to type-check
+/// calls (several `core.*` builtins are polymorphic); the evaluator matches
+/// on it to execute.
+#[derive(Debug, Clone)]
+pub enum BuiltinKind {
+    /// `core.len(list | string) -> number`
+    Len,
+    /// `core.contains(list, elem) -> bool`, `core.contains(string, string) -> bool`
+    Contains,
+    /// `core.str(bool | number | string) -> string`
+    Str,
+    /// `core.concat(string, string, ...) -> string`
+    Concat,
+    /// `core.ternary(bool, a, a) -> a` — lazy: only the taken branch runs.
+    Ternary,
+    /// `core.upper(string) -> string`
+    Upper,
+    /// `core.lower(string) -> string`
+    Lower,
+    /// `ports.declared(number, string) -> bool` — current unit's declared
+    /// ports (resolver probe; only valid in unit-scoped selections).
+    PortsDeclared,
+    /// `labels.has("key") -> bool` — compiled to a `KeyId` probe.
+    LabelsHas,
+    /// `labels.is("key", "value") -> bool` — compiled to a `LabelId` probe.
+    LabelsIs,
+    /// `labels.get("key") -> string` (empty string when absent) — compiled
+    /// to a `KeyId` probe.
+    LabelsGet,
+    /// An embedder-registered pure function with a fixed signature.
+    Custom {
+        /// Parameter types, checked exactly.
+        params: Vec<Type>,
+        /// Return type.
+        ret: Type,
+        /// The implementation; must be pure and deterministic.
+        run: fn(&[Value]) -> Value,
+    },
+}
+
+impl BuiltinKind {
+    /// `Some(arity)` when the builtin evaluates its arguments lazily
+    /// (only `core.ternary` today: condition first, then one branch).
+    pub(crate) fn lazy_arity(&self) -> Option<usize> {
+        match self {
+            BuiltinKind::Ternary => Some(3),
+            _ => None,
+        }
+    }
+
+    /// True when the builtin probes the current compute unit and therefore
+    /// only type-checks in unit-scoped selections.
+    pub(crate) fn needs_unit(&self) -> bool {
+        matches!(
+            self,
+            BuiltinKind::PortsDeclared
+                | BuiltinKind::LabelsHas
+                | BuiltinKind::LabelsIs
+                | BuiltinKind::LabelsGet
+        )
+    }
+
+    /// Executes an eager builtin on type-checked arguments. The resolver
+    /// probes (`ports.*`, `labels.*`) and the lazy `core.ternary` are
+    /// handled by the evaluator before reaching here.
+    pub(crate) fn run(&self, args: &[Value]) -> Value {
+        match self {
+            BuiltinKind::Len => match &args[0] {
+                Value::List(items) => Value::Number(items.len() as f64),
+                Value::Str(s) => Value::Number(s.chars().count() as f64),
+                other => unreachable!("type checker admitted core.len({other:?})"),
+            },
+            BuiltinKind::Contains => match (&args[0], &args[1]) {
+                (Value::List(items), needle) => Value::Bool(items.iter().any(|v| v == needle)),
+                (Value::Str(hay), Value::Str(needle)) => Value::Bool(hay.contains(needle.as_ref())),
+                other => unreachable!("type checker admitted core.contains{other:?}"),
+            },
+            BuiltinKind::Str => Value::str(args[0].render()),
+            BuiltinKind::Concat => {
+                let mut out = String::new();
+                for arg in args {
+                    match arg {
+                        Value::Str(s) => out.push_str(s),
+                        other => unreachable!("type checker admitted core.concat({other:?})"),
+                    }
+                }
+                Value::Str(Arc::from(out))
+            }
+            BuiltinKind::Upper => match &args[0] {
+                Value::Str(s) => Value::str(s.to_uppercase()),
+                other => unreachable!("type checker admitted core.upper({other:?})"),
+            },
+            BuiltinKind::Lower => match &args[0] {
+                Value::Str(s) => Value::str(s.to_lowercase()),
+                other => unreachable!("type checker admitted core.lower({other:?})"),
+            },
+            BuiltinKind::Custom { run, .. } => run(args),
+            BuiltinKind::Ternary
+            | BuiltinKind::PortsDeclared
+            | BuiltinKind::LabelsHas
+            | BuiltinKind::LabelsIs
+            | BuiltinKind::LabelsGet => {
+                unreachable!("handled before dispatch: {self:?}")
+            }
+        }
+    }
+}
+
+/// One registered builtin: a dotted name bound to its semantics.
+#[derive(Debug, Clone)]
+pub struct BuiltinDef {
+    name: String,
+    kind: BuiltinKind,
+}
+
+impl BuiltinDef {
+    /// The dotted name, e.g. `core.len`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The builtin's semantics tag.
+    pub fn kind(&self) -> &BuiltinKind {
+        &self.kind
+    }
+}
+
+/// The table of builtins an expression may call, keyed by dotted name.
+#[derive(Debug, Clone)]
+pub struct BuiltinsRegistry {
+    defs: Vec<BuiltinDef>,
+}
+
+impl Default for BuiltinsRegistry {
+    fn default() -> Self {
+        BuiltinsRegistry::standard()
+    }
+}
+
+impl BuiltinsRegistry {
+    /// The standard table: every `core.*`, `ports.*`, and `labels.*`
+    /// builtin documented in `docs/RULES.md`.
+    pub fn standard() -> Self {
+        let mut reg = BuiltinsRegistry { defs: Vec::new() };
+        for (name, kind) in [
+            ("core.len", BuiltinKind::Len),
+            ("core.contains", BuiltinKind::Contains),
+            ("core.str", BuiltinKind::Str),
+            ("core.concat", BuiltinKind::Concat),
+            ("core.ternary", BuiltinKind::Ternary),
+            ("core.upper", BuiltinKind::Upper),
+            ("core.lower", BuiltinKind::Lower),
+            ("ports.declared", BuiltinKind::PortsDeclared),
+            ("labels.has", BuiltinKind::LabelsHas),
+            ("labels.is", BuiltinKind::LabelsIs),
+            ("labels.get", BuiltinKind::LabelsGet),
+        ] {
+            reg.defs.push(BuiltinDef {
+                name: name.to_string(),
+                kind,
+            });
+        }
+        reg
+    }
+
+    /// Registers (or replaces) a custom builtin under a dotted name. The
+    /// function must be pure: rule evaluation assumes same-input
+    /// same-output.
+    pub fn register_custom(
+        &mut self,
+        name: &str,
+        params: Vec<Type>,
+        ret: Type,
+        run: fn(&[Value]) -> Value,
+    ) {
+        let kind = BuiltinKind::Custom { params, ret, run };
+        match self.defs.iter_mut().find(|d| d.name == name) {
+            Some(existing) => existing.kind = kind,
+            None => self.defs.push(BuiltinDef {
+                name: name.to_string(),
+                kind,
+            }),
+        }
+    }
+
+    /// Resolves a dotted name.
+    pub fn lookup(&self, name: &str) -> Option<&BuiltinDef> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+
+    /// Every registered builtin, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &BuiltinDef> + '_ {
+        self.defs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_table_is_complete_and_custom_registration_replaces() {
+        let mut reg = BuiltinsRegistry::standard();
+        for name in [
+            "core.len",
+            "core.contains",
+            "core.str",
+            "core.concat",
+            "core.ternary",
+            "core.upper",
+            "core.lower",
+            "ports.declared",
+            "labels.has",
+            "labels.is",
+            "labels.get",
+        ] {
+            assert!(reg.lookup(name).is_some(), "missing builtin {name}");
+        }
+        assert!(reg.lookup("core.nope").is_none());
+
+        fn double(args: &[Value]) -> Value {
+            match &args[0] {
+                Value::Number(n) => Value::Number(n * 2.0),
+                _ => unreachable!(),
+            }
+        }
+        let before = reg.iter().count();
+        reg.register_custom("math.double", vec![Type::Number], Type::Number, double);
+        assert_eq!(reg.iter().count(), before + 1);
+        reg.register_custom("math.double", vec![Type::Number], Type::Number, double);
+        assert_eq!(reg.iter().count(), before + 1, "replacement, not append");
+        let def = reg.lookup("math.double").unwrap();
+        match def.kind() {
+            BuiltinKind::Custom { run, .. } => {
+                assert_eq!(run(&[Value::Number(21.0)]), Value::Number(42.0));
+            }
+            other => panic!("expected custom builtin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eager_builtins_compute() {
+        assert_eq!(
+            BuiltinKind::Len.run(&[Value::str("héllo")]),
+            Value::Number(5.0)
+        );
+        assert_eq!(
+            BuiltinKind::Concat.run(&[Value::str("a/"), Value::str("b")]),
+            Value::str("a/b")
+        );
+        assert_eq!(
+            BuiltinKind::Str.run(&[Value::Number(8080.0)]),
+            Value::str("8080")
+        );
+        assert_eq!(
+            BuiltinKind::Upper.run(&[Value::str("tcp")]),
+            Value::str("TCP")
+        );
+        let list = Value::List(Arc::new(vec![Value::Number(80.0), Value::Number(443.0)]));
+        assert_eq!(
+            BuiltinKind::Contains.run(&[list, Value::Number(443.0)]),
+            Value::Bool(true)
+        );
+    }
+}

@@ -1,0 +1,435 @@
+//! Tokenizer for the rule expression language.
+//!
+//! Hand-rolled (no parser-generator dependency): a single pass over the
+//! source that tracks byte offsets *and* 1-based line/column positions, so
+//! every token — and every error — carries a [`Span`] the CLI can render.
+
+use std::fmt;
+
+/// A source region: byte offset + length (for slicing the original text)
+/// and 1-based line/column (for human-readable diagnostics). Offsets always
+/// fall on `char` boundaries, columns count characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub offset: usize,
+    /// Byte length of the region.
+    pub len: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub column: u32,
+}
+
+impl Span {
+    /// A span covering `self` through the end of `other`.
+    pub(crate) fn through(self, other: Span) -> Span {
+        Span {
+            offset: self.offset,
+            len: (other.offset + other.len).saturating_sub(self.offset),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    /// The source text under this span.
+    pub(crate) fn slice(self, src: &str) -> &str {
+        src.get(self.offset..self.offset + self.len).unwrap_or("")
+    }
+}
+
+/// A typed error from any language stage (lex, parse, type-check, pack
+/// load), positioned by a [`Span`]. The `Display` form leads with the
+/// position so CLI consumers render it verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl LangError {
+    pub(crate) fn new(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Re-anchors the error into an enclosing document: the expression was
+    /// embedded at `line` (1-based), starting at character `column_offset`.
+    pub(crate) fn relocate(mut self, line: u32, column_offset: u32) -> Self {
+        if self.span.line == 1 {
+            self.span.column += column_offset;
+        }
+        self.span.line += line - 1;
+        self
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.span.line, self.span.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Token kinds. `CONTAINS`/`IN` are keywords (upper-case, like SQL
+/// operators) so lower-case identifiers can never collide with them.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    True,
+    False,
+    Contains,
+    In,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Not,
+    AndAnd,
+    OrOr,
+    EqEq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl Tok {
+    /// How the token reads in a diagnostic.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Ident(name) => format!("identifier `{name}`"),
+            Tok::Number(n) => format!("number `{n}`"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::True => "`true`".to_string(),
+            Tok::False => "`false`".to_string(),
+            Tok::Contains => "`CONTAINS`".to_string(),
+            Tok::In => "`IN`".to_string(),
+            Tok::LParen => "`(`".to_string(),
+            Tok::RParen => "`)`".to_string(),
+            Tok::LBracket => "`[`".to_string(),
+            Tok::RBracket => "`]`".to_string(),
+            Tok::Comma => "`,`".to_string(),
+            Tok::Dot => "`.`".to_string(),
+            Tok::Not => "`!`".to_string(),
+            Tok::AndAnd => "`&&`".to_string(),
+            Tok::OrOr => "`||`".to_string(),
+            Tok::EqEq => "`==`".to_string(),
+            Tok::NotEq => "`!=`".to_string(),
+            Tok::Lt => "`<`".to_string(),
+            Tok::LtEq => "`<=`".to_string(),
+            Tok::Gt => "`>`".to_string(),
+            Tok::GtEq => "`>=`".to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: Tok,
+    pub span: Span,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Consumes one character, keeping line/column in step.
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, c)) = next {
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        next
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    /// Span for a region starting at (`offset`, `line`, `column`) and
+    /// running to the current position.
+    fn span_from(&mut self, offset: usize, line: u32, column: u32) -> Span {
+        let end = self.chars.peek().map_or(self.src.len(), |&(i, _)| i);
+        Span {
+            offset,
+            len: end - offset,
+            line,
+            column,
+        }
+    }
+
+    fn here(&mut self) -> Span {
+        let offset = self.chars.peek().map_or(self.src.len(), |&(i, _)| i);
+        Span {
+            offset,
+            len: 0,
+            line: self.line,
+            column: self.column,
+        }
+    }
+}
+
+/// Tokenizes one expression. Never panics: every malformed input maps to a
+/// [`LangError`] with the offending span.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace.
+        while matches!(lx.peek(), Some(c) if c.is_whitespace()) {
+            lx.bump();
+        }
+        let (start_line, start_col) = (lx.line, lx.column);
+        let Some((start, c)) = lx.bump() else {
+            return Ok(out);
+        };
+        let single = |lx: &mut Lexer<'_>, kind: Tok| Token {
+            kind,
+            span: lx.span_from(start, start_line, start_col),
+        };
+        let tok = match c {
+            '(' => single(&mut lx, Tok::LParen),
+            ')' => single(&mut lx, Tok::RParen),
+            '[' => single(&mut lx, Tok::LBracket),
+            ']' => single(&mut lx, Tok::RBracket),
+            ',' => single(&mut lx, Tok::Comma),
+            '.' => single(&mut lx, Tok::Dot),
+            '!' => {
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    single(&mut lx, Tok::NotEq)
+                } else {
+                    single(&mut lx, Tok::Not)
+                }
+            }
+            '=' => {
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    single(&mut lx, Tok::EqEq)
+                } else {
+                    let span = lx.span_from(start, start_line, start_col);
+                    return Err(LangError::new("expected `==`, found a single `=`", span));
+                }
+            }
+            '<' => {
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    single(&mut lx, Tok::LtEq)
+                } else {
+                    single(&mut lx, Tok::Lt)
+                }
+            }
+            '>' => {
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    single(&mut lx, Tok::GtEq)
+                } else {
+                    single(&mut lx, Tok::Gt)
+                }
+            }
+            '&' => {
+                if lx.peek() == Some('&') {
+                    lx.bump();
+                    single(&mut lx, Tok::AndAnd)
+                } else {
+                    let span = lx.span_from(start, start_line, start_col);
+                    return Err(LangError::new("expected `&&`, found a single `&`", span));
+                }
+            }
+            '|' => {
+                if lx.peek() == Some('|') {
+                    lx.bump();
+                    single(&mut lx, Tok::OrOr)
+                } else {
+                    let span = lx.span_from(start, start_line, start_col);
+                    return Err(LangError::new("expected `||`, found a single `|`", span));
+                }
+            }
+            '"' => {
+                let mut text = String::new();
+                loop {
+                    match lx.bump() {
+                        Some((_, '"')) => break,
+                        Some((_, '\\')) => match lx.bump() {
+                            Some((_, '"')) => text.push('"'),
+                            Some((_, '\\')) => text.push('\\'),
+                            Some((_, 'n')) => text.push('\n'),
+                            Some((_, 't')) => text.push('\t'),
+                            Some((_, 'r')) => text.push('\r'),
+                            Some((_, other)) => {
+                                let span = lx.span_from(start, start_line, start_col);
+                                return Err(LangError::new(
+                                    format!("unsupported escape `\\{other}` in string literal"),
+                                    span,
+                                ));
+                            }
+                            None => {
+                                let span = lx.span_from(start, start_line, start_col);
+                                return Err(LangError::new("unterminated string literal", span));
+                            }
+                        },
+                        Some((_, '\n')) | None => {
+                            let span = lx.span_from(start, start_line, start_col);
+                            return Err(LangError::new("unterminated string literal", span));
+                        }
+                        Some((_, other)) => text.push(other),
+                    }
+                }
+                Token {
+                    kind: Tok::Str(text),
+                    span: lx.span_from(start, start_line, start_col),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while matches!(lx.peek(), Some(d) if d.is_ascii_digit()) {
+                    lx.bump();
+                }
+                if lx.peek() == Some('.') {
+                    // Only consume the dot when a digit follows: `8080.port`
+                    // must stay an error about `.port`, not eat the dot.
+                    let mut ahead = lx.chars.clone();
+                    ahead.next();
+                    if matches!(ahead.peek(), Some(&(_, d)) if d.is_ascii_digit()) {
+                        lx.bump();
+                        while matches!(lx.peek(), Some(d) if d.is_ascii_digit()) {
+                            lx.bump();
+                        }
+                    }
+                }
+                let span = lx.span_from(start, start_line, start_col);
+                let text = span.slice(src);
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| LangError::new(format!("invalid number `{text}`"), span))?;
+                Token {
+                    kind: Tok::Number(value),
+                    span,
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while matches!(lx.peek(), Some(d) if d.is_ascii_alphanumeric() || d == '_') {
+                    lx.bump();
+                }
+                let span = lx.span_from(start, start_line, start_col);
+                let kind = match span.slice(src) {
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "CONTAINS" => Tok::Contains,
+                    "IN" => Tok::In,
+                    ident => Tok::Ident(ident.to_string()),
+                };
+                Token { kind, span }
+            }
+            other => {
+                let span = lx.span_from(start, start_line, start_col);
+                return Err(LangError::new(
+                    format!("unexpected character `{}`", other.escape_default()),
+                    span,
+                ));
+            }
+        };
+        out.push(tok);
+    }
+}
+
+/// A zero-length span at the end of the source, for "expected more input"
+/// diagnostics.
+pub(crate) fn end_span(src: &str) -> Span {
+    let mut lx = Lexer::new(src);
+    while lx.bump().is_some() {}
+    lx.here()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_carry_line_and_column() {
+        let src = "a &&\n  bb";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(
+            toks[0].span,
+            Span {
+                offset: 0,
+                len: 1,
+                line: 1,
+                column: 1
+            }
+        );
+        assert_eq!(toks[1].span.line, 1);
+        assert_eq!(toks[1].span.column, 3);
+        assert_eq!(
+            toks[2].span,
+            Span {
+                offset: 7,
+                len: 2,
+                line: 2,
+                column: 3
+            }
+        );
+        assert_eq!(toks[2].span.slice(src), "bb");
+    }
+
+    #[test]
+    fn keywords_and_operators() {
+        let toks = tokenize("true CONTAINS IN != <= >= == ! [1, 2.5]").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], Tok::True));
+        assert!(matches!(kinds[1], Tok::Contains));
+        assert!(matches!(kinds[2], Tok::In));
+        assert!(matches!(kinds[3], Tok::NotEq));
+        assert!(matches!(kinds[4], Tok::LtEq));
+        assert!(matches!(kinds[5], Tok::GtEq));
+        assert!(matches!(kinds[6], Tok::EqEq));
+        assert!(matches!(kinds[7], Tok::Not));
+        assert!(matches!(kinds[8], Tok::LBracket));
+        assert!(matches!(kinds[9], Tok::Number(n) if *n == 1.0));
+    }
+
+    #[test]
+    fn string_escapes_and_errors() {
+        let toks = tokenize(r#""a\"b\\c""#).unwrap();
+        assert_eq!(toks[0].kind, Tok::Str("a\"b\\c".to_string()));
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("a = b").is_err());
+        assert!(tokenize("§").is_err());
+        let err = tokenize("  @").unwrap_err();
+        assert_eq!(err.span.column, 3);
+        assert!(err.to_string().starts_with("line 1, column 3:"));
+    }
+}

@@ -1,0 +1,563 @@
+//! Selection scopes and the entity resolver: how a rule expression sees the
+//! analyzer's model.
+//!
+//! A pack rule declares a **selection scope** ([`Select`]): the kind of
+//! entity its expression runs once per. Each scope exposes a fixed, typed
+//! attribute schema (dense [`AttrId`]s in declaration order); broader scopes
+//! nest — a `socket` expression can read every `unit.*` and `app.*`
+//! attribute too, because a socket belongs to exactly one unit of one
+//! application.
+//!
+//! [`EntityResolver`] adapts one concrete entity (plus the facts the native
+//! rules derive: observed sockets, dynamic ports, service selection, target
+//! resolution) to the evaluator's [`RuleResolver`] interface. All derived
+//! facts are computed once per entity, before evaluation.
+
+use super::eval::{RuleResolver, Value};
+use crate::model::ComputeUnit;
+use crate::rules::RuleContext;
+use ij_model::{
+    AttrId, AttrSchema, AttrType, KeyId, LabelId, LabelInterner, Protocol, Service, ServicePort,
+    TargetPort,
+};
+use ij_probe::ObservedSocket;
+use std::collections::BTreeSet;
+
+/// The entity kind a rule's expression is evaluated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Select {
+    /// Once per application.
+    App,
+    /// Once per compute unit.
+    Unit,
+    /// Once per stable observed socket of each observed compute unit.
+    Socket,
+    /// Once per service.
+    Service,
+    /// Once per `(service, port mapping)` of services that select at least
+    /// zero units — i.e. every port of every service.
+    ServicePort,
+}
+
+impl Select {
+    /// The spelling used by pack files and `ij rules` output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Select::App => "app",
+            Select::Unit => "unit",
+            Select::Socket => "socket",
+            Select::Service => "service",
+            Select::ServicePort => "service_port",
+        }
+    }
+
+    /// Parses a pack-file spelling.
+    pub fn parse(s: &str) -> Option<Select> {
+        match s {
+            "app" => Some(Select::App),
+            "unit" => Some(Select::Unit),
+            "socket" => Some(Select::Socket),
+            "service" => Some(Select::Service),
+            "service_port" => Some(Select::ServicePort),
+            _ => None,
+        }
+    }
+
+    /// True when the scope carries a compute unit, enabling `ports.*` and
+    /// `labels.*` builtins.
+    pub fn unit_scoped(&self) -> bool {
+        matches!(self, Select::Unit | Select::Socket)
+    }
+}
+
+/// What one attribute id resolves to. The compiled rule stores a
+/// `Vec<AttrKey>` indexed by [`AttrId`], so evaluation is a table jump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AttrKey {
+    AppName,
+    AppUnitCount,
+    AppServiceCount,
+    AppPolicyCount,
+    AppHasPolicies,
+    AppChartDefinesPolicies,
+    AppHasRuntime,
+    UnitName,
+    UnitKind,
+    UnitNamespace,
+    UnitHostNetwork,
+    UnitObserved,
+    UnitHasDynamicPorts,
+    UnitDeclaredCount,
+    UnitLabelCount,
+    SocketPort,
+    SocketProtocol,
+    ServiceName,
+    ServiceNamespace,
+    ServiceSelector,
+    ServiceHeadless,
+    ServiceSelectorEmpty,
+    ServiceSelectedCount,
+    PortPort,
+    PortProtocol,
+    PortTargetKind,
+    PortTargetName,
+    PortTargetResolved,
+    PortTargetNumber,
+    PortTargetDeclared,
+    PortAnySelectedObserved,
+    PortTargetOpen,
+}
+
+const APP_ATTRS: &[(&str, AttrType, AttrKey)] = &[
+    ("app.name", AttrType::String, AttrKey::AppName),
+    ("app.unit_count", AttrType::Number, AttrKey::AppUnitCount),
+    (
+        "app.service_count",
+        AttrType::Number,
+        AttrKey::AppServiceCount,
+    ),
+    (
+        "app.policy_count",
+        AttrType::Number,
+        AttrKey::AppPolicyCount,
+    ),
+    ("app.has_policies", AttrType::Bool, AttrKey::AppHasPolicies),
+    (
+        "app.chart_defines_policies",
+        AttrType::Bool,
+        AttrKey::AppChartDefinesPolicies,
+    ),
+    ("app.has_runtime", AttrType::Bool, AttrKey::AppHasRuntime),
+];
+
+const UNIT_ATTRS: &[(&str, AttrType, AttrKey)] = &[
+    ("unit.name", AttrType::String, AttrKey::UnitName),
+    ("unit.kind", AttrType::String, AttrKey::UnitKind),
+    ("unit.namespace", AttrType::String, AttrKey::UnitNamespace),
+    (
+        "unit.host_network",
+        AttrType::Bool,
+        AttrKey::UnitHostNetwork,
+    ),
+    ("unit.observed", AttrType::Bool, AttrKey::UnitObserved),
+    (
+        "unit.has_dynamic_ports",
+        AttrType::Bool,
+        AttrKey::UnitHasDynamicPorts,
+    ),
+    (
+        "unit.declared_count",
+        AttrType::Number,
+        AttrKey::UnitDeclaredCount,
+    ),
+    (
+        "unit.label_count",
+        AttrType::Number,
+        AttrKey::UnitLabelCount,
+    ),
+];
+
+const SOCKET_ATTRS: &[(&str, AttrType, AttrKey)] = &[
+    ("socket.port", AttrType::Number, AttrKey::SocketPort),
+    ("socket.protocol", AttrType::String, AttrKey::SocketProtocol),
+];
+
+const SERVICE_ATTRS: &[(&str, AttrType, AttrKey)] = &[
+    ("service.name", AttrType::String, AttrKey::ServiceName),
+    (
+        "service.namespace",
+        AttrType::String,
+        AttrKey::ServiceNamespace,
+    ),
+    (
+        "service.selector",
+        AttrType::String,
+        AttrKey::ServiceSelector,
+    ),
+    ("service.headless", AttrType::Bool, AttrKey::ServiceHeadless),
+    (
+        "service.selector_empty",
+        AttrType::Bool,
+        AttrKey::ServiceSelectorEmpty,
+    ),
+    (
+        "service.selected_count",
+        AttrType::Number,
+        AttrKey::ServiceSelectedCount,
+    ),
+];
+
+const SERVICE_PORT_ATTRS: &[(&str, AttrType, AttrKey)] = &[
+    ("port.port", AttrType::Number, AttrKey::PortPort),
+    ("port.protocol", AttrType::String, AttrKey::PortProtocol),
+    (
+        "port.target_kind",
+        AttrType::String,
+        AttrKey::PortTargetKind,
+    ),
+    (
+        "port.target_name",
+        AttrType::String,
+        AttrKey::PortTargetName,
+    ),
+    (
+        "port.target_resolved",
+        AttrType::Bool,
+        AttrKey::PortTargetResolved,
+    ),
+    (
+        "port.target_number",
+        AttrType::Number,
+        AttrKey::PortTargetNumber,
+    ),
+    (
+        "port.target_declared",
+        AttrType::Bool,
+        AttrKey::PortTargetDeclared,
+    ),
+    (
+        "port.any_selected_observed",
+        AttrType::Bool,
+        AttrKey::PortAnySelectedObserved,
+    ),
+    ("port.target_open", AttrType::Bool, AttrKey::PortTargetOpen),
+];
+
+/// Builds the attribute schema of a scope, plus the parallel `AttrId` →
+/// [`AttrKey`] table the resolver jumps through.
+pub(crate) fn schema_for(select: Select) -> (AttrSchema, Vec<AttrKey>) {
+    let tables: &[&[(&str, AttrType, AttrKey)]] = match select {
+        Select::App => &[APP_ATTRS],
+        Select::Unit => &[APP_ATTRS, UNIT_ATTRS],
+        Select::Socket => &[APP_ATTRS, UNIT_ATTRS, SOCKET_ATTRS],
+        Select::Service => &[APP_ATTRS, SERVICE_ATTRS],
+        Select::ServicePort => &[APP_ATTRS, SERVICE_ATTRS, SERVICE_PORT_ATTRS],
+    };
+    let mut schema = AttrSchema::new();
+    let mut keys = Vec::new();
+    for table in tables {
+        for (name, ty, key) in *table {
+            let id = schema.declare(name, *ty);
+            debug_assert_eq!(id.index(), keys.len());
+            keys.push(*key);
+        }
+    }
+    (schema, keys)
+}
+
+/// A compute unit's labels lowered to the pack's interned id space, plus a
+/// `KeyId` → value table for `labels.get`. Keys or pairs the pack never
+/// interned simply don't appear, which is exactly the right semantics: no
+/// probe in the pack can ask about them.
+pub(crate) struct UnitLabelProbe<'a> {
+    pair_ids: Vec<LabelId>,
+    key_vals: Vec<(KeyId, &'a str)>,
+}
+
+impl<'a> UnitLabelProbe<'a> {
+    fn new(unit: &'a ComputeUnit, interner: &LabelInterner) -> Self {
+        let mut pair_ids = Vec::new();
+        let mut key_vals = Vec::new();
+        for (k, v) in unit.labels.iter() {
+            if let Some(key_id) = interner.lookup_key(k) {
+                key_vals.push((key_id, v));
+                if let Some(pair_id) = interner.lookup_pair(k, v) {
+                    pair_ids.push(pair_id);
+                }
+            }
+        }
+        pair_ids.sort_unstable();
+        UnitLabelProbe { pair_ids, key_vals }
+    }
+}
+
+/// One compute unit with its runtime-derived facts, computed once.
+pub(crate) struct UnitView<'a> {
+    pub(crate) unit: &'a ComputeUnit,
+    pub(crate) observed: bool,
+    pub(crate) has_dynamic: bool,
+    pub(crate) stable: BTreeSet<ObservedSocket>,
+    probe: UnitLabelProbe<'a>,
+}
+
+impl<'a> UnitView<'a> {
+    pub(crate) fn new(
+        ctx: &RuleContext<'a>,
+        unit: &'a ComputeUnit,
+        interner: &LabelInterner,
+    ) -> Self {
+        UnitView {
+            unit,
+            observed: ctx.unit_observed(&unit.name),
+            has_dynamic: ctx.unit_has_dynamic(&unit.name),
+            stable: ctx.unit_stable(&unit.name),
+            probe: UnitLabelProbe::new(unit, interner),
+        }
+    }
+}
+
+/// One service with its selection resolved.
+pub(crate) struct SvcView<'a> {
+    pub(crate) svc: &'a Service,
+    pub(crate) selected: Vec<&'a ComputeUnit>,
+}
+
+impl<'a> SvcView<'a> {
+    pub(crate) fn new(ctx: &RuleContext<'a>, svc: &'a Service) -> Self {
+        SvcView {
+            svc,
+            selected: ctx.statics.units_selected_by(svc),
+        }
+    }
+}
+
+/// Facts about one service port mapping, mirroring the native M5 logic.
+pub(crate) struct PortFacts {
+    resolved: Option<u16>,
+    declared: bool,
+    any_observed: bool,
+    open: bool,
+}
+
+impl PortFacts {
+    pub(crate) fn compute(ctx: &RuleContext<'_>, view: &SvcView<'_>, sp: &ServicePort) -> Self {
+        let resolved = match &sp.target_port {
+            TargetPort::Number(n) => Some(*n),
+            TargetPort::Name(name) => view.selected.iter().find_map(|u| u.resolve_port_name(name)),
+        };
+        let declared =
+            resolved.is_some_and(|t| view.selected.iter().any(|u| u.declares(t, sp.protocol)));
+        let observed_units: Vec<&&ComputeUnit> = view
+            .selected
+            .iter()
+            .filter(|u| ctx.unit_observed(&u.name))
+            .collect();
+        let any_observed = !observed_units.is_empty();
+        let open = resolved.is_some_and(|target| {
+            observed_units.iter().any(|u| {
+                ctx.unit_stable(&u.name).contains(&ObservedSocket {
+                    port: target,
+                    protocol: sp.protocol,
+                })
+            })
+        });
+        PortFacts {
+            resolved,
+            declared,
+            any_observed,
+            open,
+        }
+    }
+}
+
+/// The concrete entity an expression is being evaluated against.
+pub(crate) enum Entity<'a> {
+    App,
+    Unit(&'a UnitView<'a>),
+    Socket {
+        unit: &'a UnitView<'a>,
+        socket: ObservedSocket,
+    },
+    Service(&'a SvcView<'a>),
+    ServicePort {
+        svc: &'a SvcView<'a>,
+        sp: &'a ServicePort,
+        facts: &'a PortFacts,
+    },
+}
+
+/// Adapter from one entity (plus its precomputed facts) to the evaluator's
+/// [`RuleResolver`] interface.
+pub(crate) struct EntityResolver<'a> {
+    pub(crate) ctx: &'a RuleContext<'a>,
+    pub(crate) keys: &'a [AttrKey],
+    pub(crate) entity: Entity<'a>,
+}
+
+impl<'a> EntityResolver<'a> {
+    fn unit_view(&self) -> Option<&UnitView<'a>> {
+        match &self.entity {
+            Entity::Unit(u) | Entity::Socket { unit: u, .. } => Some(u),
+            _ => None,
+        }
+    }
+
+    fn svc_view(&self) -> Option<&SvcView<'a>> {
+        match &self.entity {
+            Entity::Service(s) | Entity::ServicePort { svc: s, .. } => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl RuleResolver for EntityResolver<'_> {
+    fn attr(&self, id: AttrId) -> Value {
+        let key = self.keys[id.index()];
+        let ctx = self.ctx;
+        match key {
+            AttrKey::AppName => Value::str(ctx.app),
+            AttrKey::AppUnitCount => Value::Number(ctx.statics.units.len() as f64),
+            AttrKey::AppServiceCount => Value::Number(ctx.statics.services.len() as f64),
+            AttrKey::AppPolicyCount => Value::Number(ctx.statics.policies.len() as f64),
+            AttrKey::AppHasPolicies => Value::Bool(!ctx.statics.policies.is_empty()),
+            AttrKey::AppChartDefinesPolicies => Value::Bool(ctx.chart_defines_policies),
+            AttrKey::AppHasRuntime => Value::Bool(ctx.runtime.is_some()),
+            AttrKey::UnitName
+            | AttrKey::UnitKind
+            | AttrKey::UnitNamespace
+            | AttrKey::UnitHostNetwork
+            | AttrKey::UnitObserved
+            | AttrKey::UnitHasDynamicPorts
+            | AttrKey::UnitDeclaredCount
+            | AttrKey::UnitLabelCount => {
+                let view = self.unit_view().expect("unit attribute outside unit scope");
+                match key {
+                    AttrKey::UnitName => Value::str(&view.unit.name),
+                    AttrKey::UnitKind => Value::str(&view.unit.kind),
+                    AttrKey::UnitNamespace => Value::str(&view.unit.namespace),
+                    AttrKey::UnitHostNetwork => Value::Bool(view.unit.host_network),
+                    AttrKey::UnitObserved => Value::Bool(view.observed),
+                    AttrKey::UnitHasDynamicPorts => Value::Bool(view.has_dynamic),
+                    AttrKey::UnitDeclaredCount => {
+                        Value::Number(view.unit.declared_ports().count() as f64)
+                    }
+                    AttrKey::UnitLabelCount => Value::Number(view.unit.labels.len() as f64),
+                    _ => unreachable!(),
+                }
+            }
+            AttrKey::SocketPort | AttrKey::SocketProtocol => {
+                let Entity::Socket { socket, .. } = &self.entity else {
+                    unreachable!("socket attribute outside socket scope")
+                };
+                match key {
+                    AttrKey::SocketPort => Value::Number(f64::from(socket.port)),
+                    AttrKey::SocketProtocol => Value::str(socket.protocol.as_str()),
+                    _ => unreachable!(),
+                }
+            }
+            AttrKey::ServiceName
+            | AttrKey::ServiceNamespace
+            | AttrKey::ServiceSelector
+            | AttrKey::ServiceHeadless
+            | AttrKey::ServiceSelectorEmpty
+            | AttrKey::ServiceSelectedCount => {
+                let view = self
+                    .svc_view()
+                    .expect("service attribute outside service scope");
+                match key {
+                    AttrKey::ServiceName => Value::str(view.svc.meta.qualified_name()),
+                    AttrKey::ServiceNamespace => Value::str(&view.svc.meta.namespace),
+                    AttrKey::ServiceSelector => Value::str(view.svc.spec.selector.to_string()),
+                    AttrKey::ServiceHeadless => Value::Bool(view.svc.is_headless()),
+                    AttrKey::ServiceSelectorEmpty => Value::Bool(view.svc.spec.selector.is_empty()),
+                    AttrKey::ServiceSelectedCount => Value::Number(view.selected.len() as f64),
+                    _ => unreachable!(),
+                }
+            }
+            AttrKey::PortPort
+            | AttrKey::PortProtocol
+            | AttrKey::PortTargetKind
+            | AttrKey::PortTargetName
+            | AttrKey::PortTargetResolved
+            | AttrKey::PortTargetNumber
+            | AttrKey::PortTargetDeclared
+            | AttrKey::PortAnySelectedObserved
+            | AttrKey::PortTargetOpen => {
+                let Entity::ServicePort { sp, facts, .. } = &self.entity else {
+                    unreachable!("port attribute outside service_port scope")
+                };
+                match key {
+                    AttrKey::PortPort => Value::Number(f64::from(sp.port)),
+                    AttrKey::PortProtocol => Value::str(sp.protocol.as_str()),
+                    AttrKey::PortTargetKind => Value::str(match &sp.target_port {
+                        TargetPort::Number(_) => "number",
+                        TargetPort::Name(_) => "name",
+                    }),
+                    AttrKey::PortTargetName => Value::str(match &sp.target_port {
+                        TargetPort::Number(_) => "",
+                        TargetPort::Name(n) => n.as_str(),
+                    }),
+                    AttrKey::PortTargetResolved => Value::Bool(facts.resolved.is_some()),
+                    AttrKey::PortTargetNumber => {
+                        Value::Number(f64::from(facts.resolved.unwrap_or(0)))
+                    }
+                    AttrKey::PortTargetDeclared => Value::Bool(facts.declared),
+                    AttrKey::PortAnySelectedObserved => Value::Bool(facts.any_observed),
+                    AttrKey::PortTargetOpen => Value::Bool(facts.open),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    fn label_key_present(&self, id: KeyId) -> bool {
+        self.unit_view()
+            .is_some_and(|v| v.probe.key_vals.iter().any(|(k, _)| *k == id))
+    }
+
+    fn label_pair_present(&self, id: LabelId) -> bool {
+        self.unit_view()
+            .is_some_and(|v| v.probe.pair_ids.binary_search(&id).is_ok())
+    }
+
+    fn label_value(&self, id: KeyId) -> Option<&str> {
+        self.unit_view()?
+            .probe
+            .key_vals
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map(|(_, v)| *v)
+    }
+
+    fn port_declared(&self, port: u16, protocol: &str) -> bool {
+        let Some(view) = self.unit_view() else {
+            return false;
+        };
+        let Some(protocol) = parse_protocol(protocol) else {
+            return false;
+        };
+        view.unit.declares(port, protocol)
+    }
+}
+
+/// Canonical protocol spellings only — rule expressions deal in the same
+/// upper-case names the model prints.
+pub(crate) fn parse_protocol(s: &str) -> Option<Protocol> {
+    match s {
+        "TCP" => Some(Protocol::Tcp),
+        "UDP" => Some(Protocol::Udp),
+        "SCTP" => Some(Protocol::Sctp),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_nest_and_stay_dense() {
+        for select in [
+            Select::App,
+            Select::Unit,
+            Select::Socket,
+            Select::Service,
+            Select::ServicePort,
+        ] {
+            let (schema, keys) = schema_for(select);
+            assert_eq!(schema.len(), keys.len(), "{select:?}");
+            // Every broader scope embeds the app attributes.
+            for (name, _, _) in APP_ATTRS {
+                assert!(schema.lookup(name).is_some(), "{select:?} misses {name}");
+            }
+        }
+        let (socket_schema, _) = schema_for(Select::Socket);
+        assert!(socket_schema.lookup("unit.host_network").is_some());
+        assert!(socket_schema.lookup("socket.port").is_some());
+        assert!(socket_schema.lookup("service.name").is_none());
+        assert_eq!(Select::parse("service_port"), Some(Select::ServicePort));
+        assert_eq!(Select::parse("pod"), None);
+        assert!(Select::Socket.unit_scoped());
+        assert!(!Select::ServicePort.unit_scoped());
+    }
+}

@@ -81,6 +81,7 @@
 mod disclosure;
 mod engine;
 mod finding;
+pub mod lang;
 mod model;
 mod registry;
 mod report;
@@ -89,7 +90,10 @@ mod rules;
 pub use disclosure::{disclosure_report, questionnaire, THREAT_MODEL};
 pub use engine::{chart_defines_network_policies, Analyzer, AnalyzerOptions};
 pub use finding::{sort_canonical, Finding, MisconfigId, Severity};
+pub use lang::{CompiledRule, LangError, RulePack, TraceAtom, BUILTIN_PACK_SOURCE};
 pub use model::{ComputeUnit, StaticModel};
-pub use registry::{AppRule, GlobalRule, RuleEntry, RuleRegistry, RuleScope};
+pub use registry::{
+    AppRule, GlobalRule, RuleEntry, RuleOrigin, RuleRegistry, RuleScope, UnknownRule,
+};
 pub use report::{AppReport, Census, ConcentrationStats, DatasetRow};
 pub use rules::RuleContext;

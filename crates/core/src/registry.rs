@@ -7,17 +7,23 @@
 //! downstream users register custom rules next to the built-in ones without
 //! touching the engine.
 //!
-//! Two rule shapes exist, mirroring the paper's two analysis passes:
+//! Three rule shapes exist:
 //!
 //! * **application rules** run once per application over a [`RuleContext`]
 //!   (static model + optional runtime report);
 //! * **global rules** run once per census over the static models of every
-//!   application destined for the same cluster (the M4\* pass).
+//!   application destined for the same cluster (the M4\* pass);
+//! * **pack rules** are application rules expressed in the rule language
+//!   ([`crate::lang`]) and compiled at load time — same gating, same
+//!   evaluation slot, declarative body.
 
 use crate::finding::{Finding, MisconfigId};
+use crate::lang::CompiledRule;
 use crate::model::StaticModel;
 use crate::rules::{self, RuleContext};
+use std::borrow::Cow;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which evidence a rule consumes — the Table 3 ablation axis. Rules with
 /// [`RuleScope::Runtime`] are skipped in static-only mode (and when no
@@ -31,23 +37,76 @@ pub enum RuleScope {
     Runtime,
 }
 
+impl RuleScope {
+    /// The spelling pack files and `ij rules` use.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RuleScope::Static => "static",
+            RuleScope::Runtime => "runtime",
+        }
+    }
+}
+
+/// Where a rule's body comes from: compiled-in Rust, or a rule pack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleOrigin {
+    /// A native Rust rule function.
+    Native,
+    /// A rule-language rule loaded from a pack.
+    Pack,
+}
+
+impl RuleOrigin {
+    /// The spelling `ij rules` prints.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RuleOrigin::Native => "native",
+            RuleOrigin::Pack => "pack",
+        }
+    }
+}
+
 /// An application-scoped rule: evaluated once per application.
 pub type AppRule = for<'a> fn(&RuleContext<'a>) -> Vec<Finding>;
 
 /// A census-scoped rule: evaluated once over every application's statics.
 pub type GlobalRule = fn(&[(String, StaticModel)]) -> Vec<Finding>;
 
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 enum RuleBody {
     App(AppRule),
     Global(GlobalRule),
+    Pack(Arc<CompiledRule>),
 }
+
+/// A registry operation named a rule that is not registered. Carries the
+/// known names so callers (e.g. the CLI's `--without-rule`) can print them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownRule {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every registered name, in evaluation order.
+    pub known: Vec<String>,
+}
+
+impl fmt::Display for UnknownRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown rule `{}` (known rules: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownRule {}
 
 /// One registered rule.
 #[derive(Clone)]
 pub struct RuleEntry {
-    name: &'static str,
-    classes: &'static [MisconfigId],
+    name: Cow<'static, str>,
+    classes: Cow<'static, [MisconfigId]>,
     scope: RuleScope,
     body: RuleBody,
     enabled: bool,
@@ -57,13 +116,13 @@ impl RuleEntry {
     /// The registry key used by [`RuleRegistry::enable`] / [`disable`].
     ///
     /// [`disable`]: RuleRegistry::disable
-    pub fn name(&self) -> &'static str {
-        self.name
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// The misconfiguration classes this rule can emit.
-    pub fn classes(&self) -> &'static [MisconfigId] {
-        self.classes
+    pub fn classes(&self) -> &[MisconfigId] {
+        &self.classes
     }
 
     /// Whether the rule consumes static or runtime evidence.
@@ -81,18 +140,41 @@ impl RuleEntry {
         matches!(self.body, RuleBody::Global(_))
     }
 
+    /// Native Rust or pack-loaded.
+    pub fn origin(&self) -> RuleOrigin {
+        match self.body {
+            RuleBody::App(_) | RuleBody::Global(_) => RuleOrigin::Native,
+            RuleBody::Pack(_) => RuleOrigin::Pack,
+        }
+    }
+
+    /// The compiled pack rule backing this entry, for pack entries.
+    pub fn pack_rule(&self) -> Option<&CompiledRule> {
+        match &self.body {
+            RuleBody::Pack(rule) => Some(rule),
+            _ => None,
+        }
+    }
+
+    /// A pack entry's `when` expression source; `None` for native rules
+    /// (their body is Rust, not an expression).
+    pub fn expression(&self) -> Option<&str> {
+        self.pack_rule().map(CompiledRule::expression)
+    }
+
     /// Runs an application-scoped rule; global rules yield nothing here.
     pub fn run_app(&self, ctx: &RuleContext<'_>) -> Vec<Finding> {
-        match self.body {
+        match &self.body {
             RuleBody::App(f) => f(ctx),
             RuleBody::Global(_) => Vec::new(),
+            RuleBody::Pack(rule) => rule.run(ctx),
         }
     }
 
     /// Runs a census-scoped rule; application rules yield nothing here.
     pub fn run_global(&self, apps: &[(String, StaticModel)]) -> Vec<Finding> {
-        match self.body {
-            RuleBody::App(_) => Vec::new(),
+        match &self.body {
+            RuleBody::App(_) | RuleBody::Pack(_) => Vec::new(),
             RuleBody::Global(f) => f(apps),
         }
     }
@@ -105,6 +187,7 @@ impl fmt::Debug for RuleEntry {
             .field("classes", &self.classes)
             .field("scope", &self.scope)
             .field("global", &self.is_global())
+            .field("origin", &self.origin())
             .field("enabled", &self.enabled)
             .finish()
     }
@@ -115,8 +198,8 @@ impl fmt::Debug for RuleEntry {
 /// Entry order is the evaluation order; findings are canonically re-sorted
 /// afterwards, so order only matters for reproducible side-effect-free
 /// iteration. Names are unique: registering a name twice replaces the
-/// earlier entry in place (same position, new body), so a custom rule can
-/// shadow a built-in one.
+/// earlier entry in place (same position, new body), so a custom or pack
+/// rule can shadow a built-in one.
 #[derive(Debug, Clone)]
 pub struct RuleRegistry {
     entries: Vec<RuleEntry>,
@@ -198,8 +281,8 @@ impl RuleRegistry {
         rule: AppRule,
     ) -> &mut Self {
         self.insert(RuleEntry {
-            name,
-            classes,
+            name: Cow::Borrowed(name),
+            classes: Cow::Borrowed(classes),
             scope,
             body: RuleBody::App(rule),
             enabled: true,
@@ -215,10 +298,23 @@ impl RuleRegistry {
         rule: GlobalRule,
     ) -> &mut Self {
         self.insert(RuleEntry {
-            name,
-            classes,
+            name: Cow::Borrowed(name),
+            classes: Cow::Borrowed(classes),
             scope: RuleScope::Static,
             body: RuleBody::Global(rule),
+            enabled: true,
+        })
+    }
+
+    /// Registers (or replaces) a compiled pack rule. Name, class, and
+    /// evidence scope come from the rule's own declaration, so a pack rule
+    /// named like a built-in one shadows it in place.
+    pub fn register_pack_rule(&mut self, rule: Arc<CompiledRule>) -> &mut Self {
+        self.insert(RuleEntry {
+            name: Cow::Owned(rule.name().to_string()),
+            classes: Cow::Owned(vec![rule.class()]),
+            scope: rule.evidence(),
+            body: RuleBody::Pack(rule),
             enabled: true,
         })
     }
@@ -237,13 +333,26 @@ impl RuleRegistry {
     }
 
     /// The registered names, in evaluation order.
-    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
-        self.entries.iter().map(|e| e.name)
+    pub fn names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.entries.iter().map(|e| e.name())
+    }
+
+    fn unknown(&self, name: &str) -> UnknownRule {
+        UnknownRule {
+            name: name.to_string(),
+            known: self.names().map(str::to_string).collect(),
+        }
     }
 
     /// Looks an entry up by name.
     pub fn get(&self, name: &str) -> Option<&RuleEntry> {
         self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Looks an entry up by name, with a typed error naming the known rules
+    /// when it does not exist.
+    pub fn try_get(&self, name: &str) -> Result<&RuleEntry, UnknownRule> {
+        self.get(name).ok_or_else(|| self.unknown(name))
     }
 
     /// True when `name` is registered and enabled.
@@ -263,6 +372,16 @@ impl RuleRegistry {
         }
     }
 
+    /// Like [`set_enabled`](RuleRegistry::set_enabled), but an unknown name
+    /// is a typed [`UnknownRule`] error instead of a silent `false`.
+    pub fn try_set_enabled(&mut self, name: &str, enabled: bool) -> Result<(), UnknownRule> {
+        if self.set_enabled(name, enabled) {
+            Ok(())
+        } else {
+            Err(self.unknown(name))
+        }
+    }
+
     /// Enables one rule; `false` when the name is unknown.
     pub fn enable(&mut self, name: &str) -> bool {
         self.set_enabled(name, true)
@@ -271,6 +390,16 @@ impl RuleRegistry {
     /// Disables one rule; `false` when the name is unknown.
     pub fn disable(&mut self, name: &str) -> bool {
         self.set_enabled(name, false)
+    }
+
+    /// Enables one rule, erroring on unknown names.
+    pub fn try_enable(&mut self, name: &str) -> Result<(), UnknownRule> {
+        self.try_set_enabled(name, true)
+    }
+
+    /// Disables one rule, erroring on unknown names.
+    pub fn try_disable(&mut self, name: &str) -> Result<(), UnknownRule> {
+        self.try_set_enabled(name, false)
     }
 }
 
@@ -303,16 +432,37 @@ mod tests {
     }
 
     #[test]
+    fn unknown_rule_errors_are_typed_and_name_the_known_rules() {
+        let mut reg = RuleRegistry::standard();
+        let err = reg.try_disable("m8").expect_err("m8 does not exist");
+        assert_eq!(err.name, "m8");
+        assert!(err.known.contains(&"m7".to_string()));
+        let rendered = err.to_string();
+        assert!(rendered.contains("unknown rule `m8`"), "{rendered}");
+        assert!(rendered.contains("m4star"), "{rendered}");
+        assert!(reg.is_enabled("m7"), "failed disable must not change state");
+
+        assert!(reg.try_get("m7").is_ok());
+        assert_eq!(reg.try_get("nope").expect_err("typed").name, "nope");
+        assert!(reg.try_enable("m7").is_ok());
+        assert!(reg.try_set_enabled("m7", false).is_ok());
+        assert!(!reg.is_enabled("m7"));
+    }
+
+    #[test]
     fn registering_same_name_replaces_in_place() {
         fn nothing(_: &RuleContext<'_>) -> Vec<Finding> {
             Vec::new()
         }
         let mut reg = RuleRegistry::standard();
-        let before: Vec<&str> = reg.names().collect();
+        let before: Vec<String> = reg.names().map(str::to_string).collect();
         reg.register_app_rule("m7", &[], RuleScope::Static, nothing);
-        let after: Vec<&str> = reg.names().collect();
+        let after: Vec<String> = reg.names().map(str::to_string).collect();
         assert_eq!(before, after, "replacement must not reorder entries");
-        assert!(reg.get("m7").unwrap().classes().is_empty());
+        let replaced = reg.try_get("m7").expect("still registered");
+        assert!(replaced.classes().is_empty());
+        assert_eq!(replaced.origin(), RuleOrigin::Native);
+        assert!(replaced.expression().is_none());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub struct RuleContext<'a> {
 
 impl<'a> RuleContext<'a> {
     /// Stable sockets observed across all pods of a unit (deduplicated).
-    fn unit_stable(&self, unit: &str) -> BTreeSet<ObservedSocket> {
+    pub(crate) fn unit_stable(&self, unit: &str) -> BTreeSet<ObservedSocket> {
         let mut out = BTreeSet::new();
         let Some(rt) = self.runtime else { return out };
         for (pod, owner) in self.ownership {
@@ -40,7 +40,7 @@ impl<'a> RuleContext<'a> {
     }
 
     /// True when any pod of the unit exhibited dynamic ports.
-    fn unit_has_dynamic(&self, unit: &str) -> bool {
+    pub(crate) fn unit_has_dynamic(&self, unit: &str) -> bool {
         let Some(rt) = self.runtime else { return false };
         self.ownership
             .iter()
@@ -50,7 +50,7 @@ impl<'a> RuleContext<'a> {
 
     /// True when the unit has at least one observed pod (rules about
     /// runtime deltas only make sense then).
-    fn unit_observed(&self, unit: &str) -> bool {
+    pub(crate) fn unit_observed(&self, unit: &str) -> bool {
         let Some(rt) = self.runtime else { return false };
         self.ownership
             .iter()

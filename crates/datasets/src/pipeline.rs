@@ -34,7 +34,8 @@ use crate::spec::AppSpec;
 use ij_chart::{CompiledChart, Release, RenderedRelease};
 use ij_cluster::{Cluster, ClusterConfig, InstallError};
 use ij_core::{
-    chart_defines_network_policies, sort_canonical, Analyzer, AppReport, Census, StaticModel,
+    chart_defines_network_policies, sort_canonical, Analyzer, AppReport, Census, RulePack,
+    StaticModel, UnknownRule,
 };
 use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
 use ij_probe::{HostBaseline, ProbeConfig, ReachMatrix, RuntimeAnalyzer};
@@ -286,6 +287,17 @@ impl CensusPipelineBuilder {
     pub fn analyzer(mut self, analyzer: Analyzer) -> Self {
         self.opts.analyzer = analyzer;
         self
+    }
+
+    /// Applies a [`RulePack`] to the analyzer's registry: pack rules
+    /// register (shadowing natives of the same name), then the pack's
+    /// `disable` directives run. Fails with the pack's own
+    /// [`UnknownRule`] when a directive names a rule the registry does
+    /// not have, so typos surface at configuration time rather than as a
+    /// silently unchanged census.
+    pub fn rule_pack(mut self, pack: &RulePack) -> Result<Self, UnknownRule> {
+        pack.register_into(&mut self.opts.analyzer.registry)?;
+        Ok(self)
     }
 
     /// Number of analysis workers. `0` and `1` both mean sequential; the

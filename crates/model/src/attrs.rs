@@ -1,0 +1,133 @@
+//! Declared attribute schemas over dense ids.
+//!
+//! The rule expression language (ij-core's `lang` module) type-checks every
+//! expression against a schema declared ahead of time: each attribute a rule
+//! may read (`unit.host_network`, `socket.port`, …) is registered once with
+//! its type and assigned a dense [`AttrId`]. Compilation resolves attribute
+//! *names* to ids; evaluation then probes the resolver by id — an indexed
+//! dispatch, never a string lookup — which is the same compile-time-resolve /
+//! eval-time-probe contract the [`crate::LabelInterner`] gives label matching.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense id of a declared attribute. Ids index the declaring
+/// [`AttrSchema`]'s declaration order, starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(u32);
+
+impl AttrId {
+    /// The id as a dense index into declaration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The primitive type of an attribute's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrType {
+    /// A boolean flag.
+    Bool,
+    /// A number (ports, counts — integral in practice, carried as `f64`).
+    Number,
+    /// A string.
+    String,
+}
+
+impl AttrType {
+    /// Lower-case type name as used in diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttrType::Bool => "bool",
+            AttrType::Number => "number",
+            AttrType::String => "string",
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A declared set of typed attributes, keyed by dotted name.
+///
+/// Declaration order is id order, so a resolver can back the schema with a
+/// plain array indexed by [`AttrId::index`].
+#[derive(Debug, Clone, Default)]
+pub struct AttrSchema {
+    by_name: HashMap<String, (AttrId, AttrType)>,
+    order: Vec<(String, AttrType)>,
+}
+
+impl AttrSchema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares one attribute, assigning the next dense id. Panics on a
+    /// duplicate name: schemas are built from static tables, so a collision
+    /// is a programming error, not an input error.
+    pub fn declare(&mut self, name: &str, ty: AttrType) -> AttrId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "attribute `{name}` declared twice"
+        );
+        let id = AttrId(u32::try_from(self.order.len()).expect("fewer than 2^32 attributes"));
+        self.by_name.insert(name.to_string(), (id, ty));
+        self.order.push((name.to_string(), ty));
+        id
+    }
+
+    /// Resolves a dotted attribute name to its id and type.
+    pub fn lookup(&self, name: &str) -> Option<(AttrId, AttrType)> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of declared attributes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when nothing has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// `(name, id, type)` triples in declaration (= id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, AttrId, AttrType)> + '_ {
+        self.order
+            .iter()
+            .enumerate()
+            .map(|(i, (name, ty))| (name.as_str(), AttrId(i as u32), *ty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_in_declaration_order() {
+        let mut schema = AttrSchema::new();
+        let a = schema.declare("app.name", AttrType::String);
+        let b = schema.declare("unit.host_network", AttrType::Bool);
+        let c = schema.declare("socket.port", AttrType::Number);
+        assert_eq!((a.index(), b.index(), c.index()), (0, 1, 2));
+        assert_eq!(schema.len(), 3);
+        assert_eq!(schema.lookup("socket.port"), Some((c, AttrType::Number)));
+        assert_eq!(schema.lookup("nope"), None);
+        let names: Vec<&str> = schema.iter().map(|(n, _, _)| n).collect();
+        assert_eq!(names, ["app.name", "unit.host_network", "socket.port"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_declaration_panics() {
+        let mut schema = AttrSchema::new();
+        schema.declare("app.name", AttrType::String);
+        schema.declare("app.name", AttrType::String);
+    }
+}

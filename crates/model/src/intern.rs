@@ -62,6 +62,19 @@ impl LabelInterner {
         id
     }
 
+    /// Looks a key up without interning it: `None` when the key has never
+    /// been interned. Rule-pack evaluation uses this to turn a unit's label
+    /// strings into id probes against a table frozen at compile time.
+    pub fn lookup_key(&self, key: &str) -> Option<KeyId> {
+        self.keys.get(key).copied()
+    }
+
+    /// Looks a `(key, value)` pair up without interning it.
+    pub fn lookup_pair(&self, key: &str, value: &str) -> Option<LabelId> {
+        let key_id = self.lookup_key(key)?;
+        self.pairs.get(&(key_id, value.to_string())).copied()
+    }
+
     /// Interns a whole label set into its compiled form.
     pub fn intern(&mut self, labels: &Labels) -> LabelSet {
         let mut pairs = Vec::with_capacity(labels.len());
@@ -234,6 +247,21 @@ mod tests {
         assert_eq!(interner.key("app"), interner.key("app"));
         assert_eq!(interner.key_count(), 1);
         assert_eq!(interner.pair_count(), 2);
+    }
+
+    #[test]
+    fn lookup_never_interns() {
+        let mut interner = LabelInterner::new();
+        let pair = interner.pair("app", "web");
+        let key = interner.lookup_key("app").expect("interned");
+        assert_eq!(interner.lookup_pair("app", "web"), Some(pair));
+        assert_eq!(interner.pair("app", "web"), pair);
+        assert_eq!(interner.key("app"), key);
+        assert_eq!(interner.lookup_key("tier"), None);
+        assert_eq!(interner.lookup_pair("app", "db"), None);
+        assert_eq!(interner.lookup_pair("tier", "front"), None);
+        assert_eq!(interner.key_count(), 1, "lookups must not grow the table");
+        assert_eq!(interner.pair_count(), 1);
     }
 
     #[test]

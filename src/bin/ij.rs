@@ -6,7 +6,9 @@
 //! ij disclose <chart-dir> [--values <file>]
 //! ij census  [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]
 //!            [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
+//!            [--rule-pack <file>] [--without-rule <name>]...
 //! ij corpus  --describe [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>] [--seed <n>]
+//! ij rules   [--rule-pack <file>] [--explain <name>]
 //! ij serve   [--clusters <n>] [--mutations <n>] [--seed <n>] [--profile <name>] [--verify]
 //! ij help
 //! ```
@@ -27,9 +29,18 @@
 //!   `--synthetic <n>` the census instead streams `n` procedurally
 //!   generated applications through the pipeline (`--profile` picks the
 //!   scenario, `--mix` overrides per-rule injection rates).
+//!   `--rule-pack` loads a
+//!   rule-language pack (registering its rules, shadowing natives of the
+//!   same name, and applying its `disable` directives);
+//!   `--without-rule <name>` (repeatable) disables one rule by name —
+//!   unknown names are usage errors that list the known rules.
 //! * `corpus` — describe a population without analyzing it: the built-in
 //!   Table-2 corpus by default, or a synthetic population under
 //!   `--synthetic`/`--profile`/`--mix`/`--seed`.
+//! * `rules` — list the rule registry (name, classes, evidence scope,
+//!   native/pack origin, enabled) after optionally applying `--rule-pack`;
+//!   `--explain <name>` prints one rule's details, including the pack
+//!   expression and message template for pack rules.
 //! * `serve` — run the continuous-audit engine: a deterministic churn
 //!   workload over one or more tenant clusters, each audited incrementally
 //!   after every mutation; `--verify` re-checks each tick against the
@@ -48,6 +59,7 @@ use inside_job::chart::{Chart, Release};
 use inside_job::cluster::{Cluster, ClusterConfig};
 use inside_job::core::{
     chart_defines_network_policies, disclosure_report, Analyzer, AppReport, Census, MisconfigId,
+    RulePack, RuleRegistry, UnknownRule,
 };
 use inside_job::datasets::{
     corpus, describe_builtin, CensusError, CensusPipeline, CorpusGenerator, CorpusProfile, Org,
@@ -57,6 +69,7 @@ use inside_job::probe::{connectivity_dot, HostBaseline, RuntimeAnalyzer};
 use inside_job::serve::{serve, ServeError, ServeOptions};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::str::FromStr;
 use std::sync::Arc;
 
 /// Exit code for malformed invocations.
@@ -132,6 +145,13 @@ struct CensusArgs {
     profile: Option<String>,
     mix: Option<String>,
     describe: bool,
+    rule_pack: Option<PathBuf>,
+    without_rules: Vec<String>,
+}
+
+struct RulesArgs {
+    rule_pack: Option<PathBuf>,
+    explain: Option<String>,
 }
 
 /// The one-screen flag reference printed by `ij help` (and kept in sync
@@ -146,8 +166,10 @@ usage:
   ij census   [--org <name>] [--seed <n>] [--threads <n>] [--static-only]
               [--progress] [--timings]
               [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
+              [--rule-pack <file>] [--without-rule <name>]...
   ij corpus   --describe [--synthetic <n>] [--profile <name>]
               [--mix <rule=rate,...>] [--seed <n>]
+  ij rules    [--rule-pack <file>] [--explain <name>]
   ij serve    [--clusters <n>] [--mutations <n>] [--seed <n>]
               [--profile <name>] [--verify]
   ij help
@@ -166,6 +188,13 @@ flags:
                          monolith-heavy, pipeline-heavy, legacy, policy-mature
   --mix <rule=rate,...>  override per-rule injection rates, e.g. m1=0.2,m7=0.05
   --describe             print the population summary instead of analyzing
+  --rule-pack <file>     load a rule-language pack: its rules register
+                         (shadowing natives of the same name) and its
+                         disable directives apply
+  --without-rule <name>  disable one rule by name (repeatable); unknown
+                         names are usage errors listing the known rules
+  --explain <name>       print one rule's details (pack rules include their
+                         expression and message template)
   --clusters <n>         tenant clusters driven by the serve churn workload
   --mutations <n>        total churn mutations applied across all tenants
   --verify               check every incremental tick against the
@@ -181,7 +210,9 @@ fn usage() -> ExitCode {
         "usage: ij <analyze|render|disclose> <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
        ij census [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]
                  [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
+                 [--rule-pack <file>] [--without-rule <name>]...
        ij corpus --describe [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>] [--seed <n>]
+       ij rules [--rule-pack <file>] [--explain <name>]
        ij serve [--clusters <n>] [--mutations <n>] [--seed <n>] [--profile <name>] [--verify]
        ij help"
     );
@@ -224,6 +255,8 @@ fn parse_census_args(
         profile: None,
         mix: None,
         describe: false,
+        rule_pack: None,
+        without_rules: Vec::new(),
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -266,10 +299,119 @@ fn parse_census_args(
             "--profile" => args.profile = Some(argv.next().ok_or_else(CliError::usage)?),
             "--mix" => args.mix = Some(argv.next().ok_or_else(CliError::usage)?),
             "--describe" if allow_describe => args.describe = true,
+            "--rule-pack" => {
+                args.rule_pack = Some(PathBuf::from(argv.next().ok_or_else(CliError::usage)?));
+            }
+            "--without-rule" => {
+                args.without_rules
+                    .push(argv.next().ok_or_else(CliError::usage)?);
+            }
             _ => return Err(CliError::usage()),
         }
     }
     Ok(args)
+}
+
+fn parse_rules_args(mut argv: std::env::Args) -> Result<RulesArgs, CliError> {
+    let mut args = RulesArgs {
+        rule_pack: None,
+        explain: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--rule-pack" => {
+                args.rule_pack = Some(PathBuf::from(argv.next().ok_or_else(CliError::usage)?));
+            }
+            "--explain" => args.explain = Some(argv.next().ok_or_else(CliError::usage)?),
+            _ => return Err(CliError::usage()),
+        }
+    }
+    Ok(args)
+}
+
+/// An [`UnknownRule`] is a usage error: the invocation named a rule that
+/// does not exist, and the message already lists the known ones.
+fn unknown_rule(err: UnknownRule) -> CliError {
+    CliError {
+        code: EXIT_USAGE,
+        message: err.to_string(),
+    }
+}
+
+/// Reads and compiles a rule pack. Load failures (lex, parse, type-check,
+/// structure) exit with the usage code and render the pack-file position —
+/// `path: line L, column C: message`.
+fn load_rule_pack(path: &Path) -> Result<RulePack, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError::other(format!("{}: {e}", path.display())))?;
+    RulePack::from_str(&src).map_err(|err| CliError {
+        code: EXIT_USAGE,
+        message: format!("{}: {err}", path.display()),
+    })
+}
+
+/// Builds the standard registry, applies `--rule-pack`, then the
+/// `--without-rule` disables — shared by `census` and `rules` so both
+/// subcommands see the exact same rule set for the same flags.
+fn assemble_registry(
+    rule_pack: Option<&Path>,
+    without_rules: &[String],
+) -> Result<RuleRegistry, CliError> {
+    let mut registry = RuleRegistry::standard();
+    if let Some(path) = rule_pack {
+        let pack = load_rule_pack(path)?;
+        pack.register_into(&mut registry).map_err(unknown_rule)?;
+    }
+    for name in without_rules {
+        registry.try_disable(name).map_err(unknown_rule)?;
+    }
+    Ok(registry)
+}
+
+fn run_rules_command(args: RulesArgs) -> Result<(), CliError> {
+    let registry = assemble_registry(args.rule_pack.as_deref(), &[])?;
+    if let Some(name) = &args.explain {
+        let entry = registry.try_get(name).map_err(unknown_rule)?;
+        let classes: Vec<&str> = entry.classes().iter().map(|c| c.as_str()).collect();
+        println!("rule {}", entry.name());
+        println!("  classes:  {}", classes.join(","));
+        println!("  scope:    {}", entry.scope().as_str());
+        println!("  origin:   {}", entry.origin().as_str());
+        println!(
+            "  enabled:  {}",
+            if entry.is_enabled() { "yes" } else { "no" }
+        );
+        match entry.pack_rule() {
+            Some(rule) => {
+                println!("  select:   {}", rule.select().as_str());
+                println!("  when:     {}", rule.expression());
+                println!("  message:  {}", rule.message_template());
+            }
+            None => {
+                println!(
+                    "  body:     native Rust (crates/core/src/rules.rs); load a pack \
+                     with a rule of the same name to shadow it"
+                );
+            }
+        }
+        return Ok(());
+    }
+    println!(
+        "{:<8} {:<20} {:<8} {:<7} ENABLED",
+        "NAME", "CLASSES", "SCOPE", "ORIGIN"
+    );
+    for entry in registry.entries() {
+        let classes: Vec<&str> = entry.classes().iter().map(|c| c.as_str()).collect();
+        println!(
+            "{:<8} {:<20} {:<8} {:<7} {}",
+            entry.name(),
+            classes.join(","),
+            entry.scope().as_str(),
+            entry.origin().as_str(),
+            if entry.is_enabled() { "yes" } else { "no" }
+        );
+    }
+    Ok(())
 }
 
 fn parse_serve_args(mut argv: std::env::Args) -> Result<ServeOptions, CliError> {
@@ -366,11 +508,14 @@ fn run_census_command(args: CensusArgs) -> Result<(), CliError> {
             "--profile/--mix configure the synthetic generator; pass --synthetic <n>",
         ));
     }
-    let analyzer = if args.static_only {
+    let mut analyzer = if args.static_only {
         Analyzer::static_only()
     } else {
         Analyzer::hybrid()
     };
+    if args.rule_pack.is_some() || !args.without_rules.is_empty() {
+        analyzer.registry = assemble_registry(args.rule_pack.as_deref(), &args.without_rules)?;
+    }
     let mut builder = CensusPipeline::builder()
         .seed(args.seed)
         .threads(args.threads)
@@ -421,6 +566,9 @@ fn run_corpus_command(args: CensusArgs) -> Result<(), CliError> {
     // analyzing must not be silently ignored here.
     if args.org.is_some() || args.threads != 1 || args.static_only || args.progress || args.timings
     {
+        return Err(CliError::usage());
+    }
+    if args.rule_pack.is_some() || !args.without_rules.is_empty() {
         return Err(CliError::usage());
     }
     let summary = match args.synthetic {
@@ -560,6 +708,7 @@ fn run() -> Result<(), CliError> {
     match command.as_str() {
         "census" => run_census_command(parse_census_args(argv, false)?),
         "corpus" => run_corpus_command(parse_census_args(argv, true)?),
+        "rules" => run_rules_command(parse_rules_args(argv)?),
         "serve" => run_serve_command(parse_serve_args(argv)?),
         "help" | "--help" | "-h" => {
             print!("{HELP}");

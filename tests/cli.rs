@@ -243,7 +243,15 @@ fn help_stays_in_sync_with_the_readme_cli_contract() {
         in_help, in_readme,
         "ij help and the README CLI section list different flags"
     );
-    for required in ["--synthetic", "--profile", "--mix", "--describe"] {
+    for required in [
+        "--synthetic",
+        "--profile",
+        "--mix",
+        "--describe",
+        "--rule-pack",
+        "--without-rule",
+        "--explain",
+    ] {
         assert!(
             in_help.contains(required),
             "{required} missing from ij help"
@@ -394,6 +402,162 @@ fn census_rejects_unknown_dataset_and_bad_flags() {
 
     let out = ij(&["census", "--bogus-flag"]);
     assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+}
+
+#[test]
+fn rules_subcommand_lists_the_registry_and_explains_rules() {
+    // Plain listing: every native rule, tagged native and enabled.
+    let out = ij(&["rules"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for heading in ["NAME", "CLASSES", "SCOPE", "ORIGIN", "ENABLED"] {
+        assert!(stdout.contains(heading), "{stdout}");
+    }
+    for name in ["m1", "m5", "m7", "m4star"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    assert!(stdout.contains("native"), "{stdout}");
+    assert!(!stdout.contains("pack"), "no pack loaded: {stdout}");
+
+    // With the built-in pack: shadowed natives flip to pack origin, the
+    // native m5 aggregate is disabled, and the m5 sub-rules appear.
+    let out = ij(&["rules", "--rule-pack", "packs/builtin.rules"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pack"), "{stdout}");
+    for name in ["m5a", "m5b", "m5c", "m5d"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    let m5_row = stdout
+        .lines()
+        .find(|l| l.starts_with("m5 "))
+        .expect("m5 row");
+    assert!(
+        m5_row.contains("no"),
+        "native m5 disabled by pack: {m5_row}"
+    );
+
+    // --explain prints a pack rule's expression and message template.
+    let out = ij(&[
+        "rules",
+        "--rule-pack",
+        "packs/builtin.rules",
+        "--explain",
+        "m7",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("when:"), "{stdout}");
+    assert!(stdout.contains("unit.host_network"), "{stdout}");
+    assert!(stdout.contains("hostNetwork: true"), "{stdout}");
+
+    // Native rules explain too, pointing at the Rust body.
+    let out = ij(&["rules", "--explain", "m3"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("native"));
+
+    // Unknown names are usage errors that list the known rules.
+    let out = ij(&["rules", "--explain", "m99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule `m99`"), "{stderr}");
+    assert!(stderr.contains("m4star"), "lists the known rules: {stderr}");
+}
+
+#[test]
+fn census_rule_pack_is_byte_identical_and_pack_errors_carry_positions() {
+    // The built-in pack replaces five native rules without changing a byte.
+    let native = ij(&["census", "--synthetic", "40", "--seed", "11"]);
+    let packed = ij(&[
+        "census",
+        "--synthetic",
+        "40",
+        "--seed",
+        "11",
+        "--rule-pack",
+        "packs/builtin.rules",
+    ]);
+    assert!(native.status.success());
+    assert!(
+        packed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&packed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&native.stdout),
+        String::from_utf8_lossy(&packed.stdout),
+        "--rule-pack packs/builtin.rules must not change the census"
+    );
+
+    // A malformed pack is a usage error rendering the file position.
+    let dir = std::env::temp_dir().join(format!("ij-cli-test-pack-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let bad = dir.join("bad.rules");
+    write(
+        &bad,
+        "rule broken\n  class = M7\n  select = unit\n  when = unit.host_network &&\n  message = x\nend\n",
+    );
+    let out = ij(&[
+        "census",
+        "--synthetic",
+        "5",
+        "--rule-pack",
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "pack errors are usage errors");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad.rules"), "{stderr}");
+    assert!(stderr.contains("line 4, column"), "{stderr}");
+
+    // A missing pack file is an ordinary failure, not a panic.
+    let out = ij(&["census", "--synthetic", "5", "--rule-pack", "no/such.rules"]);
+    assert_eq!(out.status.code(), Some(1));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn without_rule_flag_disables_rules_and_rejects_typos() {
+    // Disabling m7 drops the hostNetwork finding from the demo chart's
+    // census... exercised on the synthetic corpus for speed.
+    let all = ij(&["census", "--synthetic", "30", "--seed", "7"]);
+    let without = ij(&[
+        "census",
+        "--synthetic",
+        "30",
+        "--seed",
+        "7",
+        "--without-rule",
+        "m7",
+        "--without-rule",
+        "m1",
+    ]);
+    assert!(all.status.success());
+    assert!(without.status.success());
+    assert_ne!(
+        String::from_utf8_lossy(&all.stdout),
+        String::from_utf8_lossy(&without.stdout),
+        "disabling rules must change the census"
+    );
+
+    // A typo is a usage error naming the known rules — not a silent no-op.
+    let out = ij(&["census", "--synthetic", "5", "--without-rule", "m7x"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule `m7x`"), "{stderr}");
+    assert!(stderr.contains("known rules"), "{stderr}");
+
+    // corpus --describe never analyzes, so the analyzer flags are rejected.
+    for flags in [
+        &["corpus", "--describe", "--rule-pack", "packs/builtin.rules"][..],
+        &["corpus", "--describe", "--without-rule", "m7"][..],
+    ] {
+        let out = ij(flags);
+        assert_eq!(out.status.code(), Some(2), "{flags:?} is a usage error");
+    }
 }
 
 #[test]
