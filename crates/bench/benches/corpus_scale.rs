@@ -1,25 +1,34 @@
 //! Corpus-scale benchmark: the census pipeline over procedurally generated
-//! populations of 100 / 1,000 / 5,000 applications (the built-in corpus
+//! populations from 100 up to 1,000,000 applications (the built-in corpus
 //! stops at 290). Two arms per size:
 //!
 //! * `generate` — pure spec synthesis (what the streaming source costs the
 //!   workers);
-//! * `census` — the full pipeline (`run_generated`): build → compile →
-//!   render → install → double-pass probe → rule evaluation → cluster-wide
-//!   pass, streamed from the generator.
+//! * `census` — the full flat-memory pipeline (`run_generated_compact`):
+//!   build → compile → render → install → double-pass probe → rule
+//!   evaluation → cluster-wide pass, streamed from the generator into
+//!   interned `CompactFinding`s (never a materialized spec or report Vec of
+//!   owned strings).
 //!
 //! Before any timing, the 100-app population's census is asserted against
 //! the generator's ground truth class by class — a corpus-scale rerun of
 //! the precision/recall guarantee, so the timed path is also a correct
-//! path. Committed numbers live in `BENCH_corpus.json` (schema in
-//! `docs/BENCHMARKS.md`).
+//! path. After the timed arms the bench prints the process `VmHWM` peak
+//! RSS, the memory number committed next to the curve. Committed numbers
+//! live in `BENCH_corpus.json` (schema in `docs/BENCHMARKS.md`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ij_core::MisconfigId;
 use ij_datasets::{CensusPipeline, CorpusGenerator, CorpusProfile};
 use std::hint::black_box;
 
-const SIZES: [usize; 3] = [100, 1_000, 5_000];
+const SIZES: [usize; 6] = [100, 1_000, 5_000, 25_000, 100_000, 1_000_000];
+/// Arms run under `cargo test` (single iteration each): the historical
+/// 100/1k pair everywhere, plus the 25k arm as the streaming-path smoke in
+/// optimized builds only (CI runs the bench smoke with `--release`; an
+/// unoptimized 25k census is minutes, not seconds). The 100k and 1M arms
+/// are `cargo bench` material.
+const TEST_SIZES: [usize; 3] = [100, 1_000, 25_000];
 const SEED: u64 = 7;
 
 fn generator(apps: usize) -> CorpusGenerator {
@@ -56,10 +65,16 @@ fn bench_corpus_scale(c: &mut Criterion) {
     assert_ground_truth(100);
     // Under `cargo test` the criterion shim runs each closure once as a
     // smoke test; cap the population there so the CI bench-smoke step stays
-    // in the seconds range (the full 5,000-app arm runs under `cargo
-    // bench`, which is where the committed numbers come from).
+    // in the tens of seconds (the 100k and 1M arms run under `cargo bench`,
+    // which is where the committed numbers come from).
     let bench_mode = std::env::args().any(|a| a == "--bench");
-    let sizes = if bench_mode { &SIZES[..] } else { &SIZES[..2] };
+    let sizes: &[usize] = if bench_mode {
+        &SIZES
+    } else if cfg!(debug_assertions) {
+        &TEST_SIZES[..2]
+    } else {
+        &TEST_SIZES
+    };
     let mut group = c.benchmark_group("corpus_scale");
     group.sample_size(10);
     for &apps in sizes {
@@ -76,13 +91,16 @@ fn bench_corpus_scale(c: &mut Criterion) {
         group.bench_function(&format!("census/{apps}"), |b| {
             b.iter(|| {
                 let census = pipeline()
-                    .run_generated(&generator)
+                    .run_generated_compact(&generator)
                     .expect("generated corpus renders and installs");
                 black_box(census.apps.len())
             })
         });
     }
     group.finish();
+    if let Some(kb) = ij_bench::peak_rss_kb() {
+        println!("peak RSS (VmHWM): {kb} kB across all arms");
+    }
 }
 
 criterion_group!(benches, bench_corpus_scale);

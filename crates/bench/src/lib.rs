@@ -42,6 +42,24 @@ pub fn full_census_threaded(threads: usize) -> Census {
         .expect("the synthetic corpus renders and installs")
 }
 
+/// Peak resident-set size of this process in kibibytes, from the kernel's
+/// `VmHWM` high-water mark — the number committed next to the corpus-scale
+/// curve in `BENCH_corpus.json`. Returns `None` off Linux (or if
+/// `/proc/self/status` is unreadable); callers treat that as "cannot
+/// measure", not as zero.
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        line.split_whitespace().nth(1)?.parse().ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 /// Precision/recall of the hybrid analyzer against the corpus ground truth
 /// (the measurement the original study could not make, §6.3).
 pub fn score() -> String {

@@ -66,30 +66,90 @@ impl PodSet {
     }
 
     /// Adds a pod.
+    ///
+    /// `i` must be below [`capacity`](Self::capacity). Unlike
+    /// [`contains`](Self::contains) — which answers `false` for any
+    /// out-of-range index — inserting out of range would either corrupt a
+    /// phantom slack bit of the last word (breaking [`count`](Self::count)
+    /// and the block-at-a-time kernels) or panic on the word index, so the
+    /// bound is asserted up front in debug builds.
     pub fn insert(&mut self, i: usize) {
+        debug_assert!(
+            i < self.len,
+            "insert({i}) out of range for capacity {}",
+            self.len
+        );
         self.bits[i / 64] |= 1 << (i % 64);
     }
 
-    /// Removes a pod.
+    /// Removes a pod. Like [`insert`](Self::insert), `i` must be below
+    /// [`capacity`](Self::capacity) (asserted in debug builds).
     pub fn remove(&mut self, i: usize) {
+        debug_assert!(
+            i < self.len,
+            "remove({i}) out of range for capacity {}",
+            self.len
+        );
         self.bits[i / 64] &= !(1 << (i % 64));
     }
 
-    /// Membership test.
+    /// Membership test. Out-of-range indices are simply not members (the
+    /// query form stays total; only the mutators assert their bounds).
     pub fn contains(&self, i: usize) -> bool {
         i < self.len && self.bits[i / 64] & (1 << (i % 64)) != 0
     }
 
-    /// In-place union.
+    /// In-place union, one `u64` block at a time. Both sets must range over
+    /// the same pod count: a silent `zip` over mismatched word vectors
+    /// would truncate the longer operand, so the capacities are asserted in
+    /// debug builds (as in every other binary kernel here).
     pub fn union_with(&mut self, other: &PodSet) {
+        debug_assert_eq!(self.len, other.len, "capacity mismatch in union_with");
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
         }
     }
 
+    /// In-place intersection, one `u64` block at a time. Capacities must
+    /// agree (asserted in debug builds).
+    pub fn intersect_with(&mut self, other: &PodSet) {
+        debug_assert_eq!(self.len, other.len, "capacity mismatch in intersect_with");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`), one `u64` block at a time.
+    /// Capacities must agree (asserted in debug builds).
+    pub fn difference_with(&mut self, other: &PodSet) {
+        debug_assert_eq!(self.len, other.len, "capacity mismatch in difference_with");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= !b;
+        }
+    }
+
+    /// `|self ∪ other|` without materializing the union: one fused
+    /// or-and-popcount pass over the blocks. Capacities must agree
+    /// (asserted in debug builds).
+    pub fn union_count(&self, other: &PodSet) -> usize {
+        debug_assert_eq!(self.len, other.len, "capacity mismatch in union_count");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
     /// Number of members.
     pub fn count(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing `u64` blocks, 64 pods per word in ascending index order
+    /// (slack bits of the last word are always zero). For callers that want
+    /// to run their own fused block kernels over several sets at once.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
     }
 
     /// Iterates member indices in ascending order.
@@ -351,12 +411,19 @@ impl PolicyIndex {
                 }
             }
         }
+        // Egress-constrained = has-egress-policy \ host-network, as one
+        // block-wise difference.
         let mut egress_constrained = PodSet::empty(n);
+        let mut host_net = PodSet::empty(n);
         for i in 0..n {
-            if !egress_of[i].is_empty() && !pods[i].host_network {
+            if !egress_of[i].is_empty() {
                 egress_constrained.insert(i);
             }
+            if pods[i].host_network {
+                host_net.insert(i);
+            }
         }
+        egress_constrained.difference_with(&host_net);
 
         PolicyIndex {
             pods,
@@ -602,10 +669,12 @@ impl PolicyIndex {
             }
             set
         };
-        for src in self.egress_constrained.ones() {
-            if !allowed.contains(src) {
-                continue;
-            }
+        // Only sources that are both ingress-admitted *and* egress-
+        // constrained need the per-source rule walk; the block-wise
+        // intersection prunes the candidate list before any rule is read.
+        let mut candidates = self.egress_constrained.clone();
+        candidates.intersect_with(&allowed);
+        for src in candidates.ones() {
             if !self.egress_of[src]
                 .iter()
                 .any(|&p| self.egress_allows(p, dst, port, protocol))
@@ -666,6 +735,92 @@ mod tests {
         assert_eq!(set.ones().collect::<Vec<_>>(), vec![0, 64, 69]);
         set.remove(64);
         assert_eq!(set.count(), 2);
+    }
+
+    #[test]
+    fn podset_block_kernels_match_per_bit_ops() {
+        // 130 pods = two full words plus a partial third, so every kernel
+        // crosses word boundaries and touches the slack bits.
+        let n = 130;
+        let mut a = PodSet::empty(n);
+        let mut b = PodSet::empty(n);
+        for i in (0..n).step_by(3) {
+            a.insert(i);
+        }
+        for i in (0..n).step_by(5) {
+            b.insert(i);
+        }
+        let expect = |f: fn(usize) -> bool| (0..n).filter(|&i| f(i)).collect::<Vec<_>>();
+
+        assert_eq!(
+            a.union_count(&b),
+            expect(|i| i % 3 == 0 || i % 5 == 0).len()
+        );
+
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.ones().collect::<Vec<_>>(), expect(|i| i % 15 == 0));
+
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        assert_eq!(
+            diff.ones().collect::<Vec<_>>(),
+            expect(|i| i % 3 == 0 && i % 5 != 0)
+        );
+
+        let mut union = a.clone();
+        union.union_with(&b);
+        assert_eq!(union.count(), a.union_count(&b));
+
+        // Slack bits stay zero through every kernel, so `words()` popcounts
+        // agree with `count()`.
+        assert_eq!(
+            union
+                .words()
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>(),
+            union.count()
+        );
+    }
+
+    #[test]
+    fn podset_contains_is_total_but_mutators_are_bounded() {
+        // The query form answers `false` out of range...
+        let set = PodSet::full(70);
+        assert!(set.contains(69));
+        assert!(!set.contains(70));
+        assert!(!set.contains(1 << 20));
+        // ...and in-range mutation round-trips.
+        let mut set = PodSet::empty(70);
+        set.insert(69);
+        assert!(set.contains(69));
+        set.remove(69);
+        assert_eq!(set.count(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range for capacity 70")]
+    fn podset_insert_rejects_slack_bits_in_debug() {
+        // Index 70 lands inside the second word's slack region — without
+        // the bound assert it would silently corrupt `count()`.
+        PodSet::empty(70).insert(70);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range for capacity 70")]
+    fn podset_remove_rejects_out_of_range_in_debug() {
+        PodSet::full(70).remove(75);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn podset_set_ops_reject_capacity_mismatch_in_debug() {
+        // A silent zip would truncate the longer operand instead.
+        PodSet::full(70).union_with(&PodSet::full(130));
     }
 
     #[test]

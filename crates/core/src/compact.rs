@@ -1,0 +1,759 @@
+//! Interned, flat-memory findings and reports.
+//!
+//! A [`crate::Finding`] owns three `String`s; at corpus scale (10⁵–10⁶
+//! applications) that is millions of small allocations holding heavily
+//! repeated bytes. The compact representation stores every string once in a
+//! [`SymbolTable`] and keys findings by [`Sym`] ids, which turns a finding
+//! into a handful of integers and a whole census into one arena plus flat
+//! vectors. Rendering resolves ids lazily at output time; identities hash
+//! the *resolved* bytes, so continuous-audit multisets keyed by
+//! [`crate::Finding::identity`] see no difference between the two
+//! representations.
+//!
+//! The module also hosts the interned cluster-wide M4\* pass
+//! ([`m4_global_collisions_compact`]): the string-keyed implementation that
+//! used to live in `rules.rs` is now a thin wrapper that interns its input
+//! and delegates here, so both entry points produce byte-identical findings
+//! by construction.
+
+use crate::finding::{identity_over, Finding, MisconfigId};
+use crate::model::StaticModel;
+use crate::report::{AppReport, Census, DatasetRow};
+use crate::symtab::{Sym, SymbolTable};
+use ij_cluster::PodSet;
+use ij_model::Protocol;
+use std::collections::BTreeMap;
+
+/// A [`Finding`] with its string fields replaced by interned symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactFinding {
+    /// Misconfiguration class.
+    pub id: MisconfigId,
+    /// Interned application name.
+    pub app: Sym,
+    /// Interned qualified object name.
+    pub object: Sym,
+    /// Interned detail text.
+    pub detail: Sym,
+    /// Port involved, when port-specific.
+    pub port: Option<u16>,
+    /// Protocol of that port.
+    pub protocol: Option<Protocol>,
+}
+
+impl CompactFinding {
+    /// Interns an owned finding.
+    pub fn intern(f: &Finding, table: &mut SymbolTable) -> Self {
+        CompactFinding {
+            id: f.id,
+            app: table.intern(&f.app),
+            object: table.intern(&f.object),
+            detail: table.intern(&f.detail),
+            port: f.port,
+            protocol: f.protocol,
+        }
+    }
+
+    /// Materializes the owned representation.
+    pub fn resolve(&self, table: &SymbolTable) -> Finding {
+        Finding {
+            id: self.id,
+            app: table.resolve(self.app).to_string(),
+            object: table.resolve(self.object).to_string(),
+            detail: table.resolve(self.detail).to_string(),
+            port: self.port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// The identity hash over resolved bytes — byte-identical to
+    /// [`Finding::identity`] of [`CompactFinding::resolve`] by construction
+    /// (both delegate to the same hasher).
+    pub fn identity(&self, table: &SymbolTable) -> u64 {
+        identity_over(
+            self.id,
+            table.resolve(self.app),
+            table.resolve(self.object),
+            table.resolve(self.detail),
+            self.port,
+            self.protocol,
+        )
+    }
+
+    /// Re-interns into another table.
+    fn remap(&self, from: &SymbolTable, to: &mut SymbolTable) -> CompactFinding {
+        CompactFinding {
+            id: self.id,
+            app: to.intern(from.resolve(self.app)),
+            object: to.intern(from.resolve(self.object)),
+            detail: to.intern(from.resolve(self.detail)),
+            port: self.port,
+            protocol: self.protocol,
+        }
+    }
+}
+
+/// Sorts compact findings into the canonical report order — the same
+/// `(class, object, port)` stable sort as [`crate::sort_canonical`], keyed
+/// on resolved strings so the order matches the owned path byte-for-byte.
+pub fn sort_canonical_compact(findings: &mut [CompactFinding], table: &SymbolTable) {
+    findings.sort_by(|a, b| {
+        (a.id, table.resolve(a.object), a.port).cmp(&(b.id, table.resolve(b.object), b.port))
+    });
+}
+
+/// An [`AppReport`] carrying interned symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactAppReport {
+    /// Interned application name.
+    pub app: Sym,
+    /// Interned dataset / organization name.
+    pub dataset: Sym,
+    /// Interned chart version string.
+    pub version: Sym,
+    /// Findings of the per-app and cluster-wide passes.
+    pub findings: Vec<CompactFinding>,
+}
+
+impl CompactAppReport {
+    /// Interns an owned report.
+    pub fn intern(report: &AppReport, table: &mut SymbolTable) -> Self {
+        CompactAppReport {
+            app: table.intern(&report.app),
+            dataset: table.intern(&report.dataset),
+            version: table.intern(&report.version),
+            findings: report
+                .findings
+                .iter()
+                .map(|f| CompactFinding::intern(f, table))
+                .collect(),
+        }
+    }
+
+    /// Materializes the owned representation.
+    pub fn resolve(&self, table: &SymbolTable) -> AppReport {
+        AppReport {
+            app: table.resolve(self.app).to_string(),
+            dataset: table.resolve(self.dataset).to_string(),
+            version: table.resolve(self.version).to_string(),
+            findings: self.findings.iter().map(|f| f.resolve(table)).collect(),
+        }
+    }
+
+    /// Re-interns into another table.
+    pub fn remap(&self, from: &SymbolTable, to: &mut SymbolTable) -> CompactAppReport {
+        CompactAppReport {
+            app: to.intern(from.resolve(self.app)),
+            dataset: to.intern(from.resolve(self.dataset)),
+            version: to.intern(from.resolve(self.version)),
+            findings: self.findings.iter().map(|f| f.remap(from, to)).collect(),
+        }
+    }
+
+    /// Total misconfiguration count.
+    pub fn total(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Count of one class.
+    pub fn count_of(&self, id: MisconfigId) -> usize {
+        self.findings.iter().filter(|f| f.id == id).count()
+    }
+
+    /// True when any finding exists.
+    pub fn is_affected(&self) -> bool {
+        !self.findings.is_empty()
+    }
+}
+
+/// A whole census in flat memory: one symbol table plus interned
+/// per-application reports. Aggregations ([`CompactCensus::table2`],
+/// totals) match [`Census`] exactly — interning is injective, so grouping
+/// by symbol is grouping by string.
+#[derive(Debug, Clone, Default)]
+pub struct CompactCensus {
+    table: SymbolTable,
+    /// Per-application reports, in analysis order.
+    pub apps: Vec<CompactAppReport>,
+}
+
+impl CompactCensus {
+    /// Assembles a census from a table and its reports.
+    pub fn new(table: SymbolTable, apps: Vec<CompactAppReport>) -> Self {
+        CompactCensus { table, apps }
+    }
+
+    /// Interns an owned census.
+    pub fn intern(census: &Census) -> Self {
+        let mut table = SymbolTable::new();
+        let apps = census
+            .apps
+            .iter()
+            .map(|a| CompactAppReport::intern(a, &mut table))
+            .collect();
+        CompactCensus { table, apps }
+    }
+
+    /// The backing symbol table.
+    pub fn table(&self) -> &SymbolTable {
+        &self.table
+    }
+
+    /// Materializes the owned representation.
+    pub fn resolve(&self) -> Census {
+        Census {
+            apps: self.apps.iter().map(|a| a.resolve(&self.table)).collect(),
+        }
+    }
+
+    /// All Table 2 rows, identical to `self.resolve().table2()` without the
+    /// materialization.
+    pub fn table2(&self) -> Vec<DatasetRow> {
+        // Dataset symbols in first-appearance order; datasets are few, so a
+        // linear scan beats hashing.
+        let mut order: Vec<Sym> = Vec::new();
+        for a in &self.apps {
+            if !order.contains(&a.dataset) {
+                order.push(a.dataset);
+            }
+        }
+        order
+            .iter()
+            .map(|&dataset| {
+                let mut counts: BTreeMap<MisconfigId, usize> = BTreeMap::new();
+                let mut affected = 0;
+                let mut total_apps = 0;
+                for a in self.apps.iter().filter(|a| a.dataset == dataset) {
+                    total_apps += 1;
+                    if a.is_affected() {
+                        affected += 1;
+                    }
+                    for f in &a.findings {
+                        *counts.entry(f.id).or_default() += 1;
+                    }
+                }
+                DatasetRow {
+                    dataset: self.table.resolve(dataset).to_string(),
+                    affected,
+                    total_apps,
+                    counts,
+                }
+            })
+            .collect()
+    }
+
+    /// Grand total of misconfigurations.
+    pub fn total_misconfigurations(&self) -> usize {
+        self.apps.iter().map(CompactAppReport::total).sum()
+    }
+
+    /// Applications affected / total.
+    pub fn affected_apps(&self) -> (usize, usize) {
+        (
+            self.apps.iter().filter(|a| a.is_affected()).count(),
+            self.apps.len(),
+        )
+    }
+}
+
+/// One compute unit of the interned cluster-wide model: just the fields the
+/// M4\* pass reads, as symbols.
+#[derive(Debug, Clone)]
+pub struct GlobalUnit {
+    /// Interned qualified name.
+    pub name: Sym,
+    /// Interned namespace.
+    pub namespace: Sym,
+    /// Interned `Labels` rendering (`k=v,...`), the collision-group key.
+    pub labels_rendered: Sym,
+    /// Interned label pairs, in key order.
+    pub label_pairs: Vec<(Sym, Sym)>,
+}
+
+/// One service of the interned cluster-wide model.
+#[derive(Debug, Clone)]
+pub struct GlobalService {
+    /// Interned qualified name.
+    pub object: Sym,
+    /// Interned namespace.
+    pub namespace: Sym,
+    /// Interned selector rendering (`k=v,...`).
+    pub selector_rendered: Sym,
+    /// Interned selector pairs, in key order.
+    pub selector_pairs: Vec<(Sym, Sym)>,
+}
+
+/// Everything the cluster-wide M4\* pass needs from one application, with
+/// every string interned. At corpus scale the pipeline keeps one of these
+/// per streamed application instead of a full [`StaticModel`].
+#[derive(Debug, Clone)]
+pub struct GlobalAppModel {
+    /// Interned application name.
+    pub app: Sym,
+    /// Compute units.
+    pub units: Vec<GlobalUnit>,
+    /// Services.
+    pub services: Vec<GlobalService>,
+}
+
+impl GlobalAppModel {
+    /// Interns the M4\*-relevant slice of a static model.
+    pub fn intern(app: &str, model: &StaticModel, table: &mut SymbolTable) -> Self {
+        GlobalAppModel {
+            app: table.intern(app),
+            units: model
+                .units
+                .iter()
+                .map(|u| GlobalUnit {
+                    name: table.intern(&u.name),
+                    namespace: table.intern(&u.namespace),
+                    labels_rendered: table.intern(&u.labels.to_string()),
+                    label_pairs: u
+                        .labels
+                        .iter()
+                        .map(|(k, v)| (table.intern(k), table.intern(v)))
+                        .collect(),
+                })
+                .collect(),
+            services: model
+                .services
+                .iter()
+                .map(|s| GlobalService {
+                    object: table.intern(&s.meta.qualified_name()),
+                    namespace: table.intern(&s.meta.namespace),
+                    selector_rendered: table.intern(&s.spec.selector.to_string()),
+                    selector_pairs: s
+                        .spec
+                        .selector
+                        .iter()
+                        .map(|(k, v)| (table.intern(k), table.intern(v)))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Re-interns into another table.
+    pub fn remap(&self, from: &SymbolTable, to: &mut SymbolTable) -> GlobalAppModel {
+        let sym = |s: Sym, to: &mut SymbolTable| to.intern(from.resolve(s));
+        GlobalAppModel {
+            app: sym(self.app, to),
+            units: self
+                .units
+                .iter()
+                .map(|u| GlobalUnit {
+                    name: sym(u.name, to),
+                    namespace: sym(u.namespace, to),
+                    labels_rendered: sym(u.labels_rendered, to),
+                    label_pairs: u
+                        .label_pairs
+                        .iter()
+                        .map(|&(k, v)| (sym(k, to), sym(v, to)))
+                        .collect(),
+                })
+                .collect(),
+            services: self
+                .services
+                .iter()
+                .map(|s| GlobalService {
+                    object: sym(s.object, to),
+                    namespace: sym(s.namespace, to),
+                    selector_rendered: sym(s.selector_rendered, to),
+                    selector_pairs: s
+                        .selector_pairs
+                        .iter()
+                        .map(|&(k, v)| (sym(k, to), sym(v, to)))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The cluster-wide M4\* pass over interned models. Produces the same
+/// findings, in the same order, as the historical string-keyed pass in
+/// `rules.rs` (which now wraps this function):
+///
+/// * **Unit ↔ unit collisions** group units by `(namespace, rendered label
+///   set)`. Grouping happens on symbol ids (cheap integer sort); the
+///   qualifying groups are then ordered by their resolved strings, which
+///   reproduces the old `BTreeMap<(String, String), _>` iteration order.
+/// * **Service ↔ foreign-unit captures** probe an inverted index on
+///   `(namespace, label key, label value)` symbol triples. A selector with
+///   several pairs intersects the posting ranges block-at-a-time through
+///   [`PodSet`] kernels instead of calling `contains_all` per candidate —
+///   membership in every pair's posting list *is* the subset check, since
+///   the namespace is part of the key.
+pub fn m4_global_collisions_compact(apps: &[GlobalAppModel], table: &SymbolTable) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // --- Unit ↔ unit collisions spanning at least two applications. ---
+    // One flat row per labelled unit: group key as symbol ids plus a global
+    // sequence number that encodes (application, unit) order.
+    let mut rows: Vec<(Sym, Sym, u32, usize)> = Vec::new(); // (ns, labels, app, seq)
+    let mut names: Vec<Sym> = Vec::new();
+    for (idx, model) in apps.iter().enumerate() {
+        for u in &model.units {
+            if u.label_pairs.is_empty() {
+                continue;
+            }
+            rows.push((u.namespace, u.labels_rendered, idx as u32, names.len()));
+            names.push(u.name);
+        }
+    }
+    rows.sort_unstable();
+    let mut groups: Vec<&[(Sym, Sym, u32, usize)]> = Vec::new();
+    let mut start = 0;
+    for end in 1..=rows.len() {
+        if end == rows.len() || (rows[end].0, rows[end].1) != (rows[start].0, rows[start].1) {
+            // Sequence numbers ascend with (app, unit), so the first and
+            // last rows bracket the app range: distinct apps ≥ 2 iff they
+            // differ.
+            if rows[start].2 != rows[end - 1].2 {
+                groups.push(&rows[start..end]);
+            }
+            start = end;
+        }
+    }
+    // Resolve group keys to restore the historical string order.
+    groups.sort_by_key(|g| (table.resolve(g[0].0), table.resolve(g[0].1)));
+    for group in groups {
+        let labels = table.resolve(group[0].1);
+        let members: Vec<String> = group
+            .iter()
+            .map(|&(_, _, app, seq)| {
+                format!(
+                    "{} ({})",
+                    table.resolve(names[seq]),
+                    table.resolve(apps[app as usize].app)
+                )
+            })
+            .collect();
+        findings.push(Finding::new(
+            MisconfigId::M4Star,
+            table.resolve(apps[group[0].2 as usize].app),
+            members[0].clone(),
+            format!(
+                "label set `{labels}` collides across applications: {}",
+                members.join(", ")
+            ),
+        ));
+    }
+
+    // --- Service ↔ foreign-unit captures. ---
+    // Inverted index: one posting per (namespace, key, value) label pair,
+    // sorted so each triple's postings form a contiguous range in
+    // (application, unit) order.
+    // (namespace, key, value, sequence rank, app index, unit name)
+    type Posting = (Sym, Sym, Sym, usize, u32, Sym);
+    let mut postings: Vec<Posting> = Vec::new();
+    let mut seq = 0usize; // (app, unit) rank
+    for (idx, model) in apps.iter().enumerate() {
+        for u in &model.units {
+            for &(k, v) in &u.label_pairs {
+                postings.push((u.namespace, k, v, seq, idx as u32, u.name));
+            }
+            seq += 1;
+        }
+    }
+    postings.sort_unstable();
+    let range_of = |ns: Sym, k: Sym, v: Sym| {
+        let key = (ns, k, v);
+        let lo = postings.partition_point(|p| (p.0, p.1, p.2) < key);
+        let hi = postings.partition_point(|p| (p.0, p.1, p.2) <= key);
+        &postings[lo..hi]
+    };
+    for (idx, model) in apps.iter().enumerate() {
+        for svc in &model.services {
+            if svc.selector_pairs.is_empty() {
+                continue;
+            }
+            let ranges: Vec<&[Posting]> = svc
+                .selector_pairs
+                .iter()
+                .map(|&(k, v)| range_of(svc.namespace, k, v))
+                .collect();
+            // Probe on the selector's *rarest* pair (first minimum, as
+            // `min_by_key` picked it before).
+            let rarest_pos = ranges
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.len())
+                .map(|(i, _)| i)
+                .expect("non-empty selector");
+            let rarest = ranges[rarest_pos];
+            if rarest.is_empty() {
+                continue;
+            }
+            // A candidate matches the full selector exactly when it appears
+            // in every pair's posting range. Mark each range's hits over
+            // the rarest range's positions and intersect block-at-a-time.
+            let mut hits = PodSet::full(rarest.len());
+            for (i, range) in ranges.iter().enumerate() {
+                if i == rarest_pos {
+                    continue;
+                }
+                let mut mark = PodSet::empty(rarest.len());
+                if range.len() / 8 <= rarest.len() {
+                    // Comparable sizes: one linear merge over both ranges.
+                    let mut it = range.iter().peekable();
+                    for (pos, cand) in rarest.iter().enumerate() {
+                        while it.next_if(|p| p.3 < cand.3).is_some() {}
+                        if it.peek().is_some_and(|p| p.3 == cand.3) {
+                            mark.insert(pos);
+                        }
+                    }
+                } else {
+                    // Corpus-wide label pairs make `range` O(apps); walking
+                    // it per service would be quadratic in the population.
+                    // Probe per candidate instead (postings within a range
+                    // ascend by sequence number, so binary search applies).
+                    for (pos, cand) in rarest.iter().enumerate() {
+                        if range.binary_search_by_key(&cand.3, |p| p.3).is_ok() {
+                            mark.insert(pos);
+                        }
+                    }
+                }
+                hits.intersect_with(&mark);
+                if hits.count() == 0 {
+                    break;
+                }
+            }
+            for pos in hits.ones() {
+                let &(_, _, _, _, other_idx, unit_name) = &rarest[pos];
+                if other_idx as usize == idx {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    MisconfigId::M4Star,
+                    table.resolve(model.app),
+                    table.resolve(svc.object),
+                    format!(
+                        "service selector `{}` captures unit {} of application {}",
+                        table.resolve(svc.selector_rendered),
+                        table.resolve(unit_name),
+                        table.resolve(apps[other_idx as usize].app)
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ComputeUnit;
+    use ij_model::decode_manifests;
+    use std::collections::{BTreeSet, HashMap};
+
+    fn statics(src: &str) -> StaticModel {
+        StaticModel::from_objects(&decode_manifests(src).unwrap())
+    }
+
+    /// The seed's string-keyed M4\* pass, kept verbatim as the oracle the
+    /// interned kernel must reproduce byte-for-byte (including ordering and
+    /// attribution ties).
+    fn oracle(apps: &[(String, StaticModel)]) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let mut by_labels: BTreeMap<(String, String), Vec<(usize, &ComputeUnit)>> = BTreeMap::new();
+        for (idx, (_, model)) in apps.iter().enumerate() {
+            for u in &model.units {
+                if u.labels.is_empty() {
+                    continue;
+                }
+                by_labels
+                    .entry((u.namespace.clone(), u.labels.to_string()))
+                    .or_default()
+                    .push((idx, u));
+            }
+        }
+        for ((_, labels), group) in by_labels {
+            let distinct_apps: BTreeSet<usize> = group.iter().map(|(i, _)| *i).collect();
+            if distinct_apps.len() < 2 {
+                continue;
+            }
+            let members: Vec<String> = group
+                .iter()
+                .map(|(i, u)| format!("{} ({})", u.name, apps[*i].0))
+                .collect();
+            findings.push(Finding::new(
+                MisconfigId::M4Star,
+                &apps[*distinct_apps.iter().next().expect("non-empty")].0,
+                members[0].clone(),
+                format!(
+                    "label set `{labels}` collides across applications: {}",
+                    members.join(", ")
+                ),
+            ));
+        }
+        type PairIndex<'a> = HashMap<(&'a str, &'a str, &'a str), Vec<(usize, usize)>>;
+        let mut by_pair: PairIndex<'_> = HashMap::new();
+        for (idx, (_, model)) in apps.iter().enumerate() {
+            for (unit_pos, u) in model.units.iter().enumerate() {
+                for (key, value) in u.labels.iter() {
+                    by_pair
+                        .entry((u.namespace.as_str(), key, value))
+                        .or_default()
+                        .push((idx, unit_pos));
+                }
+            }
+        }
+        for (idx, (app, model)) in apps.iter().enumerate() {
+            for svc in &model.services {
+                if svc.spec.selector.is_empty() {
+                    continue;
+                }
+                let candidates = svc
+                    .spec
+                    .selector
+                    .iter()
+                    .map(|(key, value)| {
+                        by_pair
+                            .get(&(svc.meta.namespace.as_str(), key, value))
+                            .map(Vec::as_slice)
+                            .unwrap_or(&[])
+                    })
+                    .min_by_key(|candidates| candidates.len())
+                    .unwrap_or(&[]);
+                for &(other_idx, unit_pos) in candidates {
+                    if other_idx == idx {
+                        continue;
+                    }
+                    let (other_app, other_model) = &apps[other_idx];
+                    let unit = &other_model.units[unit_pos];
+                    if unit.labels.contains_all(&svc.spec.selector) {
+                        findings.push(Finding::new(
+                            MisconfigId::M4Star,
+                            app,
+                            svc.meta.qualified_name(),
+                            format!(
+                                "service selector `{}` captures unit {} of application {other_app}",
+                                svc.spec.selector, unit.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        findings
+    }
+
+    /// A deterministic pseudo-random corpus with heavy label overlap so
+    /// both halves of the pass (unit collisions, service captures) fire on
+    /// many apps, across two namespaces and selectors of 1–2 pairs.
+    fn pseudo_random_corpus(seed: u64, apps: usize) -> Vec<(String, StaticModel)> {
+        let mut state = seed.max(1);
+        let mut next = move |bound: u64| {
+            // xorshift64: deterministic, no external RNG.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % bound
+        };
+        let keys = ["app", "tier", "part"];
+        let values = ["web", "db", "shared", "cache"];
+        let namespaces = ["default", "other"];
+        (0..apps)
+            .map(|a| {
+                let name = format!("gen-{a}");
+                let mut manifests = String::new();
+                for p in 0..1 + next(3) {
+                    let ns = namespaces[next(2) as usize];
+                    // Deduped through a map: YAML rejects repeated keys.
+                    let mut pairs = BTreeMap::new();
+                    for _ in 0..1 + next(2) {
+                        pairs.insert(keys[next(3) as usize], values[next(4) as usize]);
+                    }
+                    let labels: String = pairs
+                        .iter()
+                        .map(|(k, v)| format!("    {k}: {v}\n"))
+                        .collect();
+                    manifests.push_str(&format!(
+                        "apiVersion: v1\nkind: Pod\nmetadata:\n  name: {name}-p{p}\n  \
+                         namespace: {ns}\n  labels:\n{labels}spec:\n  containers:\n    \
+                         - name: c\n      image: img\n---\n"
+                    ));
+                }
+                for s in 0..next(3) {
+                    let ns = namespaces[next(2) as usize];
+                    let mut pairs = BTreeMap::new();
+                    for _ in 0..1 + next(2) {
+                        pairs.insert(keys[next(3) as usize], values[next(4) as usize]);
+                    }
+                    let selector: String = pairs
+                        .iter()
+                        .map(|(k, v)| format!("    {k}: {v}\n"))
+                        .collect();
+                    manifests.push_str(&format!(
+                        "apiVersion: v1\nkind: Service\nmetadata:\n  name: {name}-s{s}\n  \
+                         namespace: {ns}\nspec:\n  selector:\n{selector}  ports:\n    \
+                         - port: 80\n---\n"
+                    ));
+                }
+                (name, statics(&manifests))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interned_m4star_matches_the_string_keyed_oracle() {
+        for seed in [1, 7, 42, 1234] {
+            let apps = pseudo_random_corpus(seed, 10);
+            let expected = oracle(&apps);
+            let mut table = SymbolTable::new();
+            let models: Vec<GlobalAppModel> = apps
+                .iter()
+                .map(|(app, model)| GlobalAppModel::intern(app, model, &mut table))
+                .collect();
+            let got = m4_global_collisions_compact(&models, &table);
+            assert!(
+                !expected.is_empty(),
+                "seed {seed} produced no collisions — corpus too tame to test anything"
+            );
+            assert_eq!(got, expected, "seed {seed} diverged from the oracle");
+        }
+    }
+
+    #[test]
+    fn compact_identity_matches_owned_identity() {
+        use ij_model::Protocol;
+        let findings = [
+            Finding::new(MisconfigId::M1, "app-a", "default/web", "declared, closed"),
+            Finding::new(MisconfigId::M2, "app-a", "default/web", "open, undeclared")
+                .with_port(8080, Protocol::Tcp),
+            Finding::new(MisconfigId::M5D, "app-b", "default/svc", "dangling target")
+                .with_port(53, Protocol::Udp),
+        ];
+        let mut table = SymbolTable::new();
+        for f in &findings {
+            let compact = CompactFinding::intern(f, &mut table);
+            assert_eq!(compact.identity(&table), f.identity());
+            assert_eq!(compact.resolve(&table), *f);
+        }
+    }
+
+    #[test]
+    fn remap_preserves_resolved_reports() {
+        let mut from = SymbolTable::new();
+        let report = AppReport {
+            app: "remap-app".into(),
+            dataset: "cncf".into(),
+            version: "1.2.3".into(),
+            findings: vec![Finding::new(
+                MisconfigId::M6,
+                "remap-app",
+                "remap-app",
+                "no NetworkPolicy",
+            )],
+        };
+        let compact = CompactAppReport::intern(&report, &mut from);
+        // Salt the destination so remapped ids differ from the source ids.
+        let mut to = SymbolTable::new();
+        to.intern("unrelated");
+        let remapped = compact.remap(&from, &mut to);
+        assert_ne!(compact.app, remapped.app);
+        assert_eq!(remapped.resolve(&to), report);
+    }
+}

@@ -258,23 +258,45 @@ impl Finding {
     /// collision odds), and counting identities gives multiset semantics —
     /// two identical findings in one round stay two findings.
     pub fn identity(&self) -> u64 {
-        const SEP: &[u8] = &[0xff];
-        let mut h = fnv1a(FNV_OFFSET, self.id.as_str().as_bytes());
-        h = fnv1a(h, SEP);
-        h = fnv1a(h, self.app.as_bytes());
-        h = fnv1a(h, SEP);
-        h = fnv1a(h, self.object.as_bytes());
-        h = fnv1a(h, SEP);
-        h = fnv1a(h, self.detail.as_bytes());
-        h = fnv1a(h, SEP);
-        h = match self.port {
-            Some(p) => fnv1a(h, &[1, p as u8, (p >> 8) as u8]),
-            None => fnv1a(h, &[0]),
-        };
-        match self.protocol {
-            Some(proto) => fnv1a(h, proto.as_str().as_bytes()),
-            None => fnv1a(h, &[0]),
-        }
+        identity_over(
+            self.id,
+            &self.app,
+            &self.object,
+            &self.detail,
+            self.port,
+            self.protocol,
+        )
+    }
+}
+
+/// The identity hash over resolved field bytes. [`Finding::identity`] and
+/// the interned `CompactFinding::identity` both delegate here, so the two
+/// representations key continuous-audit multisets identically by
+/// construction.
+pub(crate) fn identity_over(
+    id: MisconfigId,
+    app: &str,
+    object: &str,
+    detail: &str,
+    port: Option<u16>,
+    protocol: Option<Protocol>,
+) -> u64 {
+    const SEP: &[u8] = &[0xff];
+    let mut h = fnv1a(FNV_OFFSET, id.as_str().as_bytes());
+    h = fnv1a(h, SEP);
+    h = fnv1a(h, app.as_bytes());
+    h = fnv1a(h, SEP);
+    h = fnv1a(h, object.as_bytes());
+    h = fnv1a(h, SEP);
+    h = fnv1a(h, detail.as_bytes());
+    h = fnv1a(h, SEP);
+    h = match port {
+        Some(p) => fnv1a(h, &[1, p as u8, (p >> 8) as u8]),
+        None => fnv1a(h, &[0]),
+    };
+    match protocol {
+        Some(proto) => fnv1a(h, proto.as_str().as_bytes()),
+        None => fnv1a(h, &[0]),
     }
 }
 

@@ -78,6 +78,7 @@
 //! assert!(quiet.registry.is_enabled("m1"));
 //! ```
 
+mod compact;
 mod disclosure;
 mod engine;
 mod finding;
@@ -86,7 +87,12 @@ mod model;
 mod registry;
 mod report;
 mod rules;
+mod symtab;
 
+pub use compact::{
+    m4_global_collisions_compact, sort_canonical_compact, CompactAppReport, CompactCensus,
+    CompactFinding, GlobalAppModel, GlobalService, GlobalUnit,
+};
 pub use disclosure::{disclosure_report, questionnaire, THREAT_MODEL};
 pub use engine::{chart_defines_network_policies, Analyzer, AnalyzerOptions};
 pub use finding::{sort_canonical, Finding, MisconfigId, Severity};
@@ -96,4 +102,5 @@ pub use registry::{
     AppRule, GlobalRule, RuleEntry, RuleOrigin, RuleRegistry, RuleScope, UnknownRule,
 };
 pub use report::{AppReport, Census, ConcentrationStats, DatasetRow};
-pub use rules::RuleContext;
+pub use rules::{m4_global_collisions, RuleContext};
+pub use symtab::{Sym, SymbolTable};

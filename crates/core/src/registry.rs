@@ -110,6 +110,9 @@ pub struct RuleEntry {
     scope: RuleScope,
     body: RuleBody,
     enabled: bool,
+    /// Set only by [`RuleRegistry::standard`] on the built-in M4\* entry;
+    /// any re-registration clears it. See [`RuleEntry::is_builtin_m4star`].
+    builtin_global: bool,
 }
 
 impl RuleEntry {
@@ -138,6 +141,17 @@ impl RuleEntry {
     /// True for census-scoped (cluster-wide) rules.
     pub fn is_global(&self) -> bool {
         matches!(self.body, RuleBody::Global(_))
+    }
+
+    /// True for the built-in cluster-wide M4\* entry exactly as
+    /// [`RuleRegistry::standard`] registered it. The streamed corpus census
+    /// uses this to know it may drive the interned
+    /// [`crate::m4_global_collisions_compact`] pass directly (byte-identical
+    /// to the entry's own body) instead of materializing every static model;
+    /// re-registering any global rule — even one wrapping the same function —
+    /// clears the marker and forces the materializing path.
+    pub fn is_builtin_m4star(&self) -> bool {
+        self.builtin_global
     }
 
     /// Native Rust or pack-loaded.
@@ -269,6 +283,12 @@ impl RuleRegistry {
         );
         reg.register_app_rule("m7", &[M::M7], RuleScope::Static, rules::m7_host_network);
         reg.register_global_rule("m4star", &[M::M4Star], rules::m4_global_collisions);
+        let star = reg
+            .entries
+            .iter_mut()
+            .find(|e| e.name == "m4star")
+            .expect("just registered");
+        star.builtin_global = true;
         reg
     }
 
@@ -286,6 +306,7 @@ impl RuleRegistry {
             scope,
             body: RuleBody::App(rule),
             enabled: true,
+            builtin_global: false,
         })
     }
 
@@ -303,6 +324,7 @@ impl RuleRegistry {
             scope: RuleScope::Static,
             body: RuleBody::Global(rule),
             enabled: true,
+            builtin_global: false,
         })
     }
 
@@ -316,6 +338,7 @@ impl RuleRegistry {
             scope: rule.evidence(),
             body: RuleBody::Pack(rule),
             enabled: true,
+            builtin_global: false,
         })
     }
 

@@ -2,11 +2,13 @@
 //! family. Each rule takes the same context and emits findings; the engine
 //! decides which rules run (hybrid vs static-only vs runtime-only).
 
+use crate::compact::{m4_global_collisions_compact, GlobalAppModel};
 use crate::finding::{Finding, MisconfigId};
 use crate::model::{ComputeUnit, StaticModel};
+use crate::symtab::SymbolTable;
 use ij_model::{Protocol, Service, TargetPort};
 use ij_probe::{ObservedSocket, RuntimeReport};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything a rule may look at.
 pub struct RuleContext<'a> {
@@ -399,104 +401,20 @@ pub fn m7_host_network(ctx: &RuleContext<'_>) -> Vec<Finding> {
 
 /// M4\* — cross-application label collisions, evaluated over the static
 /// models of every application destined for the same cluster.
+///
+/// This is a thin adapter: it interns the models into a scratch
+/// [`SymbolTable`] and delegates to the flat-memory pass
+/// ([`crate::m4_global_collisions_compact`]), which the streamed corpus
+/// census also drives directly (without materializing `StaticModel`s at
+/// all). One implementation, two entry points — findings are
+/// byte-identical by construction.
 pub fn m4_global_collisions(apps: &[(String, StaticModel)]) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    // Unit ↔ unit collisions spanning at least two applications.
-    let mut by_labels: BTreeMap<(String, String), Vec<(usize, &ComputeUnit)>> = BTreeMap::new();
-    for (idx, (_, model)) in apps.iter().enumerate() {
-        for u in &model.units {
-            if u.labels.is_empty() {
-                continue;
-            }
-            by_labels
-                .entry((u.namespace.clone(), u.labels.to_string()))
-                .or_default()
-                .push((idx, u));
-        }
-    }
-    for ((_, labels), group) in by_labels {
-        let distinct_apps: BTreeSet<usize> = group.iter().map(|(i, _)| *i).collect();
-        if distinct_apps.len() < 2 {
-            continue;
-        }
-        let members: Vec<String> = group
-            .iter()
-            .map(|(i, u)| format!("{} ({})", u.name, apps[*i].0))
-            .collect();
-        findings.push(Finding::new(
-            MisconfigId::M4Star,
-            &apps[*distinct_apps.iter().next().expect("non-empty")].0,
-            members[0].clone(),
-            format!(
-                "label set `{labels}` collides across applications: {}",
-                members.join(", ")
-            ),
-        ));
-    }
-    // Service ↔ foreign-unit collisions: a service of one application whose
-    // selector captures another application's units. Candidate units come
-    // from an inverted index on one selector label pair (instead of a scan
-    // of every other application's units, which made a corpus-scale census
-    // quadratic in the number of applications); `contains_all` then checks
-    // the full selector.
-    //
-    // Index key: (namespace, label key, label value) → (application index,
-    // unit position) carriers, in application order.
-    type PairIndex<'a> = HashMap<(&'a str, &'a str, &'a str), Vec<(usize, usize)>>;
-    let mut by_pair: PairIndex<'_> = HashMap::new();
-    for (idx, (_, model)) in apps.iter().enumerate() {
-        for (unit_pos, u) in model.units.iter().enumerate() {
-            for (key, value) in u.labels.iter() {
-                by_pair
-                    .entry((u.namespace.as_str(), key, value))
-                    .or_default()
-                    .push((idx, unit_pos));
-            }
-        }
-    }
-    for (idx, (app, model)) in apps.iter().enumerate() {
-        for svc in &model.services {
-            if svc.spec.selector.is_empty() {
-                continue;
-            }
-            // Probe on the selector's *rarest* pair: common pairs (a shared
-            // component name, a tier label) can be carried by thousands of
-            // units, while at least one pair is usually app-specific.
-            let candidates = svc
-                .spec
-                .selector
-                .iter()
-                .map(|(key, value)| {
-                    by_pair
-                        .get(&(svc.meta.namespace.as_str(), key, value))
-                        .map(Vec::as_slice)
-                        .unwrap_or(&[])
-                })
-                .min_by_key(|candidates| candidates.len())
-                .unwrap_or(&[]);
-            // The index returns candidates in (application, unit) order
-            // because it was filled by iterating apps in order.
-            for &(other_idx, unit_pos) in candidates {
-                if other_idx == idx {
-                    continue;
-                }
-                let (other_app, other_model) = &apps[other_idx];
-                let unit = &other_model.units[unit_pos];
-                if unit.labels.contains_all(&svc.spec.selector) {
-                    findings.push(Finding::new(
-                        MisconfigId::M4Star,
-                        app,
-                        svc.meta.qualified_name(),
-                        format!(
-                            "service selector `{}` captures unit {} of application {other_app}",
-                            svc.spec.selector, unit.name
-                        ),
-                    ));
-                }
-            }
-        }
-    }
-    findings
+    let mut table = SymbolTable::new();
+    let models: Vec<GlobalAppModel> = apps
+        .iter()
+        .map(|(app, model)| GlobalAppModel::intern(app, model, &mut table))
+        .collect();
+    m4_global_collisions_compact(&models, &table)
 }
 
 #[cfg(test)]

@@ -80,7 +80,8 @@ pub use pipeline::{
 pub use poc::{concourse_behaviors, concourse_chart, thanos_behaviors, thanos_chart};
 pub use representative::representative_charts;
 pub use runner::{
-    analyze_one, policy_impact, run_census, AppAnalysis, CorpusOptions, PolicyImpact,
+    analyze_one, policy_impact, run_census, run_generated_census, AppAnalysis, CorpusOptions,
+    PolicyImpact,
 };
 pub use score::{score_app, score_corpus, ClassScore, ScoreReport};
 pub use spec::{AppSpec, NetpolSpec, Org, Plan, UseCase};

@@ -34,8 +34,10 @@ use crate::spec::AppSpec;
 use ij_chart::{CompiledChart, Release, RenderedRelease};
 use ij_cluster::{Cluster, ClusterConfig, InstallError};
 use ij_core::{
-    chart_defines_network_policies, sort_canonical, Analyzer, AppReport, Census, RulePack,
-    StaticModel, UnknownRule,
+    chart_defines_network_policies, m4_global_collisions_compact, sort_canonical,
+    sort_canonical_compact, Analyzer, AppReport, Census, CompactAppReport, CompactCensus,
+    CompactFinding, GlobalAppModel, RuleEntry, RulePack, StaticModel, Sym, SymbolTable,
+    UnknownRule,
 };
 use ij_model::{Container, Object, ObjectMeta, Pod, PodSpec};
 use ij_probe::{HostBaseline, ProbeConfig, ReachMatrix, RuntimeAnalyzer};
@@ -203,6 +205,21 @@ type RenderKey = (usize, String);
 /// pointer-based identity key can never be reused by a later compilation.
 type CachedRender = (CompiledChart, Arc<RenderedRelease>);
 
+/// Converts a caught worker panic (e.g. from a custom registry rule) into
+/// the deterministic [`CensusError::Probe`] the sequential path would have
+/// surfaced, so no worker ever unwinds through `std::thread::scope`.
+fn panic_probe_error(app: &str, payload: Box<dyn std::any::Any + Send>) -> CensusError {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "analysis panicked".to_string());
+    CensusError::Probe {
+        app: app.to_string(),
+        message: format!("analysis panicked: {message}"),
+    }
+}
+
 /// The cache key half describing a release: everything `render` reads.
 fn release_fingerprint(release: &Release) -> String {
     format!(
@@ -245,6 +262,22 @@ impl<'a> SpecSource<'a> {
     }
 }
 
+/// One partition of the streamed compact census: a shard-local symbol
+/// table plus an index-slotted store for the apps the shard owns. Workers
+/// lock a shard only for the (cheap) interning step, never for the
+/// analysis itself.
+struct ShardState {
+    table: SymbolTable,
+    slots: Vec<Option<ShardSlot>>,
+}
+
+/// What one analyzed app contributes to its shard: the interned report,
+/// plus its interned static shape when the cluster-wide pass will run.
+struct ShardSlot {
+    report: CompactAppReport,
+    globals: Option<GlobalAppModel>,
+}
+
 /// Builder for [`CensusPipeline`]. Obtained via [`CensusPipeline::builder`];
 /// every knob has the same default as [`CorpusOptions::default`], one
 /// worker thread, and no observer.
@@ -252,6 +285,7 @@ impl<'a> SpecSource<'a> {
 pub struct CensusPipelineBuilder {
     opts: CorpusOptions,
     threads: usize,
+    shards: usize,
     observer: Option<CensusObserver>,
     timings: Option<Arc<PhaseTimings>>,
 }
@@ -307,6 +341,17 @@ impl CensusPipelineBuilder {
         self
     }
 
+    /// Number of independent partitions the streamed generated census
+    /// ([`CensusPipeline::run_generated_compact`]) accumulates into. Each
+    /// shard owns its own symbol table; a deterministic symbol-remapping
+    /// reduce merges them in spec order, so — exactly like
+    /// [`threads`](Self::threads) — the census is byte-identical for every
+    /// value. `0` and `1` both mean a single partition.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Installs a progress observer, called once per completed application.
     pub fn observer(mut self, observer: impl Fn(&CensusProgress) + Send + Sync + 'static) -> Self {
         self.observer = Some(Arc::new(observer));
@@ -326,8 +371,9 @@ impl CensusPipelineBuilder {
             opts: self.opts,
             // Stored raw; normalization to ≥ 1 lives in
             // `CensusPipeline::threads` so `Default` (threads: 0) follows
-            // the same rule as `threads(0)`.
+            // the same rule as `threads(0)`; `shards` works the same way.
             threads: self.threads,
+            shards: self.shards,
             observer: self.observer,
             timings: self.timings,
             caches: Arc::default(),
@@ -362,6 +408,7 @@ impl CensusPipelineBuilder {
 pub struct CensusPipeline {
     opts: CorpusOptions,
     threads: usize,
+    shards: usize,
     observer: Option<CensusObserver>,
     timings: Option<Arc<PhaseTimings>>,
     // Clones share the caches: a cloned pipeline is the same run.
@@ -373,6 +420,7 @@ impl fmt::Debug for CensusPipeline {
         f.debug_struct("CensusPipeline")
             .field("opts", &self.opts)
             .field("threads", &self.threads())
+            .field("shards", &self.shards())
             .field("observer", &self.observer.is_some())
             .finish()
     }
@@ -392,6 +440,11 @@ impl CensusPipeline {
     /// The number of analysis workers (≥ 1).
     pub fn threads(&self) -> usize {
         self.threads.max(1)
+    }
+
+    /// The number of streamed-census partitions (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.shards.max(1)
     }
 
     /// Installs one built application into a fresh cluster and analyzes it,
@@ -531,9 +584,263 @@ impl CensusPipeline {
     /// the generator for spec `i` as it claims the index, so the population
     /// is **streamed** — no `Vec<AppSpec>` of the whole corpus ever exists,
     /// and neither the build nor the render cache retains the generated
-    /// charts. Byte-identical across thread counts, exactly like `run`.
+    /// charts. Byte-identical across thread and shard counts, exactly like
+    /// `run`. This is [`run_generated_compact`](Self::run_generated_compact)
+    /// plus a final materialization; corpus-scale callers should stay on
+    /// the compact form and render from it lazily.
     pub fn run_generated(&self, generator: &CorpusGenerator) -> Result<Census, CensusError> {
-        self.run_source(SpecSource::Generator(generator))
+        Ok(self.run_generated_compact(generator)?.resolve())
+    }
+
+    /// True when the registry's cluster-wide pass can be driven through the
+    /// interned [`m4_global_collisions_compact`] kernel: either no global
+    /// rule will run, or every enabled global entry is the built-in M4\*
+    /// (whose body is that kernel behind a string adapter). A custom global
+    /// rule needs real `StaticModel`s, so the streamed path falls back to
+    /// the materializing pipeline for it.
+    fn compact_global_capable(&self) -> bool {
+        !self.opts.analyzer.options.static_rules
+            || self
+                .opts
+                .analyzer
+                .registry
+                .entries()
+                .iter()
+                .filter(|e| e.is_enabled() && e.is_global())
+                .all(RuleEntry::is_builtin_m4star)
+    }
+
+    /// The flat-memory generated census: streams every spec through the
+    /// per-app analysis exactly like [`run_generated`](Self::run_generated),
+    /// but interns each report into one of
+    /// [`shards`](CensusPipelineBuilder::shards) partition-local symbol
+    /// tables as it completes, keeping only [`CompactAppReport`]s plus (when
+    /// the cluster-wide pass will run) [`GlobalAppModel`]s — never a
+    /// materialized `Vec<AppSpec>`, `Vec<StaticModel>`, or owned-`String`
+    /// census. Shards are merged by a deterministic symbol-remapping reduce
+    /// in spec order, then the interned M4\* pass runs over the merged
+    /// table, so the result is byte-identical across every
+    /// `(shards, threads)` combination.
+    pub fn run_generated_compact(
+        &self,
+        generator: &CorpusGenerator,
+    ) -> Result<CompactCensus, CensusError> {
+        if !self.compact_global_capable() {
+            // A custom global rule consumes full static models: run the
+            // materializing path and intern its census after the fact.
+            let census = self.run_source(SpecSource::Generator(generator))?;
+            return Ok(CompactCensus::intern(&census));
+        }
+        let total = generator.len();
+        let shard_count = self.shards().min(total.max(1));
+        let need_global = self.opts.analyzer.options.static_rules
+            && self
+                .opts
+                .analyzer
+                .registry
+                .entries()
+                .iter()
+                .any(|e| e.is_enabled() && e.is_global());
+
+        // Contiguous partitions: shard `s` owns specs
+        // `bounds[s]..bounds[s + 1]`. Workers intern into the shard that
+        // owns the spec's index, so shard contents never depend on worker
+        // scheduling.
+        let bounds: Vec<usize> = (0..=shard_count).map(|s| s * total / shard_count).collect();
+        let shards: Vec<Mutex<ShardState>> = bounds
+            .windows(2)
+            .map(|w| {
+                let mut slots = Vec::new();
+                slots.resize_with(w[1] - w[0], || None);
+                Mutex::new(ShardState {
+                    table: SymbolTable::new(),
+                    slots,
+                })
+            })
+            .collect();
+        let shard_of = |i: usize| bounds.partition_point(|&b| b <= i) - 1;
+        // Analyze one spec and intern the outcome into its shard. The lock
+        // is held only for the interning, not the analysis.
+        let analyze_into_shard = |i: usize, spec: &AppSpec| -> Result<(), CensusError> {
+            let analysis = self.analyze_spec(spec, false)?;
+            let s = shard_of(i);
+            let mut state = shards[s].lock().expect("shard state");
+            let ShardState { table, slots } = &mut *state;
+            let report = CompactAppReport {
+                app: table.intern(&spec.name),
+                dataset: table.intern(spec.org.as_str()),
+                version: table.intern(&spec.version),
+                findings: analysis
+                    .findings
+                    .iter()
+                    .map(|f| CompactFinding::intern(f, table))
+                    .collect(),
+            };
+            let globals =
+                need_global.then(|| GlobalAppModel::intern(&spec.name, &analysis.statics, table));
+            slots[i - bounds[s]] = Some(ShardSlot { report, globals });
+            Ok(())
+        };
+
+        let workers = self.threads().min(total.max(1));
+        if workers <= 1 {
+            for i in 0..total {
+                let spec = generator.spec(i);
+                analyze_into_shard(i, &spec)?;
+                self.notify(&spec.name, i + 1, total);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let failed = AtomicBool::new(false);
+            let (tx, rx) = crossbeam::channel::unbounded();
+            let mut first_err: Option<(usize, CensusError)> = None;
+            std::thread::scope(|scope| {
+                let next = &next;
+                let failed = &failed;
+                let analyze_into_shard = &analyze_into_shard;
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    scope.spawn(move || loop {
+                        // Stop handing out work after the first failure;
+                        // in-flight analyses still complete, so every index
+                        // below the error stays filled (same contract as
+                        // `analyze_source`).
+                        if failed.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= total {
+                            break;
+                        }
+                        let spec = generator.spec(i);
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            analyze_into_shard(i, &spec)
+                        }))
+                        .unwrap_or_else(|payload| Err(panic_probe_error(&spec.name, payload)));
+                        let result = result.map(|()| spec.name);
+                        if result.is_err() {
+                            failed.store(true, Ordering::SeqCst);
+                        }
+                        if tx.send((i, result)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                let mut completed = 0usize;
+                for (i, result) in rx {
+                    completed += 1;
+                    match result {
+                        Ok(app) => self.notify(&app, completed, total),
+                        Err(err) => {
+                            self.notify(err.app(), completed, total);
+                            // Indices are handed out in order and drained
+                            // before the scope ends, so the minimum-index
+                            // error is the one the sequential run would hit.
+                            if first_err.as_ref().is_none_or(|(k, _)| i < *k) {
+                                first_err = Some((i, err));
+                            }
+                        }
+                    }
+                }
+            });
+            if let Some((_, err)) = first_err {
+                return Err(err);
+            }
+        }
+
+        self.merge_shards(shards, &bounds, need_global, workers <= 1, generator, total)
+    }
+
+    /// The deterministic reduce: re-interns every shard's reports into one
+    /// merged table *in spec order* — so the merged symbol assignment (and
+    /// therefore the entire compact census) is invariant to both shard and
+    /// thread counts — then runs the interned cluster-wide pass and
+    /// attributes its findings.
+    fn merge_shards(
+        &self,
+        shards: Vec<Mutex<ShardState>>,
+        bounds: &[usize],
+        need_global: bool,
+        sequential: bool,
+        generator: &CorpusGenerator,
+        total: usize,
+    ) -> Result<CompactCensus, CensusError> {
+        let missing = |index: usize| CensusError::Probe {
+            app: generator.spec(index).name,
+            message: "analysis worker terminated before producing a result".into(),
+        };
+        let shard_count = shards.len();
+        let mut apps: Vec<CompactAppReport> = Vec::with_capacity(total);
+        let mut globals: Vec<GlobalAppModel> = Vec::new();
+        let mut table;
+        if shard_count == 1 && sequential {
+            // The sequential single-shard run interned every spec in order
+            // already: its table *is* the merged table, no remap copy
+            // needed. (A parallel run interns in completion order, so even
+            // one shard must go through the spec-order remap below to keep
+            // symbol assignment scheduling-independent.)
+            let state = shards
+                .into_iter()
+                .next()
+                .expect("one shard")
+                .into_inner()
+                .expect("shard state");
+            table = state.table;
+            for (j, slot) in state.slots.into_iter().enumerate() {
+                let Some(slot) = slot else {
+                    return Err(missing(j));
+                };
+                apps.push(slot.report);
+                globals.extend(slot.globals);
+            }
+        } else {
+            table = SymbolTable::new();
+            for (s, shard) in shards.into_iter().enumerate() {
+                let state = shard.into_inner().expect("shard state");
+                let shard_table = state.table;
+                for (j, slot) in state.slots.into_iter().enumerate() {
+                    let Some(slot) = slot else {
+                        return Err(missing(bounds[s] + j));
+                    };
+                    apps.push(slot.report.remap(&shard_table, &mut table));
+                    globals.extend(slot.globals.map(|g| g.remap(&shard_table, &mut table)));
+                }
+                // `shard_table` drops here: peak memory is the merged arena
+                // plus one shard's, never the sum of every shard's.
+            }
+        }
+
+        if need_global {
+            let found = m4_global_collisions_compact(&globals, &table);
+            drop(globals);
+            if !found.is_empty() {
+                let mut first_ix: HashMap<Sym, usize> = HashMap::new();
+                for (i, a) in apps.iter().enumerate() {
+                    first_ix.entry(a.app).or_insert(i);
+                }
+                let mut touched: Vec<usize> = Vec::new();
+                for finding in found {
+                    // Attribute to the first report of the named app, the
+                    // order `run_source` resolves ties in.
+                    let Some(&i) = table.lookup(&finding.app).and_then(|s| first_ix.get(&s)) else {
+                        continue;
+                    };
+                    apps[i]
+                        .findings
+                        .push(CompactFinding::intern(&finding, &mut table));
+                    touched.push(i);
+                }
+                touched.sort_unstable();
+                touched.dedup();
+                // Only touched reports need re-sorting: the per-app pass
+                // already left every other report canonically ordered.
+                for &i in &touched {
+                    sort_canonical_compact(&mut apps[i].findings, &table);
+                }
+            }
+        }
+        Ok(CompactCensus::new(table, apps))
     }
 
     fn run_source(&self, source: SpecSource<'_>) -> Result<Census, CensusError> {
@@ -672,17 +979,7 @@ impl CensusPipeline {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.analyze_spec(spec, cache)
         }))
-        .unwrap_or_else(|payload| {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "analysis panicked".to_string());
-            Err(CensusError::Probe {
-                app: spec.name.clone(),
-                message: format!("analysis panicked: {message}"),
-            })
-        })
+        .unwrap_or_else(|payload| Err(panic_probe_error(&spec.name, payload)))
     }
 
     fn notify(&self, app: &str, completed: usize, total: usize) {
@@ -988,9 +1285,157 @@ mod tests {
     }
 
     #[test]
+    fn sharded_generated_census_is_byte_identical() {
+        // The tentpole determinism contract: any (shards, threads)
+        // combination produces the same compact census — same symbol
+        // assignment, same reports — as the single-shard sequential run.
+        let generator = CorpusGenerator::new(
+            CorpusProfile::named("baseline")
+                .expect("baseline profile")
+                .with_apps(24)
+                .with_seed(7),
+        );
+        let reference = CensusPipeline::builder()
+            .seed(7)
+            .build()
+            .run_generated_compact(&generator)
+            .expect("single-shard run");
+        for shards in [1, 2, 8] {
+            for threads in [1, 8] {
+                let sharded = CensusPipeline::builder()
+                    .seed(7)
+                    .shards(shards)
+                    .threads(threads)
+                    .build()
+                    .run_generated_compact(&generator)
+                    .expect("sharded run");
+                assert_eq!(
+                    format!("{reference:#?}"),
+                    format!("{sharded:#?}"),
+                    "shards({shards}) x threads({threads}) diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact_census_aggregations_match_the_owned_census() {
+        let generator = CorpusGenerator::new(
+            CorpusProfile::named("baseline")
+                .expect("baseline profile")
+                .with_apps(16)
+                .with_seed(5),
+        );
+        let compact = CensusPipeline::builder()
+            .seed(5)
+            .shards(4)
+            .threads(2)
+            .build()
+            .run_generated_compact(&generator)
+            .expect("compact run");
+        let owned = compact.resolve();
+        assert_eq!(compact.table2(), owned.table2());
+        assert_eq!(
+            compact.total_misconfigurations(),
+            owned.total_misconfigurations()
+        );
+        assert_eq!(compact.affected_apps(), owned.affected_apps());
+        // Identities over the compact form match the owned findings: the
+        // continuous-audit keyspace sees no representation change.
+        for (ca, oa) in compact.apps.iter().zip(&owned.apps) {
+            for (cf, of) in ca.findings.iter().zip(&oa.findings) {
+                assert_eq!(cf.identity(compact.table()), of.identity());
+            }
+        }
+    }
+
+    #[test]
+    fn custom_global_rule_falls_back_to_the_materializing_path() {
+        fn quirky_global(apps: &[(String, ij_core::StaticModel)]) -> Vec<ij_core::Finding> {
+            apps.iter()
+                .map(|(app, _)| {
+                    ij_core::Finding::new(ij_core::MisconfigId::M4Star, app, app, "quirky")
+                })
+                .collect()
+        }
+        let mut analyzer = Analyzer::hybrid();
+        analyzer
+            .registry
+            .register_global_rule("quirky", &[], quirky_global);
+        let generator = CorpusGenerator::new(
+            CorpusProfile::named("baseline")
+                .expect("baseline profile")
+                .with_apps(6)
+                .with_seed(9),
+        );
+        // A custom global rule needs real static models, so the compact
+        // entry point must transparently take the materializing path...
+        let compact = CensusPipeline::builder()
+            .seed(9)
+            .analyzer(analyzer.clone())
+            .shards(3)
+            .build()
+            .run_generated_compact(&generator)
+            .expect("fallback run");
+        // ...and still agree with the owned pipeline byte-for-byte.
+        let owned = CensusPipeline::builder()
+            .seed(9)
+            .analyzer(analyzer)
+            .build()
+            .run_generated(&generator)
+            .expect("owned run");
+        assert_eq!(format!("{:#?}", compact.resolve()), format!("{owned:#?}"));
+        assert!(compact.apps.iter().all(|a| a
+            .findings
+            .iter()
+            .any(|f| f.id == ij_core::MisconfigId::M4Star)));
+    }
+
+    #[test]
+    fn panicking_rule_is_deterministic_under_sharded_parallelism() {
+        fn exploding_rule(_: &ij_core::RuleContext<'_>) -> Vec<ij_core::Finding> {
+            panic!("rule exploded")
+        }
+        let mut analyzer = Analyzer::hybrid();
+        analyzer.registry.register_app_rule(
+            "exploding",
+            &[],
+            ij_core::RuleScope::Static,
+            exploding_rule,
+        );
+        let generator = CorpusGenerator::new(
+            CorpusProfile::named("baseline")
+                .expect("baseline profile")
+                .with_apps(8)
+                .with_seed(7),
+        );
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = CensusPipeline::builder()
+            .seed(7)
+            .analyzer(analyzer)
+            .shards(2)
+            .threads(2)
+            .build()
+            .run_generated_compact(&generator);
+        std::panic::set_hook(hook);
+        let err = result.expect_err("the exploding rule must fail the census");
+        match &err {
+            CensusError::Probe { app, message } => {
+                assert!(message.contains("rule exploded"), "{message}");
+                // Minimum-index error: the first generated app, exactly what
+                // the sequential run reports.
+                assert_eq!(app, &generator.spec(0).name);
+            }
+            other => panic!("expected CensusError::Probe, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn zero_threads_means_sequential() {
-        let pipeline = CensusPipeline::builder().threads(0).build();
+        let pipeline = CensusPipeline::builder().threads(0).shards(0).build();
         assert_eq!(pipeline.threads(), 1);
+        assert_eq!(pipeline.shards(), 1);
         pipeline.run(&specs()).expect("runs sequentially");
     }
 

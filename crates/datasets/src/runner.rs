@@ -83,6 +83,23 @@ pub fn run_census(specs: &[AppSpec], opts: &CorpusOptions) -> Result<Census, Cen
     opts.pipeline().run(specs)
 }
 
+/// Streams a generated population into a flat-memory
+/// [`CompactCensus`](ij_core::CompactCensus): interned findings, no
+/// materialized spec or report `String`s. The census resolves lazily at
+/// render time and is byte-identical to
+/// [`CensusPipeline::run_generated`] across every `(shards, threads)`
+/// combination.
+///
+/// Thin wrapper over [`CensusPipeline::run_generated_compact`] (sequential,
+/// single shard; use `CensusPipeline::builder().threads(n).shards(k)` to
+/// scale).
+pub fn run_generated_census(
+    generator: &crate::gen::CorpusGenerator,
+    opts: &CorpusOptions,
+) -> Result<ij_core::CompactCensus, CensusError> {
+    opts.pipeline().run_generated_compact(generator)
+}
+
 /// One dataset row of the §4.3.2 policy-impact study (Figure 4b).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PolicyImpact {

@@ -4,8 +4,8 @@
 //! ij analyze <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
 //! ij render  <chart-dir> [--values <file>]
 //! ij disclose <chart-dir> [--values <file>]
-//! ij census  [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]
-//!            [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
+//! ij census  [--org <name>] [--seed <n>] [--threads <n>] [--shards <k>] [--static-only]
+//!            [--progress] [--timings] [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
 //!            [--rule-pack <file>] [--without-rule <name>]...
 //! ij corpus  --describe [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>] [--seed <n>]
 //! ij rules   [--rule-pack <file>] [--explain <name>]
@@ -138,6 +138,7 @@ struct CensusArgs {
     /// value alone cannot tell).
     seed_set: bool,
     threads: usize,
+    shards: usize,
     static_only: bool,
     progress: bool,
     timings: bool,
@@ -163,8 +164,8 @@ usage:
   ij analyze  <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
   ij render   <chart-dir> [--values <file>]
   ij disclose <chart-dir> [--values <file>]
-  ij census   [--org <name>] [--seed <n>] [--threads <n>] [--static-only]
-              [--progress] [--timings]
+  ij census   [--org <name>] [--seed <n>] [--threads <n>] [--shards <k>]
+              [--static-only] [--progress] [--timings]
               [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
               [--rule-pack <file>] [--without-rule <name>]...
   ij corpus   --describe [--synthetic <n>] [--profile <name>]
@@ -181,6 +182,8 @@ flags:
   --org <name>           restrict the census to one built-in dataset
   --seed <n>             base seed (default 42)
   --threads <n>          analysis workers; output is identical for every n
+  --shards <k>           partitions of the streamed synthetic census (needs
+                         --synthetic); output is identical for every k
   --progress             stream per-application completion ticks to stderr
   --timings              print per-phase wall time to stderr after the run
   --synthetic <n>        analyze n procedurally generated applications
@@ -208,8 +211,8 @@ exit codes:
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ij <analyze|render|disclose> <chart-dir> [--values <file>] [--static-only] [--dot <out.dot>]
-       ij census [--org <name>] [--seed <n>] [--threads <n>] [--static-only] [--progress] [--timings]
-                 [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
+       ij census [--org <name>] [--seed <n>] [--threads <n>] [--shards <k>] [--static-only]
+                 [--progress] [--timings] [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>]
                  [--rule-pack <file>] [--without-rule <name>]...
        ij corpus --describe [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>] [--seed <n>]
        ij rules [--rule-pack <file>] [--explain <name>]
@@ -248,6 +251,7 @@ fn parse_census_args(
         seed: 42,
         seed_set: false,
         threads: 1,
+        shards: 1,
         static_only: false,
         progress: false,
         timings: false,
@@ -285,6 +289,12 @@ fn parse_census_args(
                 args.threads = raw
                     .parse()
                     .map_err(|_| CliError::other(format!("invalid --threads `{raw}`")))?;
+            }
+            "--shards" => {
+                let raw = argv.next().ok_or_else(CliError::usage)?;
+                args.shards = raw
+                    .parse()
+                    .map_err(|_| CliError::other(format!("invalid --shards `{raw}`")))?;
             }
             "--static-only" => args.static_only = true,
             "--progress" => args.progress = true,
@@ -508,6 +518,11 @@ fn run_census_command(args: CensusArgs) -> Result<(), CliError> {
             "--profile/--mix configure the synthetic generator; pass --synthetic <n>",
         ));
     }
+    if args.shards != 1 && args.synthetic.is_none() {
+        return Err(CliError::other(
+            "--shards partitions the streamed synthetic census; pass --synthetic <n>",
+        ));
+    }
     let mut analyzer = if args.static_only {
         Analyzer::static_only()
     } else {
@@ -519,6 +534,7 @@ fn run_census_command(args: CensusArgs) -> Result<(), CliError> {
     let mut builder = CensusPipeline::builder()
         .seed(args.seed)
         .threads(args.threads)
+        .shards(args.shards)
         .analyzer(analyzer);
     if args.progress {
         builder = builder.observer(|p| eprintln!("[{}/{}] {}", p.completed, p.total, p.app));
@@ -528,17 +544,30 @@ fn run_census_command(args: CensusArgs) -> Result<(), CliError> {
         builder = builder.timings(Arc::clone(t));
     }
     let pipeline = builder.build();
-    let census = match args.synthetic {
-        Some(apps) => pipeline.run_generated(&build_generator(&args, apps)?)?,
+    match args.synthetic {
+        Some(apps) => {
+            // Streamed synthetic populations stay in the interned compact
+            // form end to end: the table renders from the flat census
+            // without ever materializing the owned one.
+            let census = pipeline.run_generated_compact(&build_generator(&args, apps)?)?;
+            print!(
+                "{}",
+                census_table_from(
+                    &census.table2(),
+                    census.total_misconfigurations(),
+                    census.apps.len()
+                )
+            );
+        }
         None => {
             let specs: Vec<_> = match args.org {
                 Some(org) => corpus().into_iter().filter(|a| a.org == org).collect(),
                 None => corpus(),
             };
-            pipeline.run(&specs)?
+            let census = pipeline.run(&specs)?;
+            print!("{}", census_table(&census));
         }
-    };
-    print!("{}", census_table(&census));
+    }
     // Timings go to stderr so the census table on stdout stays
     // byte-identical with and without the flag.
     if let Some(t) = &timings {
@@ -564,7 +593,12 @@ fn run_corpus_command(args: CensusArgs) -> Result<(), CliError> {
     }
     // The parser is shared with `census`; flags that only make sense when
     // analyzing must not be silently ignored here.
-    if args.org.is_some() || args.threads != 1 || args.static_only || args.progress || args.timings
+    if args.org.is_some()
+        || args.threads != 1
+        || args.shards != 1
+        || args.static_only
+        || args.progress
+        || args.timings
     {
         return Err(CliError::usage());
     }
@@ -589,6 +623,21 @@ fn run_corpus_command(args: CensusArgs) -> Result<(), CliError> {
 
 /// Renders the census as the Table-2 style breakdown.
 fn census_table(census: &Census) -> String {
+    census_table_from(
+        &census.table2(),
+        census.total_misconfigurations(),
+        census.apps.len(),
+    )
+}
+
+/// The Table-2 renderer over pre-aggregated rows — shared by the owned and
+/// the compact (interned) census paths, which therefore print
+/// byte-identically by construction.
+fn census_table_from(
+    rows: &[ij_core::DatasetRow],
+    misconfigurations: usize,
+    apps: usize,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("{:<14} {:>9}", "Dataset", "Affected"));
     for id in MisconfigId::ALL {
@@ -597,7 +646,7 @@ fn census_table(census: &Census) -> String {
     out.push('\n');
     let (mut affected, mut total) = (0usize, 0usize);
     let mut totals = [0usize; MisconfigId::ALL.len()];
-    for row in census.table2() {
+    for row in rows {
         out.push_str(&format!(
             "{:<14} {:>5}/{:<3}",
             row.dataset, row.affected, row.total_apps
@@ -615,9 +664,7 @@ fn census_table(census: &Census) -> String {
         out.push_str(&format!(" {:>4}", t));
     }
     out.push_str(&format!(
-        "\n{} misconfiguration(s) across {} application(s)\n",
-        census.total_misconfigurations(),
-        census.apps.len()
+        "\n{misconfigurations} misconfiguration(s) across {apps} application(s)\n"
     ));
     out
 }

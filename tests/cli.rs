@@ -305,6 +305,53 @@ fn census_synthetic_runs_a_generated_population() {
 }
 
 #[test]
+fn census_is_identical_across_shard_and_thread_counts() {
+    let reference = ij(&["census", "--synthetic", "40", "--seed", "7"]);
+    assert!(
+        reference.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    for (shards, threads) in [("2", "1"), ("8", "1"), ("2", "4"), ("8", "4")] {
+        let sharded = ij(&[
+            "census",
+            "--synthetic",
+            "40",
+            "--seed",
+            "7",
+            "--shards",
+            shards,
+            "--threads",
+            threads,
+        ]);
+        assert!(sharded.status.success());
+        assert_eq!(
+            String::from_utf8_lossy(&reference.stdout),
+            String::from_utf8_lossy(&sharded.stdout),
+            "--shards {shards} --threads {threads} changed a byte of the census output"
+        );
+    }
+}
+
+#[test]
+fn shards_flag_requires_synthetic_and_rejects_garbage() {
+    // The built-in corpus runs the materializing pipeline; --shards would
+    // be silently meaningless there, so it is an explicit error.
+    let out = ij(&["census", "--shards", "4"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--synthetic"), "{stderr}");
+
+    let out = ij(&["census", "--synthetic", "10", "--shards", "lots"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid --shards"));
+
+    // corpus --describe never analyzes: census-only flags are rejected.
+    let out = ij(&["corpus", "--describe", "--shards", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn corpus_describe_prints_population_summaries() {
     // Built-in corpus: the Table 2 ground truth.
     let out = ij(&["corpus", "--describe"]);

@@ -20,6 +20,17 @@ fn bench_mode() -> bool {
     std::env::args().any(|a| a == "--bench")
 }
 
+/// Substring filters from the command line (real Criterion's positional
+/// `FILTER` argument): any argument that is not a flag. When present, only
+/// benchmarks whose full name contains one of them run.
+fn matches_filter(name: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
 pub struct Bencher {
     bench_mode: bool,
     /// (iterations, total wall time) of the measured loop.
@@ -42,6 +53,14 @@ impl Bencher {
         }
         let per_iter = start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
         let target = Duration::from_millis(300).as_nanos();
+        // A single iteration already blows past the timing target: the
+        // warm-up pass *is* the measurement. Re-running would double the
+        // wall clock of slow arms (a million-app census is minutes per
+        // iteration) for no extra precision.
+        if per_iter >= target {
+            self.measurement = Some((warm_iters.max(1), start.elapsed()));
+            return;
+        }
         let iters = ((target / per_iter.max(1)) as u64).clamp(1, 1_000_000);
         let timed = Instant::now();
         for _ in 0..iters {
@@ -93,6 +112,9 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    if !matches_filter(name) {
+        return;
+    }
     let mut b = Bencher {
         bench_mode: bench_mode(),
         measurement: None,
