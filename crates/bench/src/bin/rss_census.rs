@@ -86,7 +86,8 @@ fn main() {
     );
     let phases = timings.snapshot();
     println!(
-        "phases: render {:.3}s, install {:.3}s, probe {:.3}s, analyze {:.3}s",
+        "phases: build {:.3}s, render {:.3}s, install {:.3}s, probe {:.3}s, analyze {:.3}s",
+        phases.build.as_secs_f64(),
         phases.render.as_secs_f64(),
         phases.install.as_secs_f64(),
         phases.probe.as_secs_f64(),

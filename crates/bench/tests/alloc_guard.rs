@@ -1,0 +1,107 @@
+//! CI allocation-regression gate for the census hot path.
+//!
+//! The render→emit→reparse round-trip was removed in favour of direct
+//! Value evaluation with per-worker scratch reuse; the cheapest way to
+//! notice that work creeping back in is to count allocator calls. This
+//! test installs a counting `#[global_allocator]` (integration tests are
+//! their own binaries, so the wrapper is scoped to this file), runs the
+//! generated compact census at two sizes, and takes the delta per app —
+//! fixed startup cost (profiles, chart compilation, interner tables)
+//! cancels out, leaving the steady-state per-app allocation count.
+//!
+//! The measured steady state on the reference machine is ~2,300
+//! allocations per app — that covers the whole per-app pipeline (spec
+//! generation, chart build, compile, direct-to-Value render, install,
+//! probe, analyze, retained findings), not just rendering. The 3,000
+//! ceiling gives ~30% headroom against small legitimate changes while
+//! failing loudly if text materialization or per-app buffer churn
+//! returns (the emit+reparse path costs hundreds of extra allocations
+//! per app in rendered strings and reparsed document trees alone).
+//!
+//! Debug builds are skipped (unoptimized collections allocate on a
+//! different schedule); CI runs this with
+//! `cargo test --release -p ij-bench --test alloc_guard`.
+
+use ij_datasets::{CensusPipeline, CorpusGenerator, CorpusProfile};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocator entry point that hands out (or regrows) memory.
+/// Deallocations are free-of-charge: the gate is about allocation churn.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const SMALL: usize = 200;
+const LARGE: usize = 1_200;
+const PER_APP_CEILING: u64 = 3_000;
+
+fn census_allocs(apps: usize) -> u64 {
+    let generator = CorpusGenerator::new(
+        CorpusProfile::named("baseline")
+            .expect("baseline profile")
+            .with_apps(apps)
+            .with_seed(7),
+    );
+    let pipeline = CensusPipeline::builder().seed(7).build();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let census = pipeline
+        .run_generated_compact(&generator)
+        .expect("generated corpus renders and installs");
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(census.apps.len(), apps);
+    assert!(
+        census.total_misconfigurations() > 0,
+        "census produced nothing; the allocation bound would be vacuous"
+    );
+    after - before
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation counts are calibrated for release builds"
+)]
+fn steady_state_census_allocations_stay_bounded() {
+    let small = census_allocs(SMALL);
+    let large = census_allocs(LARGE);
+    assert!(
+        large > small,
+        "larger census allocated less ({large} vs {small}); the delta is meaningless"
+    );
+    let per_app = (large - small) / (LARGE - SMALL) as u64;
+    eprintln!(
+        "alloc_guard: {small} allocs @ {SMALL} apps, {large} @ {LARGE}; \
+         steady state {per_app} allocs/app (ceiling {PER_APP_CEILING})"
+    );
+    assert!(
+        per_app < PER_APP_CEILING,
+        "steady-state census allocations regressed: {per_app} allocs/app \
+         breached the {PER_APP_CEILING} ceiling (~2,300 expected; the \
+         emit+reparse round-trip costs hundreds more per app)"
+    );
+}

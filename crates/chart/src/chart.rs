@@ -17,9 +17,56 @@ pub struct Chart {
     /// Default values (the chart's `values.yaml`).
     pub values: Value,
     /// Templates as `(file name, source)` pairs, rendered in order.
-    pub templates: Vec<(String, String)>,
+    pub templates: Vec<(String, TemplateSource)>,
     /// Subchart dependencies.
     pub dependencies: Vec<Dependency>,
+}
+
+/// One template file's source material.
+///
+/// Charts loaded from disk or written by hand carry Helm-style template
+/// `Text`. Programmatic builders (the generated corpus) that already hold a
+/// manifest as a structured [`Value`] can attach it as a `Doc` instead: it
+/// renders exactly as `ij_yaml::to_string` of the document would, and since
+/// the emitter round-trips (`parse(to_string(v)) == v`), the compiled render
+/// layer can hand the document straight to decoding without materializing
+/// the text at all.
+#[derive(Debug, Clone)]
+pub enum TemplateSource {
+    /// Helm-style template text, possibly containing actions.
+    Text(String),
+    /// A single pre-structured YAML document.
+    Doc(Value),
+}
+
+impl TemplateSource {
+    /// The raw template text, when this source is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            TemplateSource::Text(s) => Some(s),
+            TemplateSource::Doc(_) => None,
+        }
+    }
+
+    /// The structured document, when this source is one.
+    pub fn as_doc(&self) -> Option<&Value> {
+        match self {
+            TemplateSource::Text(_) => None,
+            TemplateSource::Doc(d) => Some(d),
+        }
+    }
+}
+
+impl From<&str> for TemplateSource {
+    fn from(s: &str) -> Self {
+        TemplateSource::Text(s.to_string())
+    }
+}
+
+impl From<String> for TemplateSource {
+    fn from(s: String) -> Self {
+        TemplateSource::Text(s)
+    }
 }
 
 /// A dependency entry: a subchart plus an optional enable condition.
@@ -136,9 +183,16 @@ impl Chart {
         // per chart level, so per-file work is evaluation only.
         let mut parsed = Vec::with_capacity(self.templates.len());
         for (tpl_name, source) in &self.templates {
-            parsed.push((tpl_name.as_str(), parse_template(tpl_name, source)?));
+            // Doc sources carry no actions or partials; they are emitted to
+            // text below so the oracle path still exercises the full
+            // emit → parse → decode round trip.
+            let template = match source {
+                TemplateSource::Text(src) => Some(parse_template(tpl_name, src)?),
+                TemplateSource::Doc(_) => None,
+            };
+            parsed.push((tpl_name.as_str(), template));
         }
-        let shared = shared_defines(parsed.iter().map(|(_, t)| t));
+        let shared = shared_defines(parsed.iter().filter_map(|(_, t)| t.as_ref()));
         let root = build_root(
             values.clone(),
             &release.name,
@@ -146,12 +200,18 @@ impl Chart {
             &self.name,
             &self.version,
         );
-        for (tpl_name, template) in &parsed {
+        for (idx, (tpl_name, template)) in parsed.iter().enumerate() {
             // Underscore files only contribute partials.
             if tpl_name.starts_with('_') {
                 continue;
             }
-            let rendered = render_file(tpl_name, template, &shared, &root)?;
+            let rendered = match template {
+                Some(template) => render_file(tpl_name, template, &shared, &root)?,
+                None => {
+                    let doc = self.templates[idx].1.as_doc().expect("doc source");
+                    ij_yaml::to_string(doc)
+                }
+            };
             decode_rendered(tpl_name, &rendered, &release.namespace, objects)?;
         }
         for dep in &self.dependencies {
@@ -256,9 +316,21 @@ impl ChartBuilder {
         Ok(self)
     }
 
-    /// Adds a template.
+    /// Adds a template from Helm-style text.
     pub fn template(mut self, name: impl Into<String>, source: impl Into<String>) -> Self {
-        self.chart.templates.push((name.into(), source.into()));
+        self.chart
+            .templates
+            .push((name.into(), TemplateSource::Text(source.into())));
+        self
+    }
+
+    /// Adds a template as a pre-structured document (one manifest per
+    /// file). Equivalent to `template(name, ij_yaml::to_string(&doc))`, but
+    /// lets the compiled render layer skip the text round trip entirely.
+    pub fn template_doc(mut self, name: impl Into<String>, doc: Value) -> Self {
+        self.chart
+            .templates
+            .push((name.into(), TemplateSource::Doc(doc)));
         self
     }
 

@@ -28,11 +28,12 @@
 //! `ij-datasets`).
 
 use crate::chart::{
-    decode_rendered, merge_values, stamp_namespace, Chart, Release, RenderedRelease,
+    decode_rendered, merge_values, stamp_namespace, Chart, Release, RenderedRelease, TemplateSource,
 };
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::template::{
-    build_root, parse_template, render_file, shared_defines, Node, ParsedTemplate,
+    build_root, eval_condition, parse_template, render_file, render_file_into, shared_defines,
+    Node, ParsedTemplate, Pipeline,
 };
 use ij_model::Object;
 use ij_yaml::{Map, Value};
@@ -70,8 +71,20 @@ struct CompiledDep {
 #[derive(Debug)]
 struct CompiledFile {
     name: String,
-    parsed: ParsedTemplate,
+    /// Cached AST for text-sourced files; `None` for [`TemplateSource::Doc`]
+    /// sources, which have nothing to parse (and contribute no partials).
+    parsed: Option<ParsedTemplate>,
     plan: RenderPlan,
+}
+
+/// A pre-rendered file outcome: the document values it produces and their
+/// typed decodings, both computed at compile time. The docs carry their
+/// manifest namespaces ("default" when unset — stamping the compile-time
+/// namespace is the identity); the release namespace is stamped per render.
+#[derive(Debug, Default)]
+struct StaticDocs {
+    docs: Vec<Value>,
+    objects: Vec<Object>,
 }
 
 /// What rendering a compiled file amounts to.
@@ -81,9 +94,22 @@ enum RenderPlan {
     Partial,
     /// Action-free file whose output is all whitespace: renders nothing.
     Blank,
-    /// Action-free file: output never depends on the release, so the typed
-    /// objects are decoded once at compile time and cloned per render.
-    Static(Vec<Object>),
+    /// Action-free file (or a pre-structured document): output never
+    /// depends on the release, so documents and typed objects are decoded
+    /// once at compile time and cloned per render.
+    Static(StaticDocs),
+    /// Text file whose only action is a single top-level `if`: every
+    /// branch outcome is pre-rendered and pre-decoded at compile time, so a
+    /// render evaluates the condition pipelines and clones the chosen
+    /// outcome — no text is materialized. This is the shape of generated
+    /// corpus gates like `{{- if .Values.networkPolicy.enabled }}…{{- end }}`.
+    Gated {
+        /// `(condition, outcome)` in source order; `None` is `else`.
+        branches: Vec<(Option<Pipeline>, StaticDocs)>,
+        /// Outcome when no branch is taken: the surrounding text alone.
+        fallthrough: StaticDocs,
+        line: usize,
+    },
     /// File with template actions: evaluated per render (the cached AST is
     /// replayed; only evaluation happens).
     Dynamic,
@@ -157,9 +183,9 @@ impl CompiledChart {
     /// Renders the chart (and enabled dependencies) into typed objects.
     /// Byte-identical to [`Chart::render`] for the same chart and release.
     pub fn render(&self, release: &Release) -> Result<RenderedRelease> {
-        let merged = merge_values(&self.root.values, &release.overrides)?;
         let mut objects = Vec::new();
-        self.root.render_into(release, merged, &mut objects)?;
+        let mut scratch = RenderScratch::default();
+        self.render_objects_into(release, &mut scratch, &mut objects)?;
         Ok(RenderedRelease {
             release_name: release.name.clone(),
             namespace: release.namespace.clone(),
@@ -167,37 +193,92 @@ impl CompiledChart {
             objects,
         })
     }
+
+    /// Renders straight into a caller-owned object vec, reusing `scratch`
+    /// across calls — the allocation-amortized form of [`render`](Self::render)
+    /// the census workers use. Appends to `out` without clearing it; the
+    /// appended objects are exactly `render(release)?.objects`.
+    pub fn render_objects_into(
+        &self,
+        release: &Release,
+        scratch: &mut RenderScratch,
+        out: &mut Vec<Object>,
+    ) -> Result<()> {
+        let merged = merge_values(&self.root.values, &release.overrides)?;
+        self.root.render_into(release, merged, scratch, out)
+    }
+
+    /// Evaluates the chart for a release directly into per-file document
+    /// values — the manifest stream the text path would emit and reparse,
+    /// without the text. Static and gated files clone compile-time
+    /// documents; only genuinely dynamic files render text (which is then
+    /// parsed, never emitted).
+    ///
+    /// The documents carry their manifest namespaces: the release namespace
+    /// is **not** stamped here, because stamping is part of decoding (see
+    /// `decode_rendered`). Emitting each returned document and decoding it
+    /// under the release namespace yields exactly
+    /// [`render`](Self::render)`(release)?.objects` — the property test in
+    /// `ij-datasets` holds this path to the text oracle.
+    pub fn render_values(&self, release: &Release) -> Result<Vec<Value>> {
+        let merged = merge_values(&self.root.values, &release.overrides)?;
+        let mut docs = Vec::new();
+        self.root.render_values_into(release, merged, &mut docs)?;
+        Ok(docs)
+    }
+}
+
+/// Reusable render state owned by a pipeline worker: the text buffer
+/// genuinely dynamic files render into. Every use clears it; only capacity
+/// survives between apps, so steady-state renders stop allocating output
+/// buffers.
+#[derive(Debug, Default)]
+pub struct RenderScratch {
+    rendered: String,
 }
 
 fn compile_level(chart: &Chart) -> Result<CompiledLevel> {
     let mut files = Vec::with_capacity(chart.templates.len());
     for (tpl_name, source) in &chart.templates {
-        let parsed = parse_template(tpl_name, source)?;
-        let plan = if tpl_name.starts_with('_') {
-            RenderPlan::Partial
-        } else if parsed.nodes.iter().all(|n| matches!(n, Node::Text(_))) {
-            // No actions anywhere: the output is the concatenated text,
-            // independent of values and release — decode it now. Stamping
-            // with the "default" namespace is the identity, so the cached
-            // objects carry their manifest namespaces and the release
-            // namespace is stamped per render.
-            let rendered: String = parsed
-                .nodes
-                .iter()
-                .map(|n| match n {
-                    Node::Text(t) => t.as_str(),
-                    _ => unreachable!("checked all-text above"),
-                })
-                .collect();
-            if rendered.trim().is_empty() {
-                RenderPlan::Blank
-            } else {
-                let mut objects = Vec::new();
-                decode_rendered(tpl_name, &rendered, "default", &mut objects)?;
-                RenderPlan::Static(objects)
+        let (parsed, plan) = match source {
+            TemplateSource::Doc(doc) => {
+                // Already structured: no lexing, no emit, no reparse. The
+                // typed decoding is the same one the text round trip would
+                // produce, because the emitter round-trips documents
+                // exactly (`parse(to_string(doc)) == doc`).
+                let plan = if doc.is_null() {
+                    RenderPlan::Blank
+                } else {
+                    let docs = vec![doc.clone()];
+                    let objects = decode_docs(tpl_name, &docs)?;
+                    RenderPlan::Static(StaticDocs { docs, objects })
+                };
+                (None, plan)
             }
-        } else {
-            RenderPlan::Dynamic
+            TemplateSource::Text(src) => {
+                let parsed = parse_template(tpl_name, src)?;
+                let plan = if tpl_name.starts_with('_') {
+                    RenderPlan::Partial
+                } else if parsed.nodes.iter().all(|n| matches!(n, Node::Text(_))) {
+                    // No actions anywhere: the output is the concatenated
+                    // text, independent of values and release — decode it
+                    // now. Stamping with the "default" namespace is the
+                    // identity, so the cached objects carry their manifest
+                    // namespaces and the release namespace is stamped per
+                    // render.
+                    let rendered = concat_text(&parsed.nodes);
+                    if rendered.trim().is_empty() {
+                        RenderPlan::Blank
+                    } else {
+                        RenderPlan::Static(static_docs_from_text(tpl_name, &rendered)?)
+                    }
+                } else if let Some(plan) = gated_plan(tpl_name, &parsed) {
+                    plan
+                } else {
+                    RenderPlan::Dynamic
+                };
+                (Some(parsed), plan)
+            }
         };
         files.push(CompiledFile {
             name: tpl_name.clone(),
@@ -222,6 +303,88 @@ fn compile_level(chart: &Chart) -> Result<CompiledLevel> {
     })
 }
 
+fn concat_text(nodes: &[Node]) -> String {
+    nodes
+        .iter()
+        .map(|n| match n {
+            Node::Text(t) => t.as_str(),
+            _ => unreachable!("caller checked all-text"),
+        })
+        .collect()
+}
+
+/// Parses pre-rendered text into the documents and objects a render of it
+/// would produce (null documents dropped, like `decode_rendered`).
+fn static_docs_from_text(tpl_name: &str, rendered: &str) -> Result<StaticDocs> {
+    if rendered.trim().is_empty() {
+        return Ok(StaticDocs::default());
+    }
+    let docs = ij_yaml::parse_all(rendered).map_err(|e| Error::RenderedYaml {
+        template: tpl_name.to_string(),
+        source: e,
+        rendered: rendered.to_string(),
+    })?;
+    let docs: Vec<Value> = docs.into_iter().filter(|d| !d.is_null()).collect();
+    let objects = decode_docs(tpl_name, &docs)?;
+    Ok(StaticDocs { docs, objects })
+}
+
+fn decode_docs(tpl_name: &str, docs: &[Value]) -> Result<Vec<Object>> {
+    let mut objects = Vec::with_capacity(docs.len());
+    for doc in docs.iter().filter(|d| !d.is_null()) {
+        objects.push(Object::decode(doc).map_err(|e| Error::Decode {
+            template: tpl_name.to_string(),
+            message: e.to_string(),
+        })?);
+    }
+    Ok(objects)
+}
+
+/// Recognizes files whose only action is one top-level `if` whose branch
+/// bodies are pure text: the finite set of outcomes (each branch, plus the
+/// fall-through) is pre-rendered and pre-decoded now, leaving only the
+/// condition pipelines for render time. Any outcome that fails to parse or
+/// decode disqualifies the file — it stays `Dynamic`, so the error (if any)
+/// surfaces at render time only when that branch is actually taken, exactly
+/// like the parse-per-call path.
+fn gated_plan(tpl_name: &str, parsed: &ParsedTemplate) -> Option<RenderPlan> {
+    let mut if_idx = None;
+    for (i, node) in parsed.nodes.iter().enumerate() {
+        match node {
+            Node::Text(_) => {}
+            Node::If { branches, .. }
+                if if_idx.is_none()
+                    && branches
+                        .iter()
+                        .all(|(_, body)| body.iter().all(|n| matches!(n, Node::Text(_)))) =>
+            {
+                if_idx = Some(i);
+            }
+            _ => return None,
+        }
+    }
+    let if_idx = if_idx?;
+    let prefix = concat_text(&parsed.nodes[..if_idx]);
+    let suffix = concat_text(&parsed.nodes[if_idx + 1..]);
+    let Node::If { branches, line } = &parsed.nodes[if_idx] else {
+        unreachable!("if_idx points at the If node");
+    };
+    let mut compiled = Vec::with_capacity(branches.len());
+    for (cond, body) in branches {
+        let outcome = format!("{prefix}{}{suffix}", concat_text(body));
+        compiled.push((
+            cond.clone(),
+            static_docs_from_text(tpl_name, &outcome).ok()?,
+        ));
+    }
+    let fallthrough = static_docs_from_text(tpl_name, &format!("{prefix}{suffix}")).ok()?;
+    Some(RenderPlan::Gated {
+        branches: compiled,
+        fallthrough,
+        line: *line,
+    })
+}
+
 impl CompiledLevel {
     /// Replays this level's cached templates for one release, appending
     /// objects, then recurses into enabled dependencies — the compiled
@@ -231,9 +394,10 @@ impl CompiledLevel {
         &self,
         release: &Release,
         values: Value,
+        scratch: &mut RenderScratch,
         objects: &mut Vec<Object>,
     ) -> Result<()> {
-        let shared = shared_defines(self.files.iter().map(|f| &f.parsed));
+        let shared = shared_defines(self.files.iter().filter_map(|f| f.parsed.as_ref()));
         let root = build_root(
             values,
             &release.name,
@@ -244,16 +408,45 @@ impl CompiledLevel {
         for file in &self.files {
             match &file.plan {
                 RenderPlan::Partial | RenderPlan::Blank => {}
-                RenderPlan::Static(objs) => {
-                    for obj in objs {
+                RenderPlan::Static(sd) => {
+                    for obj in &sd.objects {
+                        let mut obj = obj.clone();
+                        stamp_namespace(&mut obj, &release.namespace);
+                        objects.push(obj);
+                    }
+                }
+                RenderPlan::Gated {
+                    branches,
+                    fallthrough,
+                    line,
+                } => {
+                    let parsed = file.parsed.as_ref().expect("gated files are text-sourced");
+                    let mut chosen = fallthrough;
+                    for (cond, outcome) in branches {
+                        let take = match cond {
+                            Some(p) => {
+                                eval_condition(&file.name, parsed, &shared, &root, p, *line)?
+                            }
+                            None => true,
+                        };
+                        if take {
+                            chosen = outcome;
+                            break;
+                        }
+                    }
+                    for obj in &chosen.objects {
                         let mut obj = obj.clone();
                         stamp_namespace(&mut obj, &release.namespace);
                         objects.push(obj);
                     }
                 }
                 RenderPlan::Dynamic => {
-                    let rendered = render_file(&file.name, &file.parsed, &shared, &root)?;
-                    decode_rendered(&file.name, &rendered, &release.namespace, objects)?;
+                    let parsed = file
+                        .parsed
+                        .as_ref()
+                        .expect("dynamic files are text-sourced");
+                    render_file_into(&file.name, parsed, &shared, &root, &mut scratch.rendered)?;
+                    decode_rendered(&file.name, &scratch.rendered, &release.namespace, objects)?;
                 }
             }
         }
@@ -273,7 +466,89 @@ impl CompiledLevel {
                 .cloned()
                 .unwrap_or(Value::Map(Map::new()));
             let sub_values = merge_values(&dep.level.values, &scoped)?;
-            dep.level.render_into(release, sub_values, objects)?;
+            dep.level
+                .render_into(release, sub_values, scratch, objects)?;
+        }
+        Ok(())
+    }
+
+    /// The document-stream mirror of `render_into`: appends every file's
+    /// rendered documents as `Value`s, in the same file and dependency
+    /// order, without stamping the release namespace (that belongs to
+    /// decoding).
+    fn render_values_into(
+        &self,
+        release: &Release,
+        values: Value,
+        docs: &mut Vec<Value>,
+    ) -> Result<()> {
+        let shared = shared_defines(self.files.iter().filter_map(|f| f.parsed.as_ref()));
+        let root = build_root(
+            values,
+            &release.name,
+            &release.namespace,
+            &self.name,
+            &self.version,
+        );
+        for file in &self.files {
+            match &file.plan {
+                RenderPlan::Partial | RenderPlan::Blank => {}
+                RenderPlan::Static(sd) => docs.extend(sd.docs.iter().cloned()),
+                RenderPlan::Gated {
+                    branches,
+                    fallthrough,
+                    line,
+                } => {
+                    let parsed = file.parsed.as_ref().expect("gated files are text-sourced");
+                    let mut chosen = fallthrough;
+                    for (cond, outcome) in branches {
+                        let take = match cond {
+                            Some(p) => {
+                                eval_condition(&file.name, parsed, &shared, &root, p, *line)?
+                            }
+                            None => true,
+                        };
+                        if take {
+                            chosen = outcome;
+                            break;
+                        }
+                    }
+                    docs.extend(chosen.docs.iter().cloned());
+                }
+                RenderPlan::Dynamic => {
+                    let parsed = file
+                        .parsed
+                        .as_ref()
+                        .expect("dynamic files are text-sourced");
+                    let rendered = render_file(&file.name, parsed, &shared, &root)?;
+                    if rendered.trim().is_empty() {
+                        continue;
+                    }
+                    let parsed_docs =
+                        ij_yaml::parse_all(&rendered).map_err(|e| Error::RenderedYaml {
+                            template: file.name.clone(),
+                            source: e,
+                            rendered: rendered.clone(),
+                        })?;
+                    docs.extend(parsed_docs.into_iter().filter(|d| !d.is_null()));
+                }
+            }
+        }
+        let values = root.get("Values").expect("root always carries Values");
+        for dep in &self.deps {
+            if let Some(cond) = &dep.condition {
+                let path: Vec<&str> = cond.split('.').collect();
+                let enabled = values.path(&path).map(Value::truthy).unwrap_or(false);
+                if !enabled {
+                    continue;
+                }
+            }
+            let scoped = values
+                .get(&dep.chart_name)
+                .cloned()
+                .unwrap_or(Value::Map(Map::new()));
+            let sub_values = merge_values(&dep.level.values, &scoped)?;
+            dep.level.render_values_into(release, sub_values, docs)?;
         }
         Ok(())
     }
@@ -434,5 +709,157 @@ spec:
         let compiled = chart_with_everything().compile().expect("compiles");
         assert_eq!(compiled.name(), "app");
         assert_eq!(compiled.version(), "2.4.8");
+    }
+
+    fn gated_chart() -> Chart {
+        Chart::builder("gated")
+            .values_yaml("gate:\n  enabled: true\n")
+            .unwrap()
+            .template(
+                "gate.yaml",
+                "\
+{{- if .Values.gate.enabled }}
+apiVersion: v1
+kind: Service
+metadata:
+  name: gated-on
+spec:
+  selector:
+    app: g
+  ports:
+    - port: 1
+{{- else }}
+apiVersion: v1
+kind: Service
+metadata:
+  name: gated-off
+spec:
+  selector:
+    app: g
+  ports:
+    - port: 2
+{{- end }}
+",
+            )
+            .build()
+    }
+
+    #[test]
+    fn single_if_files_compile_to_gated_plans() {
+        let compiled = gated_chart().compile().expect("compiles");
+        let file = &compiled.root.files[0];
+        assert!(
+            matches!(file.plan, RenderPlan::Gated { .. }),
+            "netpol-shaped template should compile to a gated plan, got {:?}",
+            file.plan
+        );
+    }
+
+    #[test]
+    fn gated_plans_pick_the_taken_branch() {
+        let chart = gated_chart();
+        let compiled = chart.compile().expect("compiles");
+        for release in [
+            Release::new("on", "apps"),
+            Release::new("off", "prod")
+                .with_values_yaml("gate:\n  enabled: false\n")
+                .unwrap(),
+        ] {
+            let naive = chart.render(&release).expect("per-call render");
+            let replay = compiled.render(&release).expect("compiled render");
+            assert_eq!(bytes(&naive), bytes(&replay), "release {}", release.name);
+            let expected = if release.name == "on" {
+                "gated-on"
+            } else {
+                "gated-off"
+            };
+            assert_eq!(replay.objects[0].meta().name, expected);
+        }
+    }
+
+    #[test]
+    fn gated_plans_fall_through_to_surrounding_text() {
+        // No `else`: a false condition leaves only the surrounding
+        // whitespace, which renders no objects — same as the oracle.
+        let chart = Chart::builder("gated")
+            .values_yaml("gate:\n  enabled: false\n")
+            .unwrap()
+            .template(
+                "gate.yaml",
+                "{{- if .Values.gate.enabled }}\napiVersion: v1\nkind: Service\n\
+                 metadata:\n  name: g\nspec:\n  selector:\n    app: g\n  ports:\n\
+                 \x20   - port: 1\n{{- end }}\n",
+            )
+            .build();
+        let compiled = chart.compile().expect("compiles");
+        let release = Release::new("r", "default");
+        let naive = chart.render(&release).expect("per-call render");
+        let replay = compiled.render(&release).expect("compiled render");
+        assert_eq!(bytes(&naive), bytes(&replay));
+        assert!(replay.objects.is_empty());
+    }
+
+    #[test]
+    fn gated_errors_surface_only_when_the_branch_is_taken() {
+        // A branch outcome that fails to decode keeps the file on the
+        // dynamic plan, so the error appears at render time iff the branch
+        // is taken — exactly the oracle's timing.
+        let chart = Chart::builder("gated")
+            .template("gate.yaml", "{{ if .Values.bad }}kind: Pod\n{{ end }}")
+            .build();
+        let compiled = chart.compile().expect("bad branches do not fail compile");
+        assert!(compiled.render(&Release::new("ok", "default")).is_ok());
+        let broken = Release::new("bad", "default")
+            .with_values_yaml("bad: true\n")
+            .unwrap();
+        assert!(
+            chart.render(&broken).is_err(),
+            "oracle rejects the taken branch"
+        );
+        assert!(compiled.render(&broken).is_err(), "compiled path matches");
+    }
+
+    #[test]
+    fn doc_sourced_templates_render_without_text() {
+        let svc = ij_yaml::parse(
+            "apiVersion: v1\nkind: Service\nmetadata:\n  name: doc-svc\n\
+             spec:\n  selector:\n    app: d\n  ports:\n    - port: 9\n",
+        )
+        .unwrap();
+        let chart = Chart::builder("docsrc")
+            .template_doc("00-svc.yaml", svc.clone())
+            .build();
+        let compiled = chart.compile().expect("compiles");
+        let release = Release::new("r", "prod");
+
+        // Text path and compiled path agree, and the object is stamped.
+        let naive = chart.render(&release).expect("text path renders");
+        let replay = compiled.render(&release).expect("compiled render");
+        assert_eq!(bytes(&naive), bytes(&replay));
+        assert_eq!(replay.objects[0].meta().namespace, "prod");
+
+        // The value stream hands back the document itself, unstamped.
+        let docs = compiled.render_values(&release).expect("value stream");
+        assert_eq!(format!("{docs:?}"), format!("{:?}", vec![svc]));
+    }
+
+    #[test]
+    fn render_values_round_trips_to_render_objects() {
+        let chart = chart_with_everything();
+        let compiled = chart.compile().expect("compiles");
+        for release in [
+            Release::new("demo", "apps"),
+            Release::new("other", "default"),
+        ] {
+            let oracle = compiled.render(&release).expect("compiled render");
+            let docs = compiled.render_values(&release).expect("value stream");
+            let mut decoded = Vec::new();
+            for doc in &docs {
+                let emitted = ij_yaml::to_string(doc);
+                decode_rendered("stream", &emitted, &release.namespace, &mut decoded)
+                    .expect("emitted document decodes");
+            }
+            assert_eq!(format!("{:#?}", oracle.objects), format!("{decoded:#?}"));
+        }
     }
 }

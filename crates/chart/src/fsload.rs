@@ -76,7 +76,7 @@ impl Chart {
                 // are visible to every template of the chart.
                 let src = fs::read_to_string(&path)
                     .map_err(|e| Error::Values(format!("{}: {e}", path.display())))?;
-                templates.push((file_name, src));
+                templates.push((file_name, crate::TemplateSource::Text(src)));
             }
         }
 

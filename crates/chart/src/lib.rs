@@ -55,8 +55,8 @@ mod error;
 mod fsload;
 mod template;
 
-pub use chart::{Chart, ChartBuilder, Dependency, Release, RenderedRelease};
-pub use compiled::CompiledChart;
+pub use chart::{Chart, ChartBuilder, Dependency, Release, RenderedRelease, TemplateSource};
+pub use compiled::{CompiledChart, RenderScratch};
 pub use error::{Error, Result};
 pub use template::{
     merge_defines, parse_template, render_parsed, render_template, Context, Node, ParsedTemplate,

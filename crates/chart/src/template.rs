@@ -62,16 +62,17 @@ pub(crate) fn build_root(
     chart_name: &str,
     chart_version: &str,
 ) -> Value {
-    let mut release = Map::new();
-    release.insert("Name", Value::str(release_name));
-    release.insert("Namespace", Value::str(release_namespace));
-    let mut chart = Map::new();
-    chart.insert("Name", Value::str(chart_name));
-    chart.insert("Version", Value::str(chart_version));
-    let mut root = Map::new();
-    root.insert("Values", values);
-    root.insert("Release", Value::Map(release));
-    root.insert("Chart", Value::Map(chart));
+    // Fixed distinct keys: append without `insert`'s duplicate scan.
+    let mut release = Map::with_capacity(2);
+    release.push_unchecked("Name", Value::str(release_name));
+    release.push_unchecked("Namespace", Value::str(release_namespace));
+    let mut chart = Map::with_capacity(2);
+    chart.push_unchecked("Name", Value::str(chart_name));
+    chart.push_unchecked("Version", Value::str(chart_version));
+    let mut root = Map::with_capacity(3);
+    root.push_unchecked("Values", values);
+    root.push_unchecked("Release", Value::Map(release));
+    root.push_unchecked("Chart", Value::Map(chart));
     Value::Map(root)
 }
 
@@ -159,15 +160,50 @@ pub(crate) fn render_file(
     shared: &SharedDefines<'_>,
     root: &Value,
 ) -> Result<String> {
+    let mut out = String::new();
+    render_file_into(name, template, shared, root, &mut out)?;
+    Ok(out)
+}
+
+/// [`render_file`] into a caller-provided buffer, clearing it first —
+/// exactly the same bytes, but render-many loops amortize the output
+/// allocation across files and releases.
+pub(crate) fn render_file_into(
+    name: &str,
+    template: &ParsedTemplate,
+    shared: &SharedDefines<'_>,
+    root: &Value,
+    out: &mut String,
+) -> Result<()> {
     let env = EvalEnv {
         name,
         shared,
         own: &template.defines,
         root,
     };
-    let mut out = String::new();
-    eval_block(&env, &template.nodes, root, &mut out, 0)?;
-    Ok(out)
+    out.clear();
+    eval_block(&env, &template.nodes, root, out, 0)
+}
+
+/// Evaluates one `if`/`else if` condition pipeline of a parsed file against
+/// a pre-built root dot, applying exactly the truthiness `eval_block` uses
+/// when it picks a branch. The compiled layer calls this to choose a
+/// pre-decoded branch outcome without rendering any text.
+pub(crate) fn eval_condition(
+    name: &str,
+    template: &ParsedTemplate,
+    shared: &SharedDefines<'_>,
+    root: &Value,
+    pipeline: &Pipeline,
+    line: usize,
+) -> Result<bool> {
+    let env = EvalEnv {
+        name,
+        shared,
+        own: &template.defines,
+        root,
+    };
+    Ok(eval_pipeline(&env, pipeline, root, line, 0)?.truthy())
 }
 
 /// Collects the partials of several parsed templates into one shared set.

@@ -428,13 +428,24 @@ impl Cluster {
     /// then reconciles. On an admission denial the release's
     /// already-applied objects are rolled back (Helm-style atomic install).
     pub fn install(&mut self, release: &RenderedRelease) -> Result<Vec<String>, InstallError> {
+        self.install_objects(&release.release_name, &release.objects)
+    }
+
+    /// [`install`](Self::install) from a borrowed object slice — the census
+    /// workers render into a reusable scratch vec and install it directly,
+    /// without wrapping the slice in a `RenderedRelease`.
+    pub fn install_objects(
+        &mut self,
+        release_name: &str,
+        objects: &[Object],
+    ) -> Result<Vec<String>, InstallError> {
         let checkpoint = self.objects.len();
         let mut warnings = Vec::new();
-        for obj in &release.objects {
+        for obj in objects {
             let mut obj = obj.clone();
             obj.meta_mut()
                 .annotations
-                .insert(RELEASE_ANNOTATION.to_string(), release.release_name.clone());
+                .insert(RELEASE_ANNOTATION.to_string(), release_name.to_string());
             match self.apply(obj) {
                 Ok(mut w) => warnings.append(&mut w),
                 Err(e) => {
@@ -446,7 +457,7 @@ impl Cluster {
                         }
                     }
                     self.objects.truncate(checkpoint);
-                    self.touch(DirtyEntry::app(&release.release_name, true, false));
+                    self.touch(DirtyEntry::app(release_name, true, false));
                     return Err(e);
                 }
             }

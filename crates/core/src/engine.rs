@@ -155,14 +155,15 @@ impl Analyzer {
 /// NetworkPolicy — the signal that separates "policies not defined" from
 /// "policies defined but not enabled" in M6.
 pub fn chart_defines_network_policies(chart: &Chart) -> bool {
-    chart
-        .templates
+    chart.templates.iter().any(|(_, src)| match src {
+        ij_chart::TemplateSource::Text(s) => s.contains("kind: NetworkPolicy"),
+        ij_chart::TemplateSource::Doc(d) => {
+            d.get("kind").and_then(ij_yaml::Value::as_str) == Some("NetworkPolicy")
+        }
+    }) || chart
+        .dependencies
         .iter()
-        .any(|(_, src)| src.contains("kind: NetworkPolicy"))
-        || chart
-            .dependencies
-            .iter()
-            .any(|d| chart_defines_network_policies(&d.chart))
+        .any(|d| chart_defines_network_policies(&d.chart))
 }
 
 #[cfg(test)]

@@ -414,15 +414,19 @@ pub fn build_app(spec: &AppSpec) -> BuiltApp {
     let mut builder = Chart::builder(app)
         .version(&spec.version)
         .description(format!("synthetic {} chart for {}", spec.org.as_str(), app))
-        .values_yaml(&format!(
-            "networkPolicy:\n  enabled: {}\n",
-            spec.plan.netpol.enabled_by_default()
-        ))
-        .expect("static values are valid YAML");
+        .values(ij_yaml::ymap! {
+            "networkPolicy" => ij_yaml::ymap! {
+                "enabled" => spec.plan.netpol.enabled_by_default(),
+            },
+        });
     for (i, obj) in objects.iter().enumerate() {
-        builder = builder.template(
+        // Attach the already-encoded document instead of emitted text: the
+        // compiled render layer decodes it directly, skipping the
+        // emit → reparse round trip per (app, file). `template_doc` renders
+        // byte-identically to `template(name, obj.to_manifest())`.
+        builder = builder.template_doc(
             format!("{:02}-{}.yaml", i, obj.kind().to_lowercase()),
-            obj.to_manifest(),
+            obj.encode(),
         );
     }
     if plan.netpol.defines_policy() {
@@ -451,12 +455,22 @@ fn netpol_template(app: &str, plan: &crate::spec::Plan, objects: &[Object]) -> S
         // "false sense of security" pattern of §4.3.2.
         out.push_str("    - {}\n");
     } else {
+        // Union of declared `(port, protocol)` pairs in object order — the
+        // same order `StaticModel::from_objects(objects)` would walk its
+        // units, without materializing the model.
         let mut ports: Vec<(u16, ij_model::Protocol)> = Vec::new();
-        let statics = ij_core::StaticModel::from_objects(objects);
-        for unit in &statics.units {
-            for p in unit.declared_ports() {
-                if !ports.contains(&p) {
-                    ports.push(p);
+        for obj in objects {
+            let containers = match obj {
+                Object::Pod(p) => &p.spec.containers,
+                Object::Workload(w) => &w.template.spec.containers,
+                _ => continue,
+            };
+            for container in containers {
+                for p in &container.ports {
+                    let pair = (p.container_port, p.protocol);
+                    if !ports.contains(&pair) {
+                        ports.push(pair);
+                    }
                 }
             }
         }

@@ -31,7 +31,7 @@ use crate::builder::{build_app, BuiltApp};
 use crate::gen::CorpusGenerator;
 use crate::runner::{AppAnalysis, CorpusOptions, PolicyImpact};
 use crate::spec::AppSpec;
-use ij_chart::{CompiledChart, Release, RenderedRelease};
+use ij_chart::{CompiledChart, Release, RenderScratch, RenderedRelease};
 use ij_cluster::{Cluster, ClusterConfig, InstallError};
 use ij_core::{
     chart_defines_network_policies, m4_global_collisions_compact, sort_canonical,
@@ -142,6 +142,7 @@ pub type CensusObserver = Arc<dyn Fn(&CensusProgress) + Send + Sync>;
 /// wall time, not elapsed time.
 #[derive(Debug, Default)]
 pub struct PhaseTimings {
+    build_ns: AtomicU64,
     render_ns: AtomicU64,
     install_ns: AtomicU64,
     probe_ns: AtomicU64,
@@ -153,6 +154,7 @@ impl PhaseTimings {
     pub fn snapshot(&self) -> PhaseReport {
         let load = |a: &AtomicU64| Duration::from_nanos(a.load(Ordering::Relaxed));
         PhaseReport {
+            build: load(&self.build_ns),
             render: load(&self.render_ns),
             install: load(&self.install_ns),
             probe: load(&self.probe_ns),
@@ -160,16 +162,48 @@ impl PhaseTimings {
         }
     }
 
-    fn record(slot: Option<&AtomicU64>, start: Option<Instant>) {
-        if let (Some(slot), Some(start)) = (slot, start) {
-            slot.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        }
+    /// Merges one worker's local accumulators in. Workers batch into plain
+    /// `u64`s ([`LocalTimings`]) and flush here once per worker, so shard
+    /// and thread counts change atomic traffic, not the totals: a sharded
+    /// run's report is the same per-phase sum a sequential run produces.
+    fn merge_local(&self, local: &LocalTimings) {
+        let add = |slot: &AtomicU64, v: u64| {
+            if v > 0 {
+                slot.fetch_add(v, Ordering::Relaxed);
+            }
+        };
+        add(&self.build_ns, local.build);
+        add(&self.render_ns, local.render);
+        add(&self.install_ns, local.install);
+        add(&self.probe_ns, local.probe);
+        add(&self.analyze_ns, local.analyze);
+    }
+}
+
+/// Worker-local phase accumulators: plain counters a single worker owns,
+/// merged into the shared [`PhaseTimings`] when the worker finishes.
+#[derive(Debug, Default)]
+struct LocalTimings {
+    build: u64,
+    render: u64,
+    install: u64,
+    probe: u64,
+    analyze: u64,
+}
+
+/// Adds `start`'s elapsed time (when timing is on) to a local counter.
+fn record_local(slot: &mut u64, start: Option<Instant>) {
+    if let Some(start) = start {
+        *slot += start.elapsed().as_nanos() as u64;
     }
 }
 
 /// One [`PhaseTimings`] reading: summed wall time per census phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PhaseReport {
+    /// Spec → chart construction (`build_app`), including template
+    /// compilation on the streamed path.
+    pub build: Duration,
     /// Chart rendering (cache hits included, at their observed cost).
     pub render: Duration,
     /// Cluster construction and object installation.
@@ -181,9 +215,51 @@ pub struct PhaseReport {
 }
 
 impl PhaseReport {
-    /// Sum of the four phases.
+    /// Sum of the five phases.
     pub fn total(&self) -> Duration {
-        self.render + self.install + self.probe + self.analyze
+        self.build + self.render + self.install + self.probe + self.analyze
+    }
+}
+
+/// Reusable per-worker state for the census hot path: the staging vec
+/// renders land in, the chart render scratch (emit/output buffers), and the
+/// worker's local phase timings. One scratch lives per analysis worker (or
+/// per sequential run) and is cleared between apps — steady state, the
+/// render → install leg stops allocating.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    objects: Vec<Object>,
+    render: RenderScratch,
+    timings: LocalTimings,
+}
+
+impl WorkerScratch {
+    /// Flushes the local timing counters into the shared report.
+    fn flush(&mut self, timings: Option<&PhaseTimings>) {
+        if let Some(t) = timings {
+            t.merge_local(&self.timings);
+        }
+        self.timings = LocalTimings::default();
+    }
+}
+
+/// A built app held by value or through the build cache, so `analyze_spec`
+/// times `build_app` uniformly on both paths. The owned variant stays
+/// unboxed on purpose: the value lives for one stack frame and the
+/// streamed census takes this path once per app, so the indirection would
+/// be a per-app heap allocation with nothing amortizing it.
+#[allow(clippy::large_enum_variant)]
+enum BuiltRef {
+    Shared(Arc<BuiltApp>),
+    Owned(BuiltApp),
+}
+
+impl BuiltRef {
+    fn as_ref(&self) -> &BuiltApp {
+        match self {
+            BuiltRef::Shared(b) => b,
+            BuiltRef::Owned(b) => b,
+        }
     }
 }
 
@@ -454,61 +530,84 @@ impl CensusPipeline {
     /// census with [`policy_impact`](Self::policy_impact)) never re-parses
     /// or re-renders what this pipeline already produced.
     pub fn analyze_one(&self, built: &BuiltApp) -> Result<AppAnalysis, CensusError> {
-        self.analyze_built(built, true)
+        let mut scratch = WorkerScratch::default();
+        let result = self.analyze_built(built, true, &mut scratch);
+        scratch.flush(self.timings.as_deref());
+        result
     }
 
     /// [`analyze_one`](Self::analyze_one) with the render cache optional:
     /// generated (streamed) runs render each app exactly once, so caching
-    /// the release would only pin it in memory.
-    fn analyze_built(&self, built: &BuiltApp, cache: bool) -> Result<AppAnalysis, CensusError> {
+    /// the release would only pin it in memory — they render straight into
+    /// the worker's staging vec instead, so no `RenderedRelease` (or its
+    /// object vec) is allocated at all.
+    fn analyze_built(
+        &self,
+        built: &BuiltApp,
+        cache: bool,
+        scratch: &mut WorkerScratch,
+    ) -> Result<AppAnalysis, CensusError> {
         let opts = &self.opts;
         let app = &built.spec.name;
-        let t = self.timings.as_deref();
-        let mut start = t.map(|_| Instant::now());
+        let timed = self.timings.is_some();
+        let WorkerScratch {
+            objects: staged,
+            render: render_scratch,
+            timings: local,
+        } = scratch;
+
+        let mut start = timed.then(Instant::now);
         let mut cluster = Cluster::new(ClusterConfig {
             nodes: opts.nodes,
             seed: opts.app_seed(app),
             behaviors: built.registry(),
         });
-        PhaseTimings::record(t.map(|t| &t.install_ns), start);
+        record_local(&mut local.install, start);
 
-        start = t.map(|_| Instant::now());
+        start = timed.then(Instant::now);
         let release = Release::new(app, "default");
-        let rendered = if cache {
-            self.render_app(built, &release)?
-        } else {
-            let render_err = |source| CensusError::Render {
-                app: app.clone(),
-                source,
-            };
-            let compiled = built.compiled().map_err(render_err)?;
-            Arc::new(compiled.render(&release).map_err(render_err)?)
+        let render_err = |source| CensusError::Render {
+            app: app.clone(),
+            source,
         };
-        PhaseTimings::record(t.map(|t| &t.render_ns), start);
+        // `objects` borrows either the cached release or the scratch vec.
+        let cached;
+        let objects: &[Object] = if cache {
+            cached = self.render_app(built, &release)?;
+            &cached.objects
+        } else {
+            let compiled = built.compiled().map_err(render_err)?;
+            staged.clear();
+            compiled
+                .render_objects_into(&release, render_scratch, staged)
+                .map_err(render_err)?;
+            staged
+        };
+        record_local(&mut local.render, start);
 
-        start = t.map(|_| Instant::now());
+        start = timed.then(Instant::now);
         let baseline = HostBaseline::capture(&cluster);
-        PhaseTimings::record(t.map(|t| &t.probe_ns), start);
+        record_local(&mut local.probe, start);
 
-        start = t.map(|_| Instant::now());
+        start = timed.then(Instant::now);
         cluster
-            .install(&rendered)
+            .install_objects(app, objects)
             .map_err(|source| CensusError::Install {
                 app: app.clone(),
                 source,
             })?;
-        PhaseTimings::record(t.map(|t| &t.install_ns), start);
+        record_local(&mut local.install, start);
 
-        start = t.map(|_| Instant::now());
+        start = timed.then(Instant::now);
         let mut probe_cfg = opts.probe.clone();
         probe_cfg.seed = opts.app_seed(app).rotate_left(17);
         let runtime = RuntimeAnalyzer::new(probe_cfg).analyze(&mut cluster, &baseline);
-        PhaseTimings::record(t.map(|t| &t.probe_ns), start);
+        record_local(&mut local.probe, start);
 
-        start = t.map(|_| Instant::now());
+        start = timed.then(Instant::now);
         let findings = opts.analyzer.analyze_app(
             app,
-            &rendered.objects,
+            objects,
             &cluster,
             Some(&runtime),
             chart_defines_network_policies(built.chart()),
@@ -516,9 +615,9 @@ impl CensusPipeline {
         let analysis = AppAnalysis {
             app: app.clone(),
             findings,
-            statics: StaticModel::from_objects(&rendered.objects),
+            statics: StaticModel::from_objects(objects),
         };
-        PhaseTimings::record(t.map(|t| &t.analyze_ns), start);
+        record_local(&mut local.analyze, start);
         Ok(analysis)
     }
 
@@ -661,34 +760,41 @@ impl CensusPipeline {
         let shard_of = |i: usize| bounds.partition_point(|&b| b <= i) - 1;
         // Analyze one spec and intern the outcome into its shard. The lock
         // is held only for the interning, not the analysis.
-        let analyze_into_shard = |i: usize, spec: &AppSpec| -> Result<(), CensusError> {
-            let analysis = self.analyze_spec(spec, false)?;
-            let s = shard_of(i);
-            let mut state = shards[s].lock().expect("shard state");
-            let ShardState { table, slots } = &mut *state;
-            let report = CompactAppReport {
-                app: table.intern(&spec.name),
-                dataset: table.intern(spec.org.as_str()),
-                version: table.intern(&spec.version),
-                findings: analysis
-                    .findings
-                    .iter()
-                    .map(|f| CompactFinding::intern(f, table))
-                    .collect(),
+        let analyze_into_shard =
+            |i: usize, spec: &AppSpec, scratch: &mut WorkerScratch| -> Result<(), CensusError> {
+                let analysis = self.analyze_spec(spec, false, scratch)?;
+                let s = shard_of(i);
+                let mut state = shards[s].lock().expect("shard state");
+                let ShardState { table, slots } = &mut *state;
+                let report = CompactAppReport {
+                    app: table.intern(&spec.name),
+                    dataset: table.intern(spec.org.as_str()),
+                    version: table.intern(&spec.version),
+                    findings: analysis
+                        .findings
+                        .iter()
+                        .map(|f| CompactFinding::intern(f, table))
+                        .collect(),
+                };
+                let globals = need_global
+                    .then(|| GlobalAppModel::intern(&spec.name, &analysis.statics, table));
+                slots[i - bounds[s]] = Some(ShardSlot { report, globals });
+                Ok(())
             };
-            let globals =
-                need_global.then(|| GlobalAppModel::intern(&spec.name, &analysis.statics, table));
-            slots[i - bounds[s]] = Some(ShardSlot { report, globals });
-            Ok(())
-        };
 
         let workers = self.threads().min(total.max(1));
         if workers <= 1 {
+            let mut scratch = WorkerScratch::default();
             for i in 0..total {
                 let spec = generator.spec(i);
-                analyze_into_shard(i, &spec)?;
+                let result = analyze_into_shard(i, &spec, &mut scratch);
+                if result.is_err() {
+                    self.flush_scratch(&mut scratch);
+                    result?;
+                }
                 self.notify(&spec.name, i + 1, total);
             }
+            self.flush_scratch(&mut scratch);
         } else {
             let next = AtomicUsize::new(0);
             let failed = AtomicBool::new(false);
@@ -700,30 +806,37 @@ impl CensusPipeline {
                 let analyze_into_shard = &analyze_into_shard;
                 for _ in 0..workers {
                     let tx = tx.clone();
-                    scope.spawn(move || loop {
-                        // Stop handing out work after the first failure;
-                        // in-flight analyses still complete, so every index
-                        // below the error stays filled (same contract as
-                        // `analyze_source`).
-                        if failed.load(Ordering::SeqCst) {
-                            break;
+                    scope.spawn(move || {
+                        let mut scratch = WorkerScratch::default();
+                        loop {
+                            // Stop handing out work after the first failure;
+                            // in-flight analyses still complete, so every
+                            // index below the error stays filled (same
+                            // contract as `analyze_source`).
+                            if failed.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::SeqCst);
+                            if i >= total {
+                                break;
+                            }
+                            let spec = generator.spec(i);
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    analyze_into_shard(i, &spec, &mut scratch)
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    Err(panic_probe_error(&spec.name, payload))
+                                });
+                            let result = result.map(|()| spec.name);
+                            if result.is_err() {
+                                failed.store(true, Ordering::SeqCst);
+                            }
+                            if tx.send((i, result)).is_err() {
+                                break;
+                            }
                         }
-                        let i = next.fetch_add(1, Ordering::SeqCst);
-                        if i >= total {
-                            break;
-                        }
-                        let spec = generator.spec(i);
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            analyze_into_shard(i, &spec)
-                        }))
-                        .unwrap_or_else(|payload| Err(panic_probe_error(&spec.name, payload)));
-                        let result = result.map(|()| spec.name);
-                        if result.is_err() {
-                            failed.store(true, Ordering::SeqCst);
-                        }
-                        if tx.send((i, result)).is_err() {
-                            break;
-                        }
+                        self.flush_scratch(&mut scratch);
                     });
                 }
                 drop(tx);
@@ -882,12 +995,21 @@ impl CensusPipeline {
         let workers = self.threads().min(total.max(1));
         if workers <= 1 {
             let mut out = Vec::with_capacity(total);
+            let mut scratch = WorkerScratch::default();
             for i in 0..total {
                 let spec = source.spec(i);
-                let analysis = self.analyze_spec(&spec, source.cache())?;
-                self.notify(&spec.name, i + 1, total);
-                out.push((spec.into_owned(), analysis));
+                match self.analyze_spec(&spec, source.cache(), &mut scratch) {
+                    Ok(analysis) => {
+                        self.notify(&spec.name, i + 1, total);
+                        out.push((spec.into_owned(), analysis));
+                    }
+                    Err(err) => {
+                        self.flush_scratch(&mut scratch);
+                        return Err(err);
+                    }
+                }
             }
+            self.flush_scratch(&mut scratch);
             return Ok(out);
         }
 
@@ -901,28 +1023,32 @@ impl CensusPipeline {
             let failed = &failed;
             for _ in 0..workers {
                 let tx = tx.clone();
-                scope.spawn(move || loop {
-                    // Match the sequential path's stop-at-first-failure
-                    // behaviour: once any analysis errors, stop handing out
-                    // new work (in-flight analyses still complete, keeping
-                    // every slot below the error index filled).
-                    if failed.load(Ordering::SeqCst) {
-                        break;
+                scope.spawn(move || {
+                    let mut scratch = WorkerScratch::default();
+                    loop {
+                        // Match the sequential path's stop-at-first-failure
+                        // behaviour: once any analysis errors, stop handing
+                        // out new work (in-flight analyses still complete,
+                        // keeping every slot below the error index filled).
+                        if failed.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= total {
+                            break;
+                        }
+                        let spec = source.spec(i).into_owned();
+                        let result = self
+                            .analyze_spec_catching(&spec, source.cache(), &mut scratch)
+                            .map(|analysis| (spec, analysis));
+                        if result.is_err() {
+                            failed.store(true, Ordering::SeqCst);
+                        }
+                        if tx.send((i, result)).is_err() {
+                            break;
+                        }
                     }
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= total {
-                        break;
-                    }
-                    let spec = source.spec(i).into_owned();
-                    let result = self
-                        .analyze_spec_catching(&spec, source.cache())
-                        .map(|analysis| (spec, analysis));
-                    if result.is_err() {
-                        failed.store(true, Ordering::SeqCst);
-                    }
-                    if tx.send((i, result)).is_err() {
-                        break;
-                    }
+                    self.flush_scratch(&mut scratch);
                 });
             }
             drop(tx);
@@ -959,12 +1085,20 @@ impl CensusPipeline {
 
     /// Analyzes one spec, memoizing the built app when `cache` is set
     /// (slice runs) and building it transiently otherwise (generated runs).
-    fn analyze_spec(&self, spec: &AppSpec, cache: bool) -> Result<AppAnalysis, CensusError> {
-        if cache {
-            self.analyze_one(&self.built_for(spec))
+    fn analyze_spec(
+        &self,
+        spec: &AppSpec,
+        cache: bool,
+        scratch: &mut WorkerScratch,
+    ) -> Result<AppAnalysis, CensusError> {
+        let start = self.timings.is_some().then(Instant::now);
+        let built = if cache {
+            BuiltRef::Shared(self.built_for(spec))
         } else {
-            self.analyze_built(&build_app(spec), false)
-        }
+            BuiltRef::Owned(build_app(spec))
+        };
+        record_local(&mut scratch.timings.build, start);
+        self.analyze_built(built.as_ref(), cache, scratch)
     }
 
     /// Builds and analyzes one spec, converting a panic inside the analysis
@@ -975,11 +1109,16 @@ impl CensusPipeline {
         &self,
         spec: &AppSpec,
         cache: bool,
+        scratch: &mut WorkerScratch,
     ) -> Result<AppAnalysis, CensusError> {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.analyze_spec(spec, cache)
+            self.analyze_spec(spec, cache, scratch)
         }))
         .unwrap_or_else(|payload| Err(panic_probe_error(&spec.name, payload)))
+    }
+
+    fn flush_scratch(&self, scratch: &mut WorkerScratch) {
+        scratch.flush(self.timings.as_deref());
     }
 
     fn notify(&self, app: &str, completed: usize, total: usize) {

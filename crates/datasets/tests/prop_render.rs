@@ -6,8 +6,9 @@
 //! bar of the compiled render layer, mirroring how the compiled policy
 //! index was verified against the naive engine.
 
-use ij_chart::Release;
+use ij_chart::{Release, RenderScratch};
 use ij_datasets::{build_app, AppSpec, CensusPipeline, NetpolSpec, Org, Plan};
+use ij_model::Object;
 use proptest::prelude::*;
 
 fn arb_netpol() -> impl Strategy<Value = NetpolSpec> {
@@ -101,5 +102,83 @@ proptest! {
         let hit = pipeline.render_app(&built, &release).expect("cache hit renders");
         prop_assert_eq!(format!("{naive:#?}"), format!("{:#?}", *miss));
         prop_assert_eq!(format!("{:#?}", *miss), format!("{:#?}", *hit));
+    }
+
+    /// The direct-to-Value hot path carries a determinism contract: emitting
+    /// each [`ij_chart::CompiledChart::render_values`] document back to text
+    /// and reparsing it must reproduce the document exactly, and decoding the
+    /// stream under the release namespace must yield the oracle
+    /// [`ij_chart::Chart::render`] objects byte-for-byte.
+    #[test]
+    fn render_values_emitted_and_reparsed_matches_oracle(
+        plan in arb_plan(),
+        release in arb_release(),
+    ) {
+        let spec = AppSpec::new("prop-values", Org::Bitnami, "0.0.1", plan);
+        let built = build_app(&spec);
+
+        let oracle = built.chart().render(&release).expect("seed path renders");
+        let compiled = built.compiled().expect("corpus charts compile");
+        let docs = compiled.render_values(&release).expect("value path renders");
+
+        let mut decoded = Vec::with_capacity(docs.len());
+        for doc in &docs {
+            let emitted = ij_yaml::to_string(doc);
+            let reparsed = ij_yaml::parse(&emitted).expect("emitted document reparses");
+            prop_assert_eq!(
+                format!("{doc:#?}"),
+                format!("{reparsed:#?}"),
+                "emit/reparse round-trip changed a rendered document"
+            );
+            let mut obj = Object::decode(&reparsed).expect("document decodes");
+            if obj.kind() != "Namespace" && obj.meta().namespace == "default" {
+                obj.meta_mut().namespace = release.namespace.clone();
+            }
+            decoded.push(obj);
+        }
+        prop_assert_eq!(
+            format!("{:#?}", oracle.objects),
+            format!("{decoded:#?}"),
+            "render_values, emitted and reparsed, diverged from the oracle render"
+        );
+    }
+
+    /// Worker scratch must not leak state between apps: rendering two
+    /// different apps back-to-back through one reused [`RenderScratch`] and
+    /// one reused staging vec must match what each app renders into fresh
+    /// buffers.
+    #[test]
+    fn reused_scratch_matches_fresh_buffers(
+        plan_a in arb_plan(),
+        plan_b in arb_plan(),
+        release in arb_release(),
+    ) {
+        let built_a = build_app(&AppSpec::new("prop-scr-a", Org::Bitnami, "0.0.1", plan_a));
+        let built_b = build_app(&AppSpec::new("prop-scr-b", Org::Cncf, "0.0.2", plan_b));
+
+        let mut scratch = RenderScratch::default();
+        let mut staged = Vec::new();
+        let mut reused = Vec::new();
+        for built in [&built_a, &built_b] {
+            let compiled = built.compiled().expect("corpus charts compile");
+            staged.clear();
+            compiled
+                .render_objects_into(&release, &mut scratch, &mut staged)
+                .expect("reused-scratch render succeeds");
+            reused.push(format!("{staged:#?}"));
+        }
+
+        for (built, seen) in [&built_a, &built_b].into_iter().zip(&reused) {
+            let fresh = built
+                .compiled()
+                .expect("corpus charts compile")
+                .render(&release)
+                .expect("fresh-buffer render succeeds");
+            prop_assert_eq!(
+                &format!("{:#?}", fresh.objects),
+                seen,
+                "reused worker scratch poisoned a later app's render"
+            );
+        }
     }
 }

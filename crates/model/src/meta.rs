@@ -79,9 +79,9 @@ impl Labels {
 
     /// Encodes to a YAML mapping.
     pub(crate) fn encode(&self) -> Value {
-        let mut m = Map::new();
+        let mut m = Map::with_capacity(self.0.len());
         for (k, v) in self.iter() {
-            m.insert(k, Value::str(v));
+            m.push_unchecked(k, Value::str(v));
         }
         Value::Map(m)
     }
@@ -174,20 +174,20 @@ impl ObjectMeta {
     }
 
     pub(crate) fn encode(&self) -> Value {
-        let mut m = Map::new();
-        m.insert("name", Value::str(&self.name));
+        let mut m = Map::with_capacity(4);
+        m.push_unchecked("name", Value::str(&self.name));
         if self.namespace != "default" {
-            m.insert("namespace", Value::str(&self.namespace));
+            m.push_unchecked("namespace", Value::str(&self.namespace));
         }
         if !self.labels.is_empty() {
-            m.insert("labels", self.labels.encode());
+            m.push_unchecked("labels", self.labels.encode());
         }
         if !self.annotations.is_empty() {
-            let mut a = Map::new();
+            let mut a = Map::with_capacity(self.annotations.len());
             for (k, v) in &self.annotations {
-                a.insert(k.clone(), Value::str(v));
+                a.push_unchecked(k.clone(), Value::str(v));
             }
-            m.insert("annotations", Value::Map(a));
+            m.push_unchecked("annotations", Value::Map(a));
         }
         Value::Map(m)
     }
@@ -302,18 +302,18 @@ impl LabelSelector {
     }
 
     pub(crate) fn encode(&self) -> Value {
-        let mut m = Map::new();
+        let mut m = Map::with_capacity(2);
         if !self.match_labels.is_empty() {
-            m.insert("matchLabels", self.match_labels.encode());
+            m.push_unchecked("matchLabels", self.match_labels.encode());
         }
         if !self.match_expressions.is_empty() {
             let exprs = self
                 .match_expressions
                 .iter()
                 .map(|r| {
-                    let mut e = Map::new();
-                    e.insert("key", Value::str(&r.key));
-                    e.insert(
+                    let mut e = Map::with_capacity(3);
+                    e.push_unchecked("key", Value::str(&r.key));
+                    e.push_unchecked(
                         "operator",
                         Value::str(match r.op {
                             SelectorOp::In => "In",
@@ -323,7 +323,7 @@ impl LabelSelector {
                         }),
                     );
                     if !r.values.is_empty() {
-                        e.insert(
+                        e.push_unchecked(
                             "values",
                             Value::Seq(r.values.iter().map(Value::str).collect()),
                         );
@@ -331,7 +331,7 @@ impl LabelSelector {
                     Value::Map(e)
                 })
                 .collect();
-            m.insert("matchExpressions", Value::Seq(exprs));
+            m.push_unchecked("matchExpressions", Value::Seq(exprs));
         }
         Value::Map(m)
     }

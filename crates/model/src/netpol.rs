@@ -228,10 +228,10 @@ impl NetworkPolicy {
     }
 
     pub(crate) fn encode(&self) -> Value {
-        let mut spec = Map::new();
-        spec.insert("podSelector", self.spec.pod_selector.encode());
+        let mut spec = Map::with_capacity(4);
+        spec.push_unchecked("podSelector", self.spec.pod_selector.encode());
         if !self.spec.policy_types.is_empty() {
-            spec.insert(
+            spec.push_unchecked(
                 "policyTypes",
                 Value::Seq(
                     self.spec
@@ -248,16 +248,16 @@ impl NetworkPolicy {
             );
         }
         if !self.spec.ingress.is_empty() {
-            spec.insert("ingress", encode_rules(&self.spec.ingress, "from"));
+            spec.push_unchecked("ingress", encode_rules(&self.spec.ingress, "from"));
         }
         if !self.spec.egress.is_empty() {
-            spec.insert("egress", encode_rules(&self.spec.egress, "to"));
+            spec.push_unchecked("egress", encode_rules(&self.spec.egress, "to"));
         }
-        let mut m = Map::new();
-        m.insert("apiVersion", Value::str("networking.k8s.io/v1"));
-        m.insert("kind", Value::str("NetworkPolicy"));
-        m.insert("metadata", self.meta.encode());
-        m.insert("spec", Value::Map(spec));
+        let mut m = Map::with_capacity(4);
+        m.push_unchecked("apiVersion", Value::str("networking.k8s.io/v1"));
+        m.push_unchecked("kind", Value::str("NetworkPolicy"));
+        m.push_unchecked("metadata", self.meta.encode());
+        m.push_unchecked("spec", Value::Map(spec));
         Value::Map(m)
     }
 }
@@ -341,33 +341,33 @@ fn encode_rules(rules: &[NetworkPolicyRule], peer_field: &str) -> Value {
         rules
             .iter()
             .map(|r| {
-                let mut rm = Map::new();
+                let mut rm = Map::with_capacity(2);
                 if !r.peers.is_empty() {
-                    rm.insert(
+                    rm.push_unchecked(
                         peer_field,
                         Value::Seq(
                             r.peers
                                 .iter()
                                 .map(|p| {
-                                    let mut pm = Map::new();
+                                    let mut pm = Map::with_capacity(3);
                                     if let Some(s) = &p.pod_selector {
-                                        pm.insert("podSelector", s.encode());
+                                        pm.push_unchecked("podSelector", s.encode());
                                     }
                                     if let Some(s) = &p.namespace_selector {
-                                        pm.insert("namespaceSelector", s.encode());
+                                        pm.push_unchecked("namespaceSelector", s.encode());
                                     }
                                     if let Some(b) = &p.ip_block {
-                                        let mut bm = Map::new();
-                                        bm.insert("cidr", Value::str(&b.cidr));
+                                        let mut bm = Map::with_capacity(2);
+                                        bm.push_unchecked("cidr", Value::str(&b.cidr));
                                         if !b.except.is_empty() {
-                                            bm.insert(
+                                            bm.push_unchecked(
                                                 "except",
                                                 Value::Seq(
                                                     b.except.iter().map(Value::str).collect(),
                                                 ),
                                             );
                                         }
-                                        pm.insert("ipBlock", Value::Map(bm));
+                                        pm.push_unchecked("ipBlock", Value::Map(bm));
                                     }
                                     Value::Map(pm)
                                 })
@@ -376,27 +376,30 @@ fn encode_rules(rules: &[NetworkPolicyRule], peer_field: &str) -> Value {
                     );
                 }
                 if !r.ports.is_empty() {
-                    rm.insert(
+                    rm.push_unchecked(
                         "ports",
                         Value::Seq(
                             r.ports
                                 .iter()
                                 .map(|p| {
-                                    let mut pm = Map::new();
+                                    let mut pm = Map::with_capacity(3);
                                     if p.protocol != Protocol::Tcp {
-                                        pm.insert("protocol", Value::str(p.protocol.as_str()));
+                                        pm.push_unchecked(
+                                            "protocol",
+                                            Value::str(p.protocol.as_str()),
+                                        );
                                     }
                                     match &p.port {
                                         Some(PolicyPortRef::Number(n)) => {
-                                            pm.insert("port", Value::Int(*n as i64));
+                                            pm.push_unchecked("port", Value::Int(*n as i64));
                                         }
                                         Some(PolicyPortRef::Name(n)) => {
-                                            pm.insert("port", Value::str(n));
+                                            pm.push_unchecked("port", Value::str(n));
                                         }
                                         None => {}
                                     }
                                     if let Some(e) = p.end_port {
-                                        pm.insert("endPort", Value::Int(e as i64));
+                                        pm.push_unchecked("endPort", Value::Int(e as i64));
                                     }
                                     Value::Map(pm)
                                 })

@@ -117,15 +117,15 @@ impl Object {
             Object::Service(s) => s.encode(),
             Object::NetworkPolicy(n) => n.encode(),
             Object::Namespace(meta) => {
-                let mut m = Map::new();
-                m.insert("apiVersion", Value::str("v1"));
-                m.insert("kind", Value::str("Namespace"));
-                let mut me = Map::new();
-                me.insert("name", Value::str(&meta.name));
+                let mut m = Map::with_capacity(3);
+                m.push_unchecked("apiVersion", Value::str("v1"));
+                m.push_unchecked("kind", Value::str("Namespace"));
+                let mut me = Map::with_capacity(2);
+                me.push_unchecked("name", Value::str(&meta.name));
                 if !meta.labels.is_empty() {
-                    me.insert("labels", meta.labels.encode());
+                    me.push_unchecked("labels", meta.labels.encode());
                 }
-                m.insert("metadata", Value::Map(me));
+                m.push_unchecked("metadata", Value::Map(me));
                 Value::Map(m)
             }
             Object::Opaque { raw, .. } => raw.clone(),

@@ -121,16 +121,16 @@ impl ContainerPort {
     }
 
     pub(crate) fn encode(&self) -> Value {
-        let mut m = Map::new();
+        let mut m = Map::with_capacity(4);
         if let Some(n) = &self.name {
-            m.insert("name", Value::str(n));
+            m.push_unchecked("name", Value::str(n));
         }
-        m.insert("containerPort", Value::Int(self.container_port as i64));
+        m.push_unchecked("containerPort", Value::Int(self.container_port as i64));
         if self.protocol != Protocol::Tcp {
-            m.insert("protocol", Value::str(self.protocol.as_str()));
+            m.push_unchecked("protocol", Value::str(self.protocol.as_str()));
         }
         if let Some(hp) = self.host_port {
-            m.insert("hostPort", Value::Int(hp as i64));
+            m.push_unchecked("hostPort", Value::Int(hp as i64));
         }
         Value::Map(m)
     }
@@ -225,11 +225,11 @@ impl Container {
     }
 
     pub(crate) fn encode(&self) -> Value {
-        let mut m = Map::new();
-        m.insert("name", Value::str(&self.name));
-        m.insert("image", Value::str(&self.image));
+        let mut m = Map::with_capacity(4);
+        m.push_unchecked("name", Value::str(&self.name));
+        m.push_unchecked("image", Value::str(&self.image));
         if !self.ports.is_empty() {
-            m.insert(
+            m.push_unchecked(
                 "ports",
                 Value::Seq(self.ports.iter().map(ContainerPort::encode).collect()),
             );
@@ -239,13 +239,13 @@ impl Container {
                 .env
                 .iter()
                 .map(|e| {
-                    let mut em = Map::new();
-                    em.insert("name", Value::str(&e.name));
-                    em.insert("value", Value::str(&e.value));
+                    let mut em = Map::with_capacity(2);
+                    em.push_unchecked("name", Value::str(&e.name));
+                    em.push_unchecked("value", Value::str(&e.value));
                     Value::Map(em)
                 })
                 .collect();
-            m.insert("env", Value::Seq(env));
+            m.push_unchecked("env", Value::Seq(env));
         }
         Value::Map(m)
     }
@@ -278,14 +278,14 @@ impl PodSpec {
     }
 
     pub(crate) fn encode(&self) -> Value {
-        let mut m = Map::new();
+        let mut m = Map::with_capacity(3);
         if self.host_network {
-            m.insert("hostNetwork", Value::Bool(true));
+            m.push_unchecked("hostNetwork", Value::Bool(true));
         }
         if let Some(n) = &self.node_name {
-            m.insert("nodeName", Value::str(n));
+            m.push_unchecked("nodeName", Value::str(n));
         }
-        m.insert(
+        m.push_unchecked(
             "containers",
             Value::Seq(self.containers.iter().map(Container::encode).collect()),
         );
@@ -349,11 +349,11 @@ impl Pod {
     }
 
     pub(crate) fn encode(&self) -> Value {
-        let mut m = Map::new();
-        m.insert("apiVersion", Value::str("v1"));
-        m.insert("kind", Value::str("Pod"));
-        m.insert("metadata", self.meta.encode());
-        m.insert("spec", self.spec.encode());
+        let mut m = Map::with_capacity(4);
+        m.push_unchecked("apiVersion", Value::str("v1"));
+        m.push_unchecked("kind", Value::str("Pod"));
+        m.push_unchecked("metadata", self.meta.encode());
+        m.push_unchecked("spec", self.spec.encode());
         Value::Map(m)
     }
 }

@@ -131,25 +131,25 @@ impl ServicePort {
     }
 
     pub(crate) fn encode(&self) -> Value {
-        let mut m = Map::new();
+        let mut m = Map::with_capacity(5);
         if let Some(n) = &self.name {
-            m.insert("name", Value::str(n));
+            m.push_unchecked("name", Value::str(n));
         }
-        m.insert("port", Value::Int(self.port as i64));
+        m.push_unchecked("port", Value::Int(self.port as i64));
         match &self.target_port {
             TargetPort::Number(n) if *n == self.port => {}
             TargetPort::Number(n) => {
-                m.insert("targetPort", Value::Int(*n as i64));
+                m.push_unchecked("targetPort", Value::Int(*n as i64));
             }
             TargetPort::Name(s) => {
-                m.insert("targetPort", Value::str(s));
+                m.push_unchecked("targetPort", Value::str(s));
             }
         }
         if self.protocol != Protocol::Tcp {
-            m.insert("protocol", Value::str(self.protocol.as_str()));
+            m.push_unchecked("protocol", Value::str(self.protocol.as_str()));
         }
         if let Some(np) = self.node_port {
-            m.insert("nodePort", Value::Int(np as i64));
+            m.push_unchecked("nodePort", Value::Int(np as i64));
         }
         Value::Map(m)
     }
@@ -254,27 +254,27 @@ impl Service {
     }
 
     pub(crate) fn encode(&self) -> Value {
-        let mut spec = Map::new();
+        let mut spec = Map::with_capacity(4);
         if self.spec.service_type != ServiceType::ClusterIp {
-            spec.insert("type", Value::str(self.spec.service_type.as_str()));
+            spec.push_unchecked("type", Value::str(self.spec.service_type.as_str()));
         }
         if self.spec.headless {
-            spec.insert("clusterIP", Value::str("None"));
+            spec.push_unchecked("clusterIP", Value::str("None"));
         }
         if !self.spec.selector.is_empty() {
-            spec.insert("selector", self.spec.selector.encode());
+            spec.push_unchecked("selector", self.spec.selector.encode());
         }
         if !self.spec.ports.is_empty() {
-            spec.insert(
+            spec.push_unchecked(
                 "ports",
                 Value::Seq(self.spec.ports.iter().map(ServicePort::encode).collect()),
             );
         }
-        let mut m = Map::new();
-        m.insert("apiVersion", Value::str("v1"));
-        m.insert("kind", Value::str("Service"));
-        m.insert("metadata", self.meta.encode());
-        m.insert("spec", Value::Map(spec));
+        let mut m = Map::with_capacity(4);
+        m.push_unchecked("apiVersion", Value::str("v1"));
+        m.push_unchecked("kind", Value::str("Service"));
+        m.push_unchecked("metadata", self.meta.encode());
+        m.push_unchecked("spec", Value::Map(spec));
         Value::Map(m)
     }
 }

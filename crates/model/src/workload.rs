@@ -157,28 +157,28 @@ impl Workload {
     }
 
     pub(crate) fn encode(&self) -> Value {
-        let mut tpl_meta = Map::new();
+        let mut tpl_meta = Map::with_capacity(1);
         if !self.template.labels.is_empty() {
-            tpl_meta.insert("labels", self.template.labels.encode());
+            tpl_meta.push_unchecked("labels", self.template.labels.encode());
         }
-        let mut tpl = Map::new();
-        tpl.insert("metadata", Value::Map(tpl_meta));
-        tpl.insert("spec", self.template.spec.encode());
+        let mut tpl = Map::with_capacity(2);
+        tpl.push_unchecked("metadata", Value::Map(tpl_meta));
+        tpl.push_unchecked("spec", self.template.spec.encode());
 
-        let mut spec = Map::new();
+        let mut spec = Map::with_capacity(3);
         if self.kind != WorkloadKind::DaemonSet && self.kind != WorkloadKind::Job {
-            spec.insert("replicas", Value::Int(self.replicas as i64));
+            spec.push_unchecked("replicas", Value::Int(self.replicas as i64));
         }
         if !self.selector.is_empty() {
-            spec.insert("selector", self.selector.encode());
+            spec.push_unchecked("selector", self.selector.encode());
         }
-        spec.insert("template", Value::Map(tpl));
+        spec.push_unchecked("template", Value::Map(tpl));
 
-        let mut m = Map::new();
-        m.insert("apiVersion", Value::str(self.kind.api_version()));
-        m.insert("kind", Value::str(self.kind.as_str()));
-        m.insert("metadata", self.meta.encode());
-        m.insert("spec", Value::Map(spec));
+        let mut m = Map::with_capacity(4);
+        m.push_unchecked("apiVersion", Value::str(self.kind.api_version()));
+        m.push_unchecked("kind", Value::str(self.kind.as_str()));
+        m.push_unchecked("metadata", self.meta.encode());
+        m.push_unchecked("spec", Value::Map(spec));
         Value::Map(m)
     }
 }

@@ -5,20 +5,30 @@
 //! would re-parse as a different value (numbers, booleans, null, special
 //! characters), which keeps emitted manifests close to hand-written ones.
 
-use crate::value::{format_float, Map, Value};
+use crate::value::{write_float, Map, Value};
 
 /// Serializes a value as a block-style YAML document (with trailing newline).
 pub fn to_string(value: &Value) -> String {
     let mut out = String::new();
+    to_string_into(value, &mut out);
+    out
+}
+
+/// Serializes into a caller-provided buffer, clearing it first.
+///
+/// Produces exactly the bytes of [`to_string`]; the buffer's capacity is the
+/// only thing that survives between calls, which lets hot loops amortize the
+/// emit allocation across documents.
+pub fn to_string_into(value: &Value, out: &mut String) {
+    out.clear();
     match value {
-        Value::Map(m) => emit_map(&mut out, m, 0),
-        Value::Seq(s) => emit_seq(&mut out, s, 0),
+        Value::Map(m) => emit_map(out, m, 0),
+        Value::Seq(s) => emit_seq(out, s, 0),
         scalar => {
-            out.push_str(&emit_scalar(scalar));
+            emit_scalar(out, scalar);
             out.push('\n');
         }
     }
-    out
 }
 
 fn indent(out: &mut String, depth: usize) {
@@ -35,7 +45,7 @@ fn emit_map(out: &mut String, map: &Map, depth: usize) {
     }
     for (k, v) in map.iter() {
         indent(out, depth);
-        out.push_str(&quote_key(k));
+        quote_key(out, k);
         out.push(':');
         emit_entry_value(out, v, depth);
     }
@@ -56,12 +66,12 @@ fn emit_seq(out: &mut String, seq: &[Value], depth: usize) {
                 let mut it = m.iter();
                 let (k0, v0) = it.next().expect("non-empty");
                 out.push(' ');
-                out.push_str(&quote_key(k0));
+                quote_key(out, k0);
                 out.push(':');
                 emit_entry_value(out, v0, depth + 1);
                 for (k, v) in it {
                     indent(out, depth + 1);
-                    out.push_str(&quote_key(k));
+                    quote_key(out, k);
                     out.push(':');
                     emit_entry_value(out, v, depth + 1);
                 }
@@ -72,7 +82,7 @@ fn emit_seq(out: &mut String, seq: &[Value], depth: usize) {
             }
             other => {
                 out.push(' ');
-                out.push_str(&emit_scalar_or_empty_collection(other));
+                emit_scalar_or_empty_collection(out, other);
                 out.push('\n');
             }
         }
@@ -92,49 +102,52 @@ fn emit_entry_value(out: &mut String, v: &Value, depth: usize) {
         }
         other => {
             out.push(' ');
-            out.push_str(&emit_scalar_or_empty_collection(other));
+            emit_scalar_or_empty_collection(out, other);
             out.push('\n');
         }
     }
 }
 
-fn emit_scalar_or_empty_collection(v: &Value) -> String {
+fn emit_scalar_or_empty_collection(out: &mut String, v: &Value) {
     match v {
-        Value::Map(m) if m.is_empty() => "{}".to_string(),
-        Value::Seq(s) if s.is_empty() => "[]".to_string(),
-        other => emit_scalar(other),
+        Value::Map(m) if m.is_empty() => out.push_str("{}"),
+        Value::Seq(s) if s.is_empty() => out.push_str("[]"),
+        other => emit_scalar(out, other),
     }
 }
 
-fn emit_scalar(v: &Value) -> String {
+fn emit_scalar(out: &mut String, v: &Value) {
+    use std::fmt::Write as _;
     match v {
-        Value::Null => "null".to_string(),
-        Value::Bool(b) => b.to_string(),
-        Value::Int(i) => i.to_string(),
-        Value::Float(f) => format_float(*f),
-        Value::Str(s) => quote_str(s),
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => quote_str(out, s),
         Value::Seq(_) | Value::Map(_) => unreachable!("collections handled by callers"),
     }
 }
 
-fn quote_key(k: &str) -> String {
+fn quote_key(out: &mut String, k: &str) {
     let plain_ok = !k.is_empty()
         && !k.contains(": ")
         && !k.ends_with(':')
         && !k.starts_with(['"', '\'', ' ', '-', '#'])
         && !k.contains('\n');
     if plain_ok {
-        k.to_string()
+        out.push_str(k);
     } else {
-        quote_double(k)
+        quote_double(out, k);
     }
 }
 
-fn quote_str(s: &str) -> String {
+fn quote_str(out: &mut String, s: &str) {
     if needs_quoting(s) {
-        quote_double(s)
+        quote_double(out, s);
     } else {
-        s.to_string()
+        out.push_str(s);
     }
 }
 
@@ -167,8 +180,8 @@ fn needs_quoting(s: &str) -> bool {
     false
 }
 
-fn quote_double(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
+fn quote_double(out: &mut String, s: &str) {
+    out.reserve(s.len() + 2);
     out.push('"');
     for c in s.chars() {
         match c {
@@ -181,7 +194,6 @@ fn quote_double(s: &str) -> String {
         }
     }
     out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -238,6 +250,17 @@ mod tests {
             Value::Seq(vec![Value::Seq(vec![Value::Int(1)])]),
         );
         round_trip(&Value::Map(root));
+    }
+
+    #[test]
+    fn to_string_into_reuses_dirty_buffers() {
+        let mut doc = Map::new();
+        doc.insert("kind", Value::str("Service"));
+        doc.insert("ports", Value::Seq(vec![Value::Int(80), Value::Int(443)]));
+        let doc = Value::Map(doc);
+        let mut buf = String::from("stale bytes from a previous, longer document\n---\n");
+        crate::to_string_into(&doc, &mut buf);
+        assert_eq!(buf, to_string(&doc));
     }
 
     #[test]

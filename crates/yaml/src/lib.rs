@@ -35,7 +35,7 @@ mod error;
 mod parse;
 mod value;
 
-pub use emit::to_string;
+pub use emit::{to_string, to_string_into};
 pub use error::{Error, Result};
 pub use parse::{parse, parse_all};
 pub use value::{Map, Value};

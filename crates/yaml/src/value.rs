@@ -18,6 +18,19 @@ impl Map {
         Self::default()
     }
 
+    /// Creates an empty map with room for `capacity` entries, so builders
+    /// that know the final shape up front avoid growth reallocations.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -37,6 +50,23 @@ impl Map {
         } else {
             self.entries.push((key, value));
         }
+    }
+
+    /// Appends an entry without scanning for an existing key.
+    ///
+    /// `insert`'s replace-in-place semantics cost a linear scan per call,
+    /// which is pure overhead for builders that construct a map from a known
+    /// set of distinct keys (template evaluation roots, object encoders,
+    /// generator specs). Callers must guarantee the key is not already
+    /// present; debug builds verify and panic, release builds skip the scan
+    /// entirely.
+    pub fn push_unchecked(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        debug_assert!(
+            !self.contains_key(&key),
+            "push_unchecked: duplicate key {key:?}"
+        );
+        self.entries.push((key, value));
     }
 
     /// Looks up a key.
@@ -305,10 +335,19 @@ impl From<Map> for Value {
 }
 
 pub(crate) fn format_float(f: f64) -> String {
+    let mut out = String::new();
+    write_float(&mut out, f);
+    out
+}
+
+/// Appends [`format_float`]'s rendering to `out` without an intermediate
+/// allocation; shared by the emitter's write-through scalar path.
+pub(crate) fn write_float(out: &mut String, f: f64) {
+    use std::fmt::Write as _;
     if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
-        format!("{f:.1}")
+        let _ = write!(out, "{f:.1}");
     } else {
-        format!("{f}")
+        let _ = write!(out, "{f}");
     }
 }
 
@@ -336,6 +375,25 @@ mod tests {
         m.insert("a", Value::Int(3));
         assert_eq!(m.keys().collect::<Vec<_>>(), vec!["a", "b"]);
         assert_eq!(m.get("a"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn push_unchecked_appends_in_order() {
+        let mut m = Map::with_capacity(3);
+        m.push_unchecked("a", Value::Int(1));
+        m.push_unchecked("b", Value::Int(2));
+        m.push_unchecked("c", Value::Int(3));
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(m.get("b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    #[cfg(debug_assertions)]
+    fn push_unchecked_catches_duplicates_in_debug() {
+        let mut m = Map::new();
+        m.push_unchecked("a", Value::Int(1));
+        m.push_unchecked("a", Value::Int(2));
     }
 
     #[test]

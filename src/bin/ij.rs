@@ -24,8 +24,9 @@
 //!   corpus (optionally one dataset) and print the Table-2 style breakdown;
 //!   `--threads` parallelizes the per-application analyses without changing
 //!   a byte of the output, `--progress` streams completion ticks to stderr,
-//!   and `--timings` prints the per-phase wall-time breakdown (render /
-//!   install / probe / analyze) to stderr after the table. With
+//!   and `--timings` prints the per-phase wall-time breakdown (build /
+//!   render / install / probe / analyze) to stderr after the table,
+//!   aggregated across all shards and worker threads. With
 //!   `--synthetic <n>` the census instead streams `n` procedurally
 //!   generated applications through the pipeline (`--profile` picks the
 //!   scenario, `--mix` overrides per-rule injection rates).
@@ -573,7 +574,8 @@ fn run_census_command(args: CensusArgs) -> Result<(), CliError> {
     if let Some(t) = &timings {
         let report = t.snapshot();
         eprintln!(
-            "timings: render {:.3?}  install {:.3?}  probe {:.3?}  analyze {:.3?}  (phase total {:.3?})",
+            "timings: build {:.3?}  render {:.3?}  install {:.3?}  probe {:.3?}  analyze {:.3?}  (phase total {:.3?})",
+            report.build,
             report.render,
             report.install,
             report.probe,

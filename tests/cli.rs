@@ -193,7 +193,7 @@ fn census_timings_flag_prints_phase_breakdown_to_stderr() {
         String::from_utf8_lossy(&timed.stderr)
     );
     let stderr = String::from_utf8_lossy(&timed.stderr);
-    for phase in ["timings:", "render", "install", "probe", "analyze"] {
+    for phase in ["timings:", "build", "render", "install", "probe", "analyze"] {
         assert!(stderr.contains(phase), "missing `{phase}` in {stderr}");
     }
     // The breakdown goes to stderr only; stdout stays byte-identical.
@@ -201,6 +201,41 @@ fn census_timings_flag_prints_phase_breakdown_to_stderr() {
         String::from_utf8_lossy(&plain.stdout),
         String::from_utf8_lossy(&timed.stdout),
         "--timings must not change a byte of the census output"
+    );
+}
+
+#[test]
+fn census_timings_merge_across_shards() {
+    // Sharded + threaded runs accumulate per-worker timings and merge them
+    // into one report: the same phase lines print, and stdout is still
+    // byte-identical to the untimed run.
+    let plain = ij(&["census", "--synthetic", "40", "--seed", "7"]);
+    let timed = ij(&[
+        "census",
+        "--synthetic",
+        "40",
+        "--seed",
+        "7",
+        "--shards",
+        "4",
+        "--threads",
+        "2",
+        "--timings",
+    ]);
+    assert!(plain.status.success());
+    assert!(
+        timed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&timed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&timed.stderr);
+    for phase in ["timings:", "build", "render", "install", "probe", "analyze"] {
+        assert!(stderr.contains(phase), "missing `{phase}` in {stderr}");
+    }
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&timed.stdout),
+        "--timings/--shards must not change a byte of the census output"
     );
 }
 
