@@ -202,7 +202,7 @@ impl Chart {
         );
         for (idx, (tpl_name, template)) in parsed.iter().enumerate() {
             // Underscore files only contribute partials.
-            if tpl_name.starts_with('_') {
+            if is_partial_file(tpl_name) {
                 continue;
             }
             let rendered = match template {
@@ -235,6 +235,15 @@ impl Chart {
     }
 }
 
+/// Whether a template file only contributes partials (Helm's convention:
+/// the *basename* starts with `_`, wherever the file sits in `templates/`).
+pub(crate) fn is_partial_file(tpl_name: &str) -> bool {
+    tpl_name
+        .rsplit('/')
+        .next()
+        .is_some_and(|base| base.starts_with('_'))
+}
+
 /// Parses a rendered template's text into typed objects, stamping the
 /// release namespace onto namespaced objects that do not set one (Helm's
 /// behaviour). Shared by the per-render path and the compiled render layer.
@@ -264,8 +273,13 @@ pub(crate) fn decode_rendered(
 }
 
 /// Helm stamps the release namespace onto namespaced objects that do not
-/// set one themselves.
-pub(crate) fn stamp_namespace(obj: &mut Object, release_namespace: &str) {
+/// set one themselves. Public so differential harnesses can reproduce the
+/// render pipeline's decode step from a [`CompiledChart::render_values`]
+/// document stream (emit → parse → decode → `stamp_namespace` equals
+/// [`Chart::render`] exactly).
+///
+/// [`CompiledChart::render_values`]: crate::CompiledChart::render_values
+pub fn stamp_namespace(obj: &mut Object, release_namespace: &str) {
     if obj.kind() != "Namespace" && obj.meta().namespace == "default" {
         obj.meta_mut().namespace = release_namespace.to_string();
     }

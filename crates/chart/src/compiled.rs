@@ -257,7 +257,7 @@ fn compile_level(chart: &Chart) -> Result<CompiledLevel> {
             }
             TemplateSource::Text(src) => {
                 let parsed = parse_template(tpl_name, src)?;
-                let plan = if tpl_name.starts_with('_') {
+                let plan = if crate::chart::is_partial_file(tpl_name) {
                     RenderPlan::Partial
                 } else if parsed.nodes.iter().all(|n| matches!(n, Node::Text(_))) {
                     // No actions anywhere: the output is the concatenated

@@ -4,29 +4,102 @@
 //! mychart/
 //!   Chart.yaml        # name, version, description, dependencies
 //!   values.yaml       # defaults
-//!   templates/*.yaml  # templates (rendered in sorted order)
+//!   templates/**      # templates, recursively (rendered in sorted order)
 //!   charts/<dep>/     # unpacked subcharts
 //! ```
 //!
+//! Template directories are walked recursively, so Helm conventions like
+//! `templates/tests/…` load with their relative path as the template name.
+//! Non-template files (`NOTES.txt`, `.helmignore`, …) are tolerated and
+//! skipped. Everything unsupported surfaces as a typed
+//! [`IngestError`](crate::IngestError) carrying the offending path —
+//! loading never panics on wild input.
+//!
 //! Dependency conditions come from `Chart.yaml`'s `dependencies:` entries
 //! (`name` + optional `condition`), matching unpacked directories under
-//! `charts/`.
+//! `charts/`. Packed archives (`charts/*.tgz`) are rejected with a typed
+//! error instead of being silently ignored.
 
 use crate::chart::{Chart, Dependency};
-use crate::error::{Error, Result};
+use crate::error::{Error, IngestError, Result};
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// Reads a file that must be UTF-8 text, mapping failures to typed errors.
+fn read_text(path: &Path) -> std::result::Result<String, IngestError> {
+    let bytes = fs::read(path).map_err(|e| IngestError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    String::from_utf8(bytes).map_err(|_| IngestError::NonUtf8File {
+        path: path.to_path_buf(),
+    })
+}
+
+/// Collects template files under `dir` recursively, returning
+/// `(relative name with '/' separators, absolute path)` pairs.
+fn collect_templates(
+    root: &Path,
+    dir: &Path,
+    prefix: &str,
+    out: &mut Vec<(String, PathBuf)>,
+) -> std::result::Result<(), IngestError> {
+    let entries = fs::read_dir(dir).map_err(|e| IngestError::Io {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let mut entries: Vec<_> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let Some(file_name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        let rel = if prefix.is_empty() {
+            file_name.clone()
+        } else {
+            format!("{prefix}/{file_name}")
+        };
+        if path.is_dir() {
+            collect_templates(root, &path, &rel, out)?;
+        } else if path
+            .extension()
+            .is_some_and(|ext| ext == "yaml" || ext == "yml" || ext == "tpl")
+        {
+            out.push((rel, path));
+        }
+        // Anything else (NOTES.txt, .helmignore, licenses) is tolerated.
+    }
+    let _ = root;
+    Ok(())
+}
 
 impl Chart {
     /// Loads a chart directory (recursively including `charts/` subcharts).
+    ///
+    /// Failures are typed: a missing `Chart.yaml`, an empty `templates/`
+    /// directory, non-UTF-8 files, packed `charts/*.tgz` archives, and
+    /// unparseable metadata each map to a distinct
+    /// [`IngestError`](crate::IngestError) variant naming the offending
+    /// path (surfaced through [`Error::Ingest`]).
     pub fn from_dir(dir: &Path) -> Result<Chart> {
-        let io = |e: std::io::Error| Error::Values(format!("{}: {e}", dir.display()));
+        if !dir.is_dir() {
+            return Err(Error::Ingest(IngestError::NotADirectory {
+                path: dir.to_path_buf(),
+            }));
+        }
 
         // Chart.yaml
         let meta_path = dir.join("Chart.yaml");
-        let meta_src = fs::read_to_string(&meta_path)
-            .map_err(|e| Error::Values(format!("{}: {e}", meta_path.display())))?;
-        let meta = ij_yaml::parse(&meta_src).map_err(|e| Error::Values(e.to_string()))?;
+        if !meta_path.is_file() {
+            return Err(Error::Ingest(IngestError::MissingChartYaml {
+                path: meta_path,
+            }));
+        }
+        let meta_src = read_text(&meta_path)?;
+        let meta = ij_yaml::parse(&meta_src).map_err(|e| IngestError::InvalidChartYaml {
+            path: meta_path.clone(),
+            source: e,
+        })?;
         let name = meta
             .get("name")
             .and_then(ij_yaml::Value::as_str)
@@ -45,38 +118,32 @@ impl Chart {
         // values.yaml (optional)
         let values_path = dir.join("values.yaml");
         let values = if values_path.exists() {
-            let src = fs::read_to_string(&values_path)
-                .map_err(|e| Error::Values(format!("{}: {e}", values_path.display())))?;
-            ij_yaml::parse(&src).map_err(|e| Error::Values(e.to_string()))?
+            let src = read_text(&values_path)?;
+            ij_yaml::parse(&src).map_err(|e| IngestError::InvalidValuesYaml {
+                path: values_path.clone(),
+                source: e,
+            })?
         } else {
             ij_yaml::Value::Map(ij_yaml::Map::new())
         };
 
-        // templates/*.yaml, sorted for deterministic render order.
+        // templates/**, walked recursively and sorted by relative name so
+        // the render order is deterministic across platforms.
         let mut templates = Vec::new();
         let tpl_dir = dir.join("templates");
         if tpl_dir.is_dir() {
-            let mut entries: Vec<_> = fs::read_dir(&tpl_dir)
-                .map_err(io)?
-                .filter_map(|e| e.ok())
-                .map(|e| e.path())
-                .filter(|p| {
-                    p.extension()
-                        .is_some_and(|ext| ext == "yaml" || ext == "yml" || ext == "tpl")
-                })
-                .collect();
-            entries.sort();
-            for path in entries {
-                let file_name = path
-                    .file_name()
-                    .map(|n| n.to_string_lossy().into_owned())
-                    .unwrap_or_default();
+            let mut found = Vec::new();
+            collect_templates(&tpl_dir, &tpl_dir, "", &mut found)?;
+            if found.is_empty() {
+                return Err(Error::Ingest(IngestError::EmptyTemplates { path: tpl_dir }));
+            }
+            found.sort();
+            for (rel_name, path) in found {
                 // `_helpers.tpl`-style partial files are loaded too: the
                 // renderer skips them for output but their `define` blocks
                 // are visible to every template of the chart.
-                let src = fs::read_to_string(&path)
-                    .map_err(|e| Error::Values(format!("{}: {e}", path.display())))?;
-                templates.push((file_name, crate::TemplateSource::Text(src)));
+                let src = read_text(&path)?;
+                templates.push((rel_name, crate::TemplateSource::Text(src)));
             }
         }
 
@@ -100,20 +167,30 @@ impl Chart {
                         .collect()
                 })
                 .unwrap_or_default();
-            let mut sub_dirs: Vec<_> = fs::read_dir(&charts_dir)
-                .map_err(io)?
+            let mut sub_entries: Vec<_> = fs::read_dir(&charts_dir)
+                .map_err(|e| IngestError::Io {
+                    path: charts_dir.clone(),
+                    message: e.to_string(),
+                })?
                 .filter_map(|e| e.ok())
                 .map(|e| e.path())
-                .filter(|p| p.is_dir())
                 .collect();
-            sub_dirs.sort();
-            for sub in sub_dirs {
-                let chart = Chart::from_dir(&sub)?;
-                let condition = declared
-                    .iter()
-                    .find(|(n, _)| *n == chart.name)
-                    .and_then(|(_, c)| c.clone());
-                dependencies.push(Dependency { chart, condition });
+            sub_entries.sort();
+            for sub in sub_entries {
+                if sub.is_dir() {
+                    let chart = Chart::from_dir(&sub)?;
+                    let condition = declared
+                        .iter()
+                        .find(|(n, _)| *n == chart.name)
+                        .and_then(|(_, c)| c.clone());
+                    dependencies.push(Dependency { chart, condition });
+                } else if sub
+                    .extension()
+                    .is_some_and(|ext| ext == "tgz" || ext == "tar")
+                {
+                    return Err(Error::Ingest(IngestError::PackedSubchart { path: sub }));
+                }
+                // Other stray files under charts/ are tolerated.
             }
         }
 
@@ -144,6 +221,15 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).expect("mkdir scratch");
         dir
+    }
+
+    /// Unwraps the `Ingest` variant or fails the test.
+    fn ingest_err(result: Result<Chart>) -> IngestError {
+        match result {
+            Err(Error::Ingest(e)) => e,
+            Err(other) => panic!("expected an ingest error, got {other}"),
+            Ok(_) => panic!("expected an ingest error, chart loaded"),
+        }
     }
 
     #[test]
@@ -243,10 +329,24 @@ spec:
     }
 
     #[test]
-    fn missing_chart_yaml_is_an_error() {
+    fn missing_chart_yaml_is_a_typed_error_with_path() {
         let dir = scratch("missing");
-        assert!(Chart::from_dir(&dir).is_err());
+        match ingest_err(Chart::from_dir(&dir)) {
+            IngestError::MissingChartYaml { path } => {
+                assert_eq!(path, dir.join("Chart.yaml"));
+            }
+            other => panic!("expected MissingChartYaml, got {other}"),
+        }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nonexistent_path_is_not_a_directory() {
+        let dir = scratch("no-dir").join("definitely-absent");
+        match ingest_err(Chart::from_dir(&dir)) {
+            IngestError::NotADirectory { path } => assert_eq!(path, dir),
+            other => panic!("expected NotADirectory, got {other}"),
+        }
     }
 
     #[test]
@@ -260,6 +360,159 @@ spec:
             .render(&Release::new("r", "default"))
             .expect("renders");
         assert!(rendered.objects.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_templates_directory_is_a_typed_error() {
+        let dir = scratch("empty-tpl");
+        write(&dir.join("Chart.yaml"), "name: hollow\nversion: 0.0.1\n");
+        fs::create_dir_all(dir.join("templates")).expect("mkdir templates");
+        match ingest_err(Chart::from_dir(&dir)) {
+            IngestError::EmptyTemplates { path } => {
+                assert_eq!(path, dir.join("templates"));
+            }
+            other => panic!("expected EmptyTemplates, got {other}"),
+        }
+        // Non-template files alone do not make the directory non-empty.
+        write(&dir.join("templates/NOTES.txt"), "thanks for installing\n");
+        assert!(matches!(
+            ingest_err(Chart::from_dir(&dir)),
+            IngestError::EmptyTemplates { .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_utf8_template_is_a_typed_error_with_path() {
+        let dir = scratch("binary");
+        write(&dir.join("Chart.yaml"), "name: bin\nversion: 0.0.1\n");
+        let bad = dir.join("templates/garbage.yaml");
+        fs::create_dir_all(bad.parent().unwrap()).unwrap();
+        fs::write(&bad, [0xff, 0xfe, 0x00, 0x80]).unwrap();
+        match ingest_err(Chart::from_dir(&dir)) {
+            IngestError::NonUtf8File { path } => assert_eq!(path, bad),
+            other => panic!("expected NonUtf8File, got {other}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_utf8_values_is_a_typed_error_with_path() {
+        let dir = scratch("binary-values");
+        write(&dir.join("Chart.yaml"), "name: bin\nversion: 0.0.1\n");
+        fs::write(dir.join("values.yaml"), [0xc0, 0x01]).unwrap();
+        assert!(matches!(
+            ingest_err(Chart::from_dir(&dir)),
+            IngestError::NonUtf8File { .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_metadata_yaml_is_a_typed_error() {
+        let dir = scratch("bad-meta");
+        write(&dir.join("Chart.yaml"), "name: x\n  dangling: indent\n");
+        assert!(matches!(
+            ingest_err(Chart::from_dir(&dir)),
+            IngestError::InvalidChartYaml { .. }
+        ));
+
+        write(&dir.join("Chart.yaml"), "name: x\nversion: 0.0.1\n");
+        write(&dir.join("values.yaml"), "a: &anchor\n  b: 1\n");
+        match ingest_err(Chart::from_dir(&dir)) {
+            IngestError::InvalidValuesYaml { path, source } => {
+                assert_eq!(path, dir.join("values.yaml"));
+                assert!(source.to_string().contains("anchor"), "{source}");
+            }
+            other => panic!("expected InvalidValuesYaml, got {other}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn packed_subchart_archive_is_a_typed_error() {
+        let dir = scratch("packed");
+        write(&dir.join("Chart.yaml"), "name: parent\nversion: 0.0.1\n");
+        let tgz = dir.join("charts/common-1.0.0.tgz");
+        fs::create_dir_all(tgz.parent().unwrap()).unwrap();
+        fs::write(&tgz, [0x1f, 0x8b, 0x08, 0x00]).unwrap();
+        match ingest_err(Chart::from_dir(&dir)) {
+            IngestError::PackedSubchart { path } => assert_eq!(path, tgz),
+            other => panic!("expected PackedSubchart, got {other}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn template_subdirectories_load_recursively_with_relative_names() {
+        let dir = scratch("recursive");
+        write(&dir.join("Chart.yaml"), "name: deep\nversion: 0.0.1\n");
+        write(
+            &dir.join("templates/svc.yaml"),
+            "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}-svc
+spec:
+  selector:
+    app: deep
+  ports:
+    - port: 80
+",
+        );
+        write(
+            &dir.join("templates/tests/test-connection.yaml"),
+            "\
+apiVersion: v1
+kind: Pod
+metadata:
+  name: {{ .Release.Name }}-test
+spec:
+  containers:
+    - name: probe
+      image: busybox
+",
+        );
+        write(&dir.join("templates/NOTES.txt"), "notes are skipped\n");
+        let chart = Chart::from_dir(&dir).expect("loads");
+        let names: Vec<&str> = chart.templates.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["svc.yaml", "tests/test-connection.yaml"]);
+        let rendered = chart
+            .render(&Release::new("r", "default"))
+            .expect("renders");
+        assert_eq!(rendered.objects.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partials_in_subdirectories_are_partial_only() {
+        let dir = scratch("subdir-partial");
+        write(&dir.join("Chart.yaml"), "name: p\nversion: 0.0.1\n");
+        write(
+            &dir.join("templates/library/_labels.tpl"),
+            "{{ define \"p.labels\" }}app: p{{ end }}",
+        );
+        write(
+            &dir.join("templates/svc.yaml"),
+            "\
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}
+spec:
+  selector:{{ include \"p.labels\" . | nindent 4 }}
+  ports:
+    - port: 80
+",
+        );
+        let chart = Chart::from_dir(&dir).expect("loads");
+        let rendered = chart
+            .render(&Release::new("r", "default"))
+            .expect("renders");
+        // The underscore-basename file contributes only its defines.
+        assert_eq!(rendered.objects.len(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -55,9 +55,11 @@ mod error;
 mod fsload;
 mod template;
 
-pub use chart::{Chart, ChartBuilder, Dependency, Release, RenderedRelease, TemplateSource};
+pub use chart::{
+    stamp_namespace, Chart, ChartBuilder, Dependency, Release, RenderedRelease, TemplateSource,
+};
 pub use compiled::{CompiledChart, RenderScratch};
-pub use error::{Error, Result};
+pub use error::{Error, IngestError, Result};
 pub use template::{
     merge_defines, parse_template, render_parsed, render_template, Context, Node, ParsedTemplate,
 };

@@ -1,0 +1,187 @@
+//! Fuzz-style hardening suite for the template engine and render pipeline.
+//!
+//! Charts arrive from the filesystem, so template text is attacker-adjacent
+//! input: half-deleted `{{` markers, unbalanced `end`s, unknown functions,
+//! absurd nesting. The contract: [`Chart::render`] and the compiled pipeline
+//! never panic — every failure surfaces as a typed [`ij_chart::Error`] — and
+//! whenever the naive render succeeds, compiling first changes nothing.
+
+use ij_chart::{Chart, Release};
+use proptest::prelude::*;
+
+/// Template fragments assembled into hostile-but-plausible template text.
+const TOKENS: &[&str] = &[
+    "{{",
+    "}}",
+    "{{-",
+    "-}}",
+    " ",
+    "\n",
+    "if",
+    "else",
+    "end",
+    "range",
+    "include",
+    "define",
+    "template",
+    ".Values.service.port",
+    ".Values.missing",
+    ".Release.Name",
+    ".Chart.Name",
+    "\"helpers\"",
+    "quote",
+    "default",
+    "nindent 4",
+    "toYaml",
+    "|",
+    "b64enc",
+    "eq",
+    "not",
+    "$x",
+    ":=",
+    "kind: ConfigMap\n",
+    "metadata:\n",
+    "  name: x\n",
+    "data:\n",
+    "  a: 1\n",
+    "- ",
+    "port: 80\n",
+];
+
+/// Realistic templates to mutate — the shapes the fixture charts use.
+const CORPUS: &[&str] = &[
+    "apiVersion: v1\nkind: Service\nmetadata:\n  name: {{ .Release.Name }}-svc\nspec:\n  ports:\n    - port: {{ .Values.service.port }}\n",
+    "{{- define \"app.labels\" }}\napp: {{ .Chart.Name }}\n{{- end }}\nkind: ConfigMap\nmetadata:\n  name: cfg\n  labels: {{- include \"app.labels\" . | nindent 4 }}\n",
+    "{{- if .Values.enabled }}\nkind: NetworkPolicy\nmetadata:\n  name: {{ .Release.Name | quote }}\n{{- end }}\n",
+    "kind: ConfigMap\ndata:\n{{- range .Values.ports }}\n  p{{ . }}: {{ . | quote }}\n{{- end }}\n",
+];
+
+const VALUES: &str = "enabled: true\nservice:\n  port: 8080\nports:\n  - 80\n  - 443\n";
+
+fn arb_token_template() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(TOKENS.to_vec()), 0..40)
+        .prop_map(|tokens| tokens.concat())
+}
+
+fn arb_mutated_template() -> impl Strategy<Value = String> {
+    let mutation = (
+        0usize..3,
+        any::<u16>(),
+        any::<u8>(),
+        prop::sample::select(TOKENS.to_vec()),
+    );
+    (
+        prop::sample::select(CORPUS.to_vec()),
+        prop::collection::vec(mutation, 0..5),
+    )
+        .prop_map(|(base, mutations)| {
+            let mut text = base.to_string();
+            for (kind, pos, span, token) in mutations {
+                if text.is_empty() {
+                    text = token.to_string();
+                    continue;
+                }
+                let mut at = pos as usize % text.len();
+                while !text.is_char_boundary(at) {
+                    at -= 1;
+                }
+                let mut end = (at + span as usize % 16).min(text.len());
+                while !text.is_char_boundary(end) {
+                    end -= 1;
+                }
+                match kind {
+                    0 => text.insert_str(at, token),
+                    1 => text.replace_range(at..end, ""),
+                    _ => {
+                        let dup = text[at..end].to_string();
+                        text.insert_str(at, &dup);
+                    }
+                }
+            }
+            text
+        })
+}
+
+/// Renders through both pipelines; neither may panic, and when the naive
+/// render succeeds the compiled render must agree byte-for-byte.
+fn render_both(template: &str) {
+    let chart = Chart::builder("fuzz")
+        .values_yaml(VALUES)
+        .expect("static values parse")
+        .template("t.yaml", template)
+        .build();
+    let release = Release::new("fuzz", "default");
+    let naive = chart.render(&release);
+    let compiled = chart.compile().and_then(|c| c.render(&release));
+    match (naive, compiled) {
+        (Ok(a), Ok(b)) => {
+            let a: Vec<String> = a.objects.iter().map(|o| o.to_manifest()).collect();
+            let b: Vec<String> = b.objects.iter().map(|o| o.to_manifest()).collect();
+            assert_eq!(a, b, "compiled render diverged for template:\n{template}");
+        }
+        (Err(_), _) | (_, Err(_)) => {}
+    }
+}
+
+proptest! {
+    #[test]
+    fn render_never_panics_on_token_templates(t in arb_token_template()) {
+        render_both(&t);
+    }
+
+    #[test]
+    fn render_never_panics_on_mutated_templates(t in arb_mutated_template()) {
+        render_both(&t);
+    }
+
+    #[test]
+    fn render_never_panics_on_arbitrary_text(t in "[ -~\\n\\t]{0,300}") {
+        render_both(&t);
+    }
+}
+
+#[test]
+fn corpus_templates_render_identically() {
+    for t in CORPUS {
+        render_both(t);
+    }
+}
+
+#[test]
+fn unknown_function_is_a_typed_error() {
+    let chart = Chart::builder("fuzz")
+        .template(
+            "t.yaml",
+            "kind: ConfigMap\nmetadata:\n  name: {{ .Release.Name | b64enc }}\n",
+        )
+        .build();
+    let err = chart
+        .render(&Release::new("r", "default"))
+        .expect_err("b64enc is unsupported");
+    assert!(
+        err.to_string().contains("b64enc"),
+        "error should name the function: {err}"
+    );
+}
+
+#[test]
+fn runaway_include_recursion_is_a_typed_error() {
+    let chart = Chart::builder("fuzz")
+        .template(
+            "_loop.tpl",
+            "{{- define \"loop\" }}{{ include \"loop\" . }}{{- end }}",
+        )
+        .template(
+            "t.yaml",
+            "kind: ConfigMap\nmetadata:\n  name: {{ include \"loop\" . }}\n",
+        )
+        .build();
+    let err = chart
+        .render(&Release::new("r", "default"))
+        .expect_err("self-including template must not recurse forever");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("depth") || msg.contains("recursion") || msg.contains("include"),
+        "unexpected error: {msg}"
+    );
+}

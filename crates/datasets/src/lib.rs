@@ -58,6 +58,7 @@
 //! should move to the builder.
 
 mod builder;
+mod conform;
 pub mod gen;
 mod orgs;
 mod pipeline;
@@ -68,6 +69,9 @@ mod score;
 mod spec;
 
 pub use builder::{build_app, ports, BuiltApp, INSTANCE_KEY};
+pub use conform::{
+    run_conformance, ChartConformance, ChartStatus, ConformanceError, ConformanceReport,
+};
 pub use gen::{
     apply_mutation, describe_builtin, Archetype, ChurnMutation, ChurnSession, CorpusGenerator,
     CorpusProfile, CorpusProfileBuilder, MisconfigMix, MixError, PopulationSummary, FLIP_TOKEN,

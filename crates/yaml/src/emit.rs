@@ -124,18 +124,31 @@ fn emit_scalar(out: &mut String, v: &Value) {
         Value::Int(i) => {
             let _ = write!(out, "{i}");
         }
-        Value::Float(f) => write_float(out, *f),
+        Value::Float(f) => {
+            let start = out.len();
+            write_float(out, *f);
+            // Integral floats past the `{f:.1}` range in `write_float` print
+            // without a fraction; restore the dot so they re-parse as floats.
+            if f.is_finite() && !out[start..].contains('.') {
+                out.push_str(".0");
+            }
+        }
         Value::Str(s) => quote_str(out, s),
         Value::Seq(_) | Value::Map(_) => unreachable!("collections handled by callers"),
     }
 }
 
 fn quote_key(out: &mut String, k: &str) {
+    // The parser trims keys, tracks quotes and flow brackets while hunting
+    // for the separating colon, and strips ` #` comments; any key the reader
+    // would mangle under those rules must be emitted double-quoted.
     let plain_ok = !k.is_empty()
+        && k.trim() == k
         && !k.contains(": ")
         && !k.ends_with(':')
-        && !k.starts_with(['"', '\'', ' ', '-', '#'])
-        && !k.contains('\n');
+        && !k.starts_with(['-', '#'])
+        && !k.contains(['"', '\'', '[', ']', '{', '}', '\n', '\r', '\t'])
+        && !k.contains(" #");
     if plain_ok {
         out.push_str(k);
     } else {
@@ -155,10 +168,19 @@ fn needs_quoting(s: &str) -> bool {
     if s.is_empty() {
         return true;
     }
-    // Would re-parse as a non-string scalar.
+    // Would re-parse as a non-string scalar, or end the document (`...`).
     if matches!(
         s,
-        "~" | "null" | "Null" | "NULL" | "true" | "True" | "TRUE" | "false" | "False" | "FALSE"
+        "~" | "null"
+            | "Null"
+            | "NULL"
+            | "true"
+            | "True"
+            | "TRUE"
+            | "false"
+            | "False"
+            | "FALSE"
+            | "..."
     ) {
         return true;
     }
@@ -167,13 +189,13 @@ fn needs_quoting(s: &str) -> bool {
     }
     // Structural characters or whitespace that would confuse block parsing.
     if s.starts_with([
-        ' ', '-', '#', '[', ']', '{', '}', '"', '\'', '>', '|', '&', '*', '!',
-    ]) || s.ends_with(' ')
+        '-', '#', '[', ']', '{', '}', '"', '\'', '>', '|', '&', '*', '!', '%',
+    ]) || s.starts_with(char::is_whitespace)
+        || s.ends_with(char::is_whitespace)
         || s.contains(": ")
         || s.ends_with(':')
         || s.contains(" #")
-        || s.contains('\n')
-        || s.contains('\t')
+        || s.contains(['\n', '\r', '\t'])
     {
         return true;
     }

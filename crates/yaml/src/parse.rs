@@ -36,6 +36,7 @@ pub fn parse_all(src: &str) -> Result<Vec<Value>> {
         let mut p = Parser {
             lines: &lines,
             pos: 0,
+            depth: 0,
         };
         let value = p.parse_node(lines[0].indent)?;
         if let Some(extra) = p.peek() {
@@ -122,14 +123,14 @@ fn strip_comment(line: &str) -> &str {
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'\'' if !in_double => in_single = !in_single,
-            b'"' if !in_single => {
-                if in_double && i > 0 && bytes[i - 1] == b'\\' {
-                    // escaped quote inside double-quoted scalar
-                } else {
-                    in_double = !in_double;
-                }
+            // Skip the escaped character inside double quotes so `\"` (and
+            // `\\` before a real closing quote) track correctly.
+            b'\\' if in_double => {
+                i += 2;
+                continue;
             }
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
             b'#' if !in_single && !in_double => {
                 let at_start = line[..i].trim().is_empty();
                 let after_space = i > 0 && (bytes[i - 1] == b' ' || bytes[i - 1] == b'\t');
@@ -144,9 +145,19 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
+/// Nesting ceiling for the block parser. Recursion depth is bounded by the
+/// source's line count, so a hostile megabyte of two-space indents would
+/// otherwise overflow the stack; real manifests sit comfortably under this.
+const MAX_BLOCK_DEPTH: usize = 128;
+
+/// Nesting ceiling for one-line flow collections (`[[[[…`).
+const MAX_FLOW_DEPTH: usize = 64;
+
 struct Parser<'a, 'b> {
     lines: &'b [Line<'a>],
     pos: usize,
+    /// Current recursion depth across `parse_node` / `parse_sequence`.
+    depth: usize,
 }
 
 impl<'a, 'b> Parser<'a, 'b> {
@@ -158,6 +169,23 @@ impl<'a, 'b> Parser<'a, 'b> {
         let l = &self.lines[self.pos];
         self.pos += 1;
         l
+    }
+
+    /// Bumps the recursion depth, erroring out (instead of overflowing the
+    /// stack) past [`MAX_BLOCK_DEPTH`].
+    fn enter(&mut self, line: usize) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_BLOCK_DEPTH {
+            return Err(Error::new(
+                line,
+                format!("nesting exceeds the supported depth of {MAX_BLOCK_DEPTH}"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     /// Parses the block node starting at the current line, which must sit at
@@ -186,6 +214,16 @@ impl<'a, 'b> Parser<'a, 'b> {
     }
 
     fn parse_sequence(&mut self, indent: usize) -> Result<Value> {
+        let Some(line) = self.peek() else {
+            return Ok(Value::Seq(Vec::new()));
+        };
+        self.enter(line.number)?;
+        let result = self.parse_sequence_inner(indent);
+        self.leave();
+        result
+    }
+
+    fn parse_sequence_inner(&mut self, indent: usize) -> Result<Value> {
         let mut items = Vec::new();
         while let Some(line) = self.peek() {
             if line.indent != indent || !(line.content == "-" || line.content.starts_with("- ")) {
@@ -221,6 +259,16 @@ impl<'a, 'b> Parser<'a, 'b> {
     }
 
     fn parse_mapping(&mut self, indent: usize) -> Result<Value> {
+        let Some(line) = self.peek() else {
+            return Ok(Value::Map(Map::new()));
+        };
+        self.enter(line.number)?;
+        let result = self.parse_mapping_inner(indent);
+        self.leave();
+        result
+    }
+
+    fn parse_mapping_inner(&mut self, indent: usize) -> Result<Value> {
         let mut map = Map::new();
         while let Some(line) = self.peek() {
             if line.indent != indent {
@@ -364,8 +412,15 @@ fn split_key(s: &str) -> Option<(&str, &str)> {
     let mut in_single = false;
     let mut in_double = false;
     let mut depth = 0usize; // [..] / {..} nesting in a flow key (rare)
-    for i in 0..bytes.len() {
+    let mut i = 0;
+    while i < bytes.len() {
         match bytes[i] {
+            // Skip the escaped character inside double quotes so `\"` does
+            // not desync the quote tracking.
+            b'\\' if in_double => {
+                i += 2;
+                continue;
+            }
             b'\'' if !in_double => in_single = !in_single,
             b'"' if !in_single => in_double = !in_double,
             b'[' | b'{' if !in_single && !in_double => depth += 1,
@@ -383,6 +438,7 @@ fn split_key(s: &str) -> Option<(&str, &str)> {
             }
             _ => {}
         }
+        i += 1;
     }
     None
 }
@@ -405,6 +461,7 @@ pub(crate) fn parse_scalar(s: &str, line: usize) -> Result<Value> {
             src: s.as_bytes(),
             pos: 0,
             line,
+            depth: 0,
         };
         let v = fp.parse_value()?;
         fp.skip_ws();
@@ -428,6 +485,21 @@ pub(crate) fn parse_scalar(s: &str, line: usize) -> Result<Value> {
         };
         return Ok(Value::Str(inner.replace("''", "'")));
     }
+    // Reference-style YAML constructs are deliberately out of scope: a chart
+    // that uses them should get a typed ingest error, not a silently wrong
+    // string value.
+    match s.as_bytes().first() {
+        Some(b'&') => return Err(Error::new(line, "YAML anchors (`&...`) are not supported")),
+        Some(b'*') => return Err(Error::new(line, "YAML aliases (`*...`) are not supported")),
+        Some(b'!') => return Err(Error::new(line, "YAML tags (`!...`) are not supported")),
+        Some(b'%') => {
+            return Err(Error::new(
+                line,
+                "YAML directives (`%...`) are not supported",
+            ));
+        }
+        _ => {}
+    }
     Ok(plain_scalar(s))
 }
 
@@ -447,7 +519,11 @@ fn plain_scalar(s: &str) -> Value {
     }
     if looks_like_float(s) {
         if let Ok(f) = s.parse::<f64>() {
-            return Value::Float(f);
+            // Overlong digit runs overflow to infinity; keep those as strings
+            // so every parsed float survives an emit/reparse round trip.
+            if f.is_finite() {
+                return Value::Float(f);
+            }
         }
     }
     Value::Str(s.to_string())
@@ -490,9 +566,23 @@ struct FlowParser<'a> {
     src: &'a [u8],
     pos: usize,
     line: usize,
+    depth: usize,
 }
 
 impl<'a> FlowParser<'a> {
+    fn nested(&mut self, inner: fn(&mut Self) -> Result<Value>) -> Result<Value> {
+        if self.depth >= MAX_FLOW_DEPTH {
+            return Err(Error::new(
+                self.line,
+                format!("flow nesting exceeds the supported depth of {MAX_FLOW_DEPTH}"),
+            ));
+        }
+        self.depth += 1;
+        let result = inner(self);
+        self.depth -= 1;
+        result
+    }
+
     fn skip_ws(&mut self) {
         while self.pos < self.src.len() && (self.src[self.pos] == b' ') {
             self.pos += 1;
@@ -502,8 +592,8 @@ impl<'a> FlowParser<'a> {
     fn parse_value(&mut self) -> Result<Value> {
         self.skip_ws();
         match self.src.get(self.pos) {
-            Some(b'[') => self.parse_flow_seq(),
-            Some(b'{') => self.parse_flow_map(),
+            Some(b'[') => self.nested(Self::parse_flow_seq),
+            Some(b'{') => self.nested(Self::parse_flow_map),
             Some(_) => {
                 let raw = self.take_scalar_text();
                 parse_scalar(raw.trim(), self.line)
@@ -579,6 +669,10 @@ impl<'a> FlowParser<'a> {
         let mut in_double = false;
         while self.pos < self.src.len() {
             match self.src[self.pos] {
+                b'\\' if in_double => {
+                    self.pos = (self.pos + 2).min(self.src.len());
+                    continue;
+                }
                 b'\'' if !in_double => in_single = !in_single,
                 b'"' if !in_single => in_double = !in_double,
                 b':' if !in_single && !in_double => {
@@ -600,6 +694,10 @@ impl<'a> FlowParser<'a> {
         let mut in_double = false;
         while self.pos < self.src.len() {
             match self.src[self.pos] {
+                b'\\' if in_double => {
+                    self.pos = (self.pos + 2).min(self.src.len());
+                    continue;
+                }
                 b'\'' if !in_double => in_single = !in_single,
                 b'"' if !in_single => in_double = !in_double,
                 b',' | b']' | b'}' if !in_single && !in_double => break,

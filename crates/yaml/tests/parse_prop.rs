@@ -1,0 +1,230 @@
+//! Fuzz-style hardening suite for the parser and emitter.
+//!
+//! Unlike `prop.rs`, which checks the emitter/parser pair over the *supported*
+//! value domain, this suite throws wild input at the parser: arbitrary bytes,
+//! YAML token soup, and mutated real-chart text. The contract under fire:
+//!
+//! * the parser never panics — every failure is a typed [`ij_yaml::Error`];
+//! * unsupported YAML 1.2 constructs (anchors, aliases, tags, directives)
+//!   are rejected with an error naming the construct, never mis-parsed;
+//! * pathological nesting hits a depth error instead of the stack guard;
+//! * wherever parsing *succeeds*, `parse(emit(v)) == v` — the emitter is a
+//!   fixpoint over everything the parser can produce.
+//!
+//! Run with `PROPTEST_CASES=256` (CI) or higher for a deeper sweep.
+
+use ij_yaml::{parse, parse_all, to_string, Value};
+use proptest::prelude::*;
+
+/// Realistic chart/manifest text to mutate. Trimmed from the shapes the
+/// ingestion fixtures exercise: nested maps, sequences of maps, block
+/// scalars, flow collections, comments and multi-document streams.
+const CORPUS: &[&str] = &[
+    "apiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: web\n  labels:\n    app: web\nspec:\n  replicas: 2\n  template:\n    spec:\n      containers:\n        - name: web\n          image: nginx:1.25\n          ports:\n            - containerPort: 8080\n",
+    "kind: Service\nmetadata:\n  name: db\nspec:\n  clusterIP: None\n  ports:\n    - port: 5432\n      targetPort: 5432\n  selector: {app: db, tier: storage}\n",
+    "replicaCount: 1\nimage:\n  repository: redis\n  tag: \"7.2\"\nresources:\n  limits:\n    memory: 128Mi\npodAnnotations: {}\ntolerations: []\n",
+    "kind: ConfigMap\ndata:\n  nginx.conf: |\n    server {\n      listen 80;\n    }\n  motd: >-\n    welcome to\n    the cluster\n",
+    "# default values\nservice:\n  type: ClusterIP # internal only\n  port: 80\ningress:\n  enabled: false\n  hosts:\n    - host: chart.example.local\n      paths: [/, /api]\n",
+    "kind: NetworkPolicy\nspec:\n  podSelector:\n    matchLabels:\n      app: web\n  ingress:\n    - from:\n        - podSelector: {}\n      ports:\n        - port: 8080\n          protocol: TCP\n---\nkind: Namespace\nmetadata:\n  name: edge\n",
+];
+
+/// Tokens that stress the scalar grammar, indentation handling, flow parsing
+/// and the unsupported-construct rejections all at once.
+const SOUP: &[&str] = &[
+    "key:",
+    " ",
+    "  ",
+    "\n",
+    "- ",
+    "---\n",
+    "...\n",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ":",
+    "a",
+    "0700",
+    "-12",
+    "3.5",
+    "1e9",
+    "null",
+    "true",
+    "\"x\"",
+    "'y'",
+    "|",
+    "|-",
+    ">",
+    ">-",
+    "&anchor",
+    "*anchor",
+    "!!str",
+    "%YAML 1.2",
+    "#c",
+    "\t",
+    "\\",
+    "\"",
+    "'",
+];
+
+fn arb_wild_bytes() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..400)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn arb_token_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(SOUP.to_vec()), 0..60)
+        .prop_map(|tokens| tokens.concat())
+}
+
+/// A corpus document with a handful of byte-level mutations applied:
+/// insert a soup token, delete a span, or duplicate a span.
+fn arb_mutated_chart() -> impl Strategy<Value = String> {
+    let mutation = (
+        0usize..3,
+        any::<u16>(),
+        any::<u8>(),
+        prop::sample::select(SOUP.to_vec()),
+    );
+    (
+        prop::sample::select(CORPUS.to_vec()),
+        prop::collection::vec(mutation, 0..6),
+    )
+        .prop_map(|(base, mutations)| {
+            let mut text = base.to_string();
+            for (kind, pos, span, token) in mutations {
+                if text.is_empty() {
+                    text = token.to_string();
+                    continue;
+                }
+                let mut at = pos as usize % text.len();
+                while !text.is_char_boundary(at) {
+                    at -= 1;
+                }
+                let mut end = (at + span as usize % 24).min(text.len());
+                while !text.is_char_boundary(end) {
+                    end -= 1;
+                }
+                match kind {
+                    0 => text.insert_str(at, token),
+                    1 => text.replace_range(at..end, ""),
+                    _ => {
+                        let dup = text[at..end].to_string();
+                        text.insert_str(at, &dup);
+                    }
+                }
+            }
+            text
+        })
+}
+
+/// Every successfully parsed document must survive emit + reparse exactly.
+fn assert_fixpoint(src: &str) {
+    let Ok(docs) = parse_all(src) else { return };
+    for doc in &docs {
+        let text = to_string(doc);
+        let back =
+            parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n--- emitted ---\n{text}"));
+        assert_eq!(&back, doc, "fixpoint broken; emitted:\n{text}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(src in arb_wild_bytes()) {
+        let _ = parse_all(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(src in arb_token_soup()) {
+        let _ = parse_all(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_charts(src in arb_mutated_chart()) {
+        let _ = parse_all(&src);
+    }
+
+    #[test]
+    fn fixpoint_holds_on_arbitrary_bytes(src in arb_wild_bytes()) {
+        assert_fixpoint(&src);
+    }
+
+    #[test]
+    fn fixpoint_holds_on_token_soup(src in arb_token_soup()) {
+        assert_fixpoint(&src);
+    }
+
+    #[test]
+    fn fixpoint_holds_on_mutated_charts(src in arb_mutated_chart()) {
+        assert_fixpoint(&src);
+    }
+}
+
+#[test]
+fn corpus_documents_are_fixpoints() {
+    for src in CORPUS {
+        assert_fixpoint(src);
+    }
+}
+
+#[test]
+fn deep_block_mapping_is_a_typed_error() {
+    let mut src = String::new();
+    for depth in 0..2_000 {
+        src.push_str(&"  ".repeat(depth));
+        src.push_str("a:\n");
+    }
+    let err = parse(&src).expect_err("2000-deep mapping must not parse");
+    assert!(err.to_string().contains("depth"), "unexpected error: {err}");
+}
+
+#[test]
+fn deep_block_sequence_is_a_typed_error() {
+    let mut src = String::new();
+    for depth in 0..2_000 {
+        src.push_str(&"  ".repeat(depth));
+        src.push_str("-\n");
+    }
+    let err = parse(&src).expect_err("2000-deep sequence must not parse");
+    assert!(err.to_string().contains("depth"), "unexpected error: {err}");
+}
+
+#[test]
+fn deep_flow_nesting_is_a_typed_error() {
+    let src = format!("a: {}", "[".repeat(10_000));
+    let err = parse(&src).expect_err("10000-deep flow must not parse");
+    assert!(err.to_string().contains("depth"), "unexpected error: {err}");
+
+    let src = format!("a: {}", "{x: ".repeat(10_000));
+    let err = parse(&src).expect_err("10000-deep flow mapping must not parse");
+    assert!(err.to_string().contains("depth"), "unexpected error: {err}");
+}
+
+#[test]
+fn reference_constructs_are_named_in_errors() {
+    for (src, needle) in [
+        ("defaults: &shared\n  cpu: 100m\n", "anchor"),
+        ("limits: *shared\n", "alias"),
+        ("value: !!str 42\n", "tag"),
+        ("%YAML 1.2\n", "directive"),
+        ("- &a 1\n", "anchor"),
+        ("x: [*ref]\n", "alias"),
+    ] {
+        let err = parse(src).expect_err(src);
+        assert!(
+            err.to_string().contains(needle),
+            "error for {src:?} should mention {needle}, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn overflowing_floats_stay_strings() {
+    let huge = format!("big: 1{}.0\n", "0".repeat(400));
+    let v = parse(&huge).expect("overlong float parses as a string");
+    let s = v.path(&["big"]).and_then(Value::as_str).expect("string");
+    assert!(s.starts_with("10"), "kept verbatim, got: {s}");
+    assert_fixpoint(&huge);
+}

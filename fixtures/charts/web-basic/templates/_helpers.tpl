@@ -1,0 +1,4 @@
+{{- define "web-basic.labels" }}
+app: web-basic
+release: {{ .Release.Name }}
+{{- end }}

@@ -10,6 +10,7 @@
 //! ij corpus  --describe [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>] [--seed <n>]
 //! ij rules   [--rule-pack <file>] [--explain <name>]
 //! ij serve   [--clusters <n>] [--mutations <n>] [--seed <n>] [--profile <name>] [--verify]
+//! ij conform <fixtures-dir> [--json <file>] [--report <file>] [--baseline <file>]
 //! ij help
 //! ```
 //!
@@ -46,6 +47,15 @@
 //!   workload over one or more tenant clusters, each audited incrementally
 //!   after every mutation; `--verify` re-checks each tick against the
 //!   full-recompute oracle and fails loudly on any divergence.
+//! * `conform` — run the differential conformance harness over a directory
+//!   of on-disk charts: every chart is pushed through both render
+//!   pipelines, the value-tree render, the policy-index/naive-engine
+//!   oracle pair, and the finding interner, and every disagreement or
+//!   unsupported feature is reported (never silently skipped). `--json`
+//!   and `--report` write the machine-readable results and the ranked
+//!   markdown loss report; `--baseline` compares the fresh JSON
+//!   byte-for-byte against a committed baseline so CI can gate on "no
+//!   unexplained divergence".
 //! * `help` — print the full flag reference.
 //!
 //! Failures map to distinct exit codes so scripts can tell them apart:
@@ -63,8 +73,8 @@ use inside_job::core::{
     RulePack, RuleRegistry, UnknownRule,
 };
 use inside_job::datasets::{
-    corpus, describe_builtin, CensusError, CensusPipeline, CorpusGenerator, CorpusProfile, Org,
-    PhaseTimings,
+    corpus, describe_builtin, run_conformance, CensusError, CensusPipeline, ChartStatus,
+    CorpusGenerator, CorpusProfile, Org, PhaseTimings,
 };
 use inside_job::probe::{connectivity_dot, HostBaseline, RuntimeAnalyzer};
 use inside_job::serve::{serve, ServeError, ServeOptions};
@@ -156,6 +166,13 @@ struct RulesArgs {
     explain: Option<String>,
 }
 
+struct ConformArgs {
+    fixtures_dir: PathBuf,
+    json: Option<PathBuf>,
+    report: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
 /// The one-screen flag reference printed by `ij help` (and kept in sync
 /// with the CLI contract section of the README by `tests/cli.rs`).
 const HELP: &str = "\
@@ -174,6 +191,8 @@ usage:
   ij rules    [--rule-pack <file>] [--explain <name>]
   ij serve    [--clusters <n>] [--mutations <n>] [--seed <n>]
               [--profile <name>] [--verify]
+  ij conform  <fixtures-dir> [--json <file>] [--report <file>]
+              [--baseline <file>]
   ij help
 
 flags:
@@ -203,6 +222,11 @@ flags:
   --mutations <n>        total churn mutations applied across all tenants
   --verify               check every incremental tick against the
                          full-recompute oracle (fails on divergence)
+  --json <file>          write the machine-readable conformance results
+  --report <file>        write the ranked markdown conformance loss report
+  --baseline <file>      compare the fresh conformance JSON byte-for-byte
+                         against a committed baseline (exit 0 only when no
+                         check diverges and the bytes match)
 
 exit codes:
   0 success, 2 usage, 3 chart render failure, 4 cluster install failure,
@@ -218,6 +242,7 @@ fn usage() -> ExitCode {
        ij corpus --describe [--synthetic <n>] [--profile <name>] [--mix <rule=rate,...>] [--seed <n>]
        ij rules [--rule-pack <file>] [--explain <name>]
        ij serve [--clusters <n>] [--mutations <n>] [--seed <n>] [--profile <name>] [--verify]
+       ij conform <fixtures-dir> [--json <file>] [--report <file>] [--baseline <file>]
        ij help"
     );
     ExitCode::from(EXIT_USAGE)
@@ -321,6 +346,105 @@ fn parse_census_args(
         }
     }
     Ok(args)
+}
+
+fn parse_conform_args(mut argv: std::env::Args) -> Result<ConformArgs, CliError> {
+    let fixtures_dir = PathBuf::from(argv.next().ok_or_else(CliError::usage)?);
+    let mut args = ConformArgs {
+        fixtures_dir,
+        json: None,
+        report: None,
+        baseline: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--json" => {
+                args.json = Some(PathBuf::from(argv.next().ok_or_else(CliError::usage)?));
+            }
+            "--report" => {
+                args.report = Some(PathBuf::from(argv.next().ok_or_else(CliError::usage)?));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(argv.next().ok_or_else(CliError::usage)?));
+            }
+            _ => return Err(CliError::usage()),
+        }
+    }
+    Ok(args)
+}
+
+/// `ij conform`: run the differential harness over every chart in the
+/// fixtures directory, print the per-chart summary, optionally write the
+/// JSON/markdown artifacts, and exit non-zero on any loss. With
+/// `--baseline`, success instead means "no divergence *and* the fresh JSON
+/// equals the committed baseline byte-for-byte" — an unsupported feature
+/// recorded in the baseline is explained, a new one is a regression.
+fn run_conform_command(args: ConformArgs) -> Result<(), CliError> {
+    let report = run_conformance(&args.fixtures_dir).map_err(|e| CliError::other(e.to_string()))?;
+    for c in &report.charts {
+        match &c.status {
+            ChartStatus::Conformant => println!(
+                "{:<18} conformant   {} object(s), {} finding(s), {} verdict(s)",
+                c.chart, c.objects, c.findings, c.verdicts
+            ),
+            ChartStatus::Unsupported { feature } => {
+                println!(
+                    "{:<18} unsupported  {}",
+                    c.chart,
+                    feature.lines().next().unwrap_or("")
+                );
+            }
+            ChartStatus::Divergent { check, detail } => {
+                println!(
+                    "{:<18} DIVERGENT    {check}: {}",
+                    c.chart,
+                    detail.lines().next().unwrap_or("")
+                );
+            }
+        }
+    }
+    println!(
+        "{} chart(s): {} conformant, {} unsupported, {} divergent",
+        report.charts.len(),
+        report.conformant(),
+        report.unsupported(),
+        report.divergent()
+    );
+    let json = report.to_json();
+    if let Some(path) = &args.json {
+        std::fs::write(path, &json)
+            .map_err(|e| CliError::other(format!("{}: {e}", path.display())))?;
+    }
+    if let Some(path) = &args.report {
+        std::fs::write(path, report.to_markdown())
+            .map_err(|e| CliError::other(format!("{}: {e}", path.display())))?;
+    }
+    match &args.baseline {
+        Some(path) => {
+            let expected = std::fs::read_to_string(path)
+                .map_err(|e| CliError::other(format!("{}: {e}", path.display())))?;
+            if report.divergent() > 0 {
+                return Err(CliError::other(format!(
+                    "{} divergent chart(s) — every divergence is a bug",
+                    report.divergent()
+                )));
+            }
+            if json != expected {
+                return Err(CliError::other(format!(
+                    "conformance results drifted from {} — regenerate it with \
+                     --json and review the diff",
+                    path.display()
+                )));
+            }
+            Ok(())
+        }
+        None if report.all_conformant() => Ok(()),
+        None => Err(CliError::other(format!(
+            "{} unsupported and {} divergent chart(s)",
+            report.unsupported(),
+            report.divergent()
+        ))),
+    }
 }
 
 fn parse_rules_args(mut argv: std::env::Args) -> Result<RulesArgs, CliError> {
@@ -759,6 +883,7 @@ fn run() -> Result<(), CliError> {
         "corpus" => run_corpus_command(parse_census_args(argv, true)?),
         "rules" => run_rules_command(parse_rules_args(argv)?),
         "serve" => run_serve_command(parse_serve_args(argv)?),
+        "conform" => run_conform_command(parse_conform_args(argv)?),
         "help" | "--help" | "-h" => {
             print!("{HELP}");
             Ok(())

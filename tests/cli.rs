@@ -737,3 +737,178 @@ fn static_only_flag_is_accepted() {
     assert!(stdout.contains("finding(s)"));
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// A fixtures directory holding one fully-supported demo chart, plus
+/// (optionally) one chart the engine rejects over a YAML anchor.
+fn conform_fixtures(tag: &str, with_unsupported: bool) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("ij-cli-conform-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let demo = root.join("demo");
+    write(&demo.join("Chart.yaml"), "name: demo\nversion: 0.1.0\n");
+    write(&demo.join("values.yaml"), "port: 8080\n");
+    write(
+        &demo.join("templates/deploy.yaml"),
+        "\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-app
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: demo
+  template:
+    metadata:
+      labels:
+        app: demo
+    spec:
+      containers:
+        - name: app
+          image: img/app
+          ports:
+            - containerPort: {{ .Values.port }}
+",
+    );
+    if with_unsupported {
+        let bad = root.join("anchored");
+        write(&bad.join("Chart.yaml"), "name: anchored\nversion: 0.1.0\n");
+        write(&bad.join("values.yaml"), "defaults: &d\n  cpu: 100m\n");
+    }
+    root
+}
+
+#[test]
+fn conform_exits_zero_when_every_chart_is_conformant() {
+    let root = conform_fixtures("allgood", false);
+    let out = ij(&["conform", root.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("conformant"), "{stdout}");
+    assert!(
+        stdout.contains("1 chart(s): 1 conformant, 0 unsupported, 0 divergent"),
+        "{stdout}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn conform_exits_one_with_per_chart_summary_on_losses() {
+    let root = conform_fixtures("losses", true);
+    let out = ij(&["conform", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "an unsupported chart is a loss");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Per-chart summary: both charts are listed, nothing silently skipped.
+    assert!(stdout.contains("anchored"), "{stdout}");
+    assert!(stdout.contains("unsupported"), "{stdout}");
+    assert!(stdout.contains("anchor"), "the feature is named: {stdout}");
+    assert!(stdout.contains("demo"), "{stdout}");
+    assert!(
+        stdout.contains("2 chart(s): 1 conformant, 1 unsupported, 0 divergent"),
+        "{stdout}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn conform_writes_artifacts_and_gates_on_the_baseline() {
+    let root = conform_fixtures("baseline", true);
+    let json = root.join("out.json");
+    let md = root.join("out.md");
+    let out = ij(&[
+        "conform",
+        root.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+        "--report",
+        md.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "losses still exit 1 while writing"
+    );
+    let json_text = fs::read_to_string(&json).expect("JSON artifact written");
+    assert!(
+        json_text.contains("\"status\": \"unsupported\""),
+        "{json_text}"
+    );
+    assert!(json_text.contains("\"conformant\": 1"), "{json_text}");
+    let md_text = fs::read_to_string(&md).expect("markdown artifact written");
+    assert!(md_text.contains("ranked by charts lost"), "{md_text}");
+
+    // With the freshly-written baseline the same losses are explained.
+    let out = ij(&[
+        "conform",
+        root.to_str().unwrap(),
+        "--baseline",
+        json.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "baselined unsupported features are explained; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A drifted baseline fails the gate.
+    fs::write(&json, json_text.replace("unsupported", "conformant")).expect("tamper");
+    let out = ij(&[
+        "conform",
+        root.to_str().unwrap(),
+        "--baseline",
+        json.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("drifted"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn conform_usage_errors_exit_two() {
+    // No fixtures directory at all.
+    let out = ij(&["conform"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unknown flag.
+    let root = conform_fixtures("usage", false);
+    let out = ij(&["conform", root.to_str().unwrap(), "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Flag missing its value.
+    let out = ij(&["conform", root.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // A nonexistent path is a runtime failure, not a usage error.
+    let out = ij(&["conform", root.join("missing").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a directory"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn conform_gate_holds_on_the_vendored_fixtures() {
+    // The exact invocation CI runs: the committed baseline explains every
+    // unsupported fixture, so the gate passes.
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = ij(&[
+        "conform",
+        repo.join("fixtures/charts").to_str().unwrap(),
+        "--baseline",
+        repo.join("CONFORMANCE.json").to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 divergent"), "{stdout}");
+}
